@@ -1,0 +1,91 @@
+//! E1 — Scenario 1 + Figure 2: interactive what-if evaluation and the
+//! index interaction graph.
+//!
+//! Prints the benefit panel and the Fig-2 edge list for a DBA-chosen
+//! candidate set, then measures the cost of a full interaction analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgdesign_bench::setup;
+use pgdesign_catalog::design::Index;
+use pgdesign_inum::Inum;
+use pgdesign_interaction::{analyze, InteractionConfig};
+
+fn dba_candidates(bench: &pgdesign_bench::Bench) -> Vec<Index> {
+    let photo = bench.catalog.schema.table_by_name("photoobj").unwrap().id;
+    let spec = bench.catalog.schema.table_by_name("specobj").unwrap().id;
+    vec![
+        Index::new(photo, vec![0]),     // objid
+        Index::new(photo, vec![1, 2]),  // (ra, dec)
+        Index::new(photo, vec![3, 6]),  // (type, r)
+        Index::new(photo, vec![6, 3]),  // (r, type) — competes with above
+        Index::new(photo, vec![9, 10]), // (run, camcol)
+        Index::new(spec, vec![1]),      // bestobjid
+        Index::new(spec, vec![3]),      // zredshift
+    ]
+}
+
+fn print_report() {
+    let bench = setup(20, 0xE1);
+    let inum = Inum::new(&bench.catalog, &bench.optimizer);
+    let candidates = dba_candidates(&bench);
+
+    // Scenario-1 benefit panel.
+    let empty = pgdesign_catalog::design::PhysicalDesign::empty();
+    let whatif = pgdesign_catalog::design::PhysicalDesign::with_indexes(candidates.clone());
+    let base = inum.workload_cost(&empty, &bench.workload);
+    let tuned = inum.workload_cost(&whatif, &bench.workload);
+    println!("=== E1: interactive what-if benefit (20 SDSS queries) ===");
+    println!(
+        "workload cost: {base:.1} -> {tuned:.1}  (avg benefit {:.1}%)",
+        100.0 * (base - tuned) / base
+    );
+
+    let analysis = analyze(
+        &inum,
+        &bench.workload,
+        &candidates,
+        &InteractionConfig::default(),
+    );
+    let graph = analysis.graph();
+    println!(
+        "--- Figure 2: interaction graph, top 10 of {} edges ---",
+        graph.edge_count()
+    );
+    print!("{}", graph.to_text(&bench.catalog.schema, 10));
+    let parts = analysis.stable_partition(0.01);
+    println!(
+        "stable partition: {} independent group(s): {:?}",
+        parts.len(),
+        parts
+    );
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    print_report();
+    let bench = setup(20, 0xE1);
+    let inum = Inum::new(&bench.catalog, &bench.optimizer);
+    let candidates = dba_candidates(&bench);
+    // Warm the INUM cache once so we measure the steady interactive state.
+    let _ = analyze(
+        &inum,
+        &bench.workload,
+        &candidates,
+        &InteractionConfig::default(),
+    );
+    let mut g = c.benchmark_group("e1");
+    g.sample_size(10);
+    g.bench_function("interaction_analysis_7idx_20q", |b| {
+        b.iter(|| {
+            analyze(
+                &inum,
+                &bench.workload,
+                &candidates,
+                &InteractionConfig::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E2 — Scenario 2 + Figure 3: automatic index + partition suggestion
+//! under storage budgets, CoPhy vs the greedy baseline.
+//!
+//! Prints the Fig-3-style panel (suggested features, per-query and average
+//! benefit) across budgets {0.25×, 0.5×, 1×} of the data size, then
+//! measures one full `recommend` run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgdesign::Designer;
+use pgdesign_bench::{mib, setup};
+use pgdesign_cophy::greedy_select;
+use pgdesign_inum::Inum;
+use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
+
+fn print_report() {
+    let bench = setup(27, 0xE2);
+    let designer = Designer::new(bench.catalog.clone());
+    let data = designer.catalog.data_bytes();
+
+    println!("=== E2: offline design across storage budgets (27 SDSS queries) ===");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>9} {:>10}",
+        "budget", "base", "cophy", "greedy", "benefit", "#idx", "gap%", "sched+%"
+    );
+    for frac in [0.25, 0.5, 1.0] {
+        let budget = (data as f64 * frac) as u64;
+        let report = designer.recommend(&bench.workload, budget);
+        // Greedy baseline at the same budget.
+        let inum = Inum::new(&designer.catalog, &designer.optimizer);
+        let cands = workload_candidates(&designer.catalog, &bench.workload, &CandidateConfig::default());
+        let greedy = greedy_select(&inum, &bench.workload, &cands, budget);
+        let sched_save = if report.naive_schedule.area > 0.0 {
+            100.0 * (report.naive_schedule.area - report.schedule.area).max(0.0)
+                / report.naive_schedule.area
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>12.0} {:>7.1}% {:>8} {:>8.2} {:>9.1}",
+            format!("{frac}x"),
+            report.base_cost,
+            report.indexes.cost,
+            greedy.cost,
+            100.0 * report.average_benefit(),
+            report.indexes.indexes.len(),
+            100.0 * report.indexes.gap,
+            sched_save,
+        );
+        if (frac - 0.5).abs() < 1e-9 {
+            println!("--- Figure 3 panel at 0.5x budget ---");
+            println!("{report}");
+            println!(
+                "index storage used: {:.1} MiB of {:.1} MiB budget",
+                mib(report.indexes.total_index_bytes),
+                mib(budget)
+            );
+        }
+    }
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    print_report();
+    let bench = setup(27, 0xE2);
+    let designer = Designer::new(bench.catalog.clone());
+    let budget = designer.catalog.data_bytes() / 2;
+    let mut g = c.benchmark_group("e2");
+    g.sample_size(10);
+    g.bench_function("full_offline_recommend_27q", |b| {
+        b.iter(|| designer.recommend(&bench.workload, budget))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recommend);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E3 — Scenario 3: continuous tuning of a drifting workload.
+//!
+//! Prints the per-epoch (untuned vs COLT) cost series across 12 phases of
+//! drift — the chart the demo shows live — then measures per-query
+//! observation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgdesign::Designer;
+use pgdesign_bench::SCALE;
+use pgdesign_catalog::samples::sdss_catalog;
+use pgdesign_colt::ColtConfig;
+use pgdesign_query::generators::DriftingStream;
+
+fn colt_config(designer: &Designer) -> ColtConfig {
+    ColtConfig {
+        epoch_length: 25,
+        storage_budget_bytes: designer.catalog.data_bytes() / 4,
+        whatif_budget_per_epoch: 120,
+        ewma_alpha: 0.6,
+        payback_horizon_epochs: 6.0,
+    }
+}
+
+fn print_report() {
+    let catalog = sdss_catalog(SCALE);
+    let designer = Designer::new(catalog.clone());
+    let mut stream = DriftingStream::sdss_default(catalog, 50, 0xE3);
+    let mut session = designer.online_session(colt_config(&designer));
+
+    println!("=== E3: continuous tuning under drift (12 phases x 50 queries) ===");
+    for _ in 0..12 {
+        session.observe_all(stream.batch(50));
+    }
+    println!("{}", session.trajectory());
+    let (untuned, tuned) = session.cumulative_costs();
+    println!(
+        "cumulative: untuned {untuned:.0}, COLT {tuned:.0}  ({:.1}% saved)",
+        100.0 * (untuned - tuned).max(0.0) / untuned
+    );
+    let events: usize = session.reports().iter().map(|r| r.events.len()).sum();
+    println!(
+        "configuration changes: {events}; final on-line set: {:?}",
+        session
+            .current_design()
+            .indexes()
+            .iter()
+            .map(|i| i.display(&designer.catalog.schema))
+            .collect::<Vec<_>>()
+    );
+}
+
+fn bench_observe(c: &mut Criterion) {
+    print_report();
+    let catalog = sdss_catalog(SCALE);
+    let designer = Designer::new(catalog.clone());
+    let mut stream = DriftingStream::sdss_default(catalog, 50, 0xE3);
+    let queries = stream.batch(500);
+    let mut g = c.benchmark_group("e3");
+    g.sample_size(10);
+    g.bench_function("colt_process_500_queries", |b| {
+        b.iter(|| {
+            let mut session = designer.online_session(colt_config(&designer));
+            session.observe_all(queries.iter().cloned());
+            session.reports().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

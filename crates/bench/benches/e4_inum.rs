@@ -1,0 +1,171 @@
+//! E4 — the INUM claim (§1): caching "increase[s] the efficiency of the
+//! selection tool by orders of magnitude".
+//!
+//! Costs many candidate configurations through (a) full re-optimization
+//! and (b) the warm INUM cache. The speedup grows with the size of the
+//! plan space the skeleton cache short-circuits, so the report breaks the
+//! comparison down by join count. (The paper's own baseline is the
+//! PostgreSQL planner, whose per-call overhead is far larger than this
+//! simulator's — absolute ratios here are a lower bound on the effect.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgdesign_bench::SCALE;
+use pgdesign_catalog::design::{Index, PhysicalDesign};
+use pgdesign_catalog::samples::sdss_catalog;
+use pgdesign_catalog::Catalog;
+use pgdesign_inum::Inum;
+use pgdesign_optimizer::{JoinControl, Optimizer};
+use pgdesign_query::generators::sdss_template;
+use pgdesign_query::{parse_query, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Random index configurations on the SDSS tables.
+fn random_configs(catalog: &Catalog, n: usize, seed: u64) -> Vec<PhysicalDesign> {
+    let photo = catalog.schema.table_by_name("photoobj").unwrap().id;
+    let spec = catalog.schema.table_by_name("specobj").unwrap().id;
+    let field = catalog.schema.table_by_name("field").unwrap().id;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut d = PhysicalDesign::empty();
+            for _ in 0..rng.random_range(1..4) {
+                let (t, width) = match rng.random_range(0..4) {
+                    0 => (spec, 8u16),
+                    1 => (field, 6u16),
+                    _ => (photo, 16u16),
+                };
+                let n_cols = rng.random_range(1..3);
+                let mut cols: Vec<u16> = (0..n_cols).map(|_| rng.random_range(0..width)).collect();
+                cols.dedup();
+                d.add_index(Index::new(t, cols));
+            }
+            d
+        })
+        .collect()
+}
+
+/// Workload classes by join count.
+fn workload_classes(catalog: &Catalog) -> Vec<(&'static str, Workload)> {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let single: Workload = (0..12)
+        .map(|i| sdss_template(catalog, [0, 1, 2, 4, 7, 8][i % 6], &mut rng))
+        .collect();
+    let two: Workload = (0..12)
+        .map(|i| sdss_template(catalog, [3, 5, 6][i % 3], &mut rng))
+        .collect();
+    let three: Workload = (0..6)
+        .map(|i| {
+            let run = 100 + i * 700;
+            parse_query(
+                &catalog.schema,
+                &format!(
+                    "SELECT p.objid, s.zredshift, f.quality FROM photoobj p, specobj s, field f \
+                     WHERE p.objid = s.bestobjid AND p.run = f.run AND f.quality = 1 AND p.run = {run}"
+                ),
+            )
+            .unwrap()
+        })
+        .collect();
+    vec![("1-table", single), ("2-table", two), ("3-table", three)]
+}
+
+fn measure(inum: &Inum<'_>, workload: &Workload, configs: &[PhysicalDesign]) -> (f64, f64, f64) {
+    // Full re-optimization.
+    let t0 = Instant::now();
+    let mut exact_total = 0.0;
+    for d in configs {
+        for (q, w) in workload.iter() {
+            exact_total += w * inum.exact_cost(d, q);
+        }
+    }
+    let exact = t0.elapsed().as_secs_f64();
+    // Warm INUM.
+    let t1 = Instant::now();
+    let mut inum_total = 0.0;
+    for d in configs {
+        inum_total += inum.workload_cost(d, workload);
+    }
+    let fast = t1.elapsed().as_secs_f64();
+    let disagreement = (inum_total - exact_total).abs() / exact_total.max(1e-9);
+    (exact, fast, disagreement)
+}
+
+fn print_report() {
+    let catalog = sdss_catalog(SCALE);
+    let optimizer = Optimizer::new().with_control(JoinControl {
+        nestloop: false,
+        ..Default::default()
+    });
+    let inum = Inum::new(&catalog, &optimizer);
+    let configs = random_configs(&catalog, 200, 1);
+
+    println!("=== E4: INUM vs re-optimization (200 configs per class) ===");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>12}",
+        "class", "full us/call", "inum us/call", "speedup", "agreement"
+    );
+    for (name, workload) in workload_classes(&catalog) {
+        inum.prepare_workload(&workload);
+        // Warm both paths once (fair caches).
+        let _ = measure(&inum, &workload, &configs[..5]);
+        let (exact, fast, dis) = measure(&inum, &workload, &configs);
+        let calls = (configs.len() * workload.len()) as f64;
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>8.1}x {:>11.3}%",
+            name,
+            exact * 1e6 / calls,
+            fast * 1e6 / calls,
+            exact / fast.max(1e-12),
+            100.0 * dis
+        );
+    }
+    let stats = inum.stats();
+    println!(
+        "inum cache: {} skeletons for {} queries; {} cost calls served",
+        stats.skeletons_built,
+        inum.cached_queries(),
+        stats.cost_calls
+    );
+}
+
+fn bench_paths(c: &mut Criterion) {
+    print_report();
+    let catalog = sdss_catalog(SCALE);
+    let optimizer = Optimizer::new().with_control(JoinControl {
+        nestloop: false,
+        ..Default::default()
+    });
+    let inum = Inum::new(&catalog, &optimizer);
+    let configs = random_configs(&catalog, 20, 2);
+    let classes = workload_classes(&catalog);
+    let (_, joins) = &classes[1];
+    inum.prepare_workload(joins);
+    let mut g = c.benchmark_group("e4");
+    g.sample_size(10);
+    g.bench_function("reoptimize_20_configs_joins", |b| {
+        b.iter(|| {
+            let mut t = 0.0;
+            for d in &configs {
+                for (q, w) in joins.iter() {
+                    t += w * inum.exact_cost(d, q);
+                }
+            }
+            t
+        })
+    });
+    g.bench_function("inum_20_configs_joins", |b| {
+        b.iter(|| {
+            let mut t = 0.0;
+            for d in &configs {
+                t += inum.workload_cost(d, joins);
+            }
+            t
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

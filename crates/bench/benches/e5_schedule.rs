@@ -1,0 +1,73 @@
+//! E5 — §3.5 claim: "an appropriately scheduled materialization of indexes
+//! can lead to higher benefit in contrast with a schedule that does not
+//! take into account index interaction".
+//!
+//! Prints the build-window area (workload cost accumulated while indexes
+//! build) for naive / greedy / exact schedules over the E2 recommendation,
+//! plus the benefit curves, then measures greedy scheduling time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgdesign::Designer;
+use pgdesign_bench::setup;
+use pgdesign_interaction::{exact_schedule, greedy_schedule, naive_schedule};
+use pgdesign_inum::Inum;
+
+fn print_report() {
+    let bench = setup(27, 0xE2); // same workload as E2
+    let designer = Designer::new(bench.catalog.clone());
+    let rec = designer.recommend(&bench.workload, designer.catalog.data_bytes() / 2);
+    let indexes = rec.indexes.indexes.clone();
+    let inum = Inum::new(&designer.catalog, &designer.optimizer);
+
+    let naive = naive_schedule(&inum, &bench.workload, &indexes);
+    let greedy = greedy_schedule(&inum, &bench.workload, &indexes);
+    println!("=== E5: materialization scheduling over {} suggested indexes ===", indexes.len());
+    println!("naive  (recommendation order): area {:>14.0}", naive.area);
+    println!("greedy (interaction-aware):    area {:>14.0}  ({:.1}% saved)",
+        greedy.area,
+        100.0 * (naive.area - greedy.area).max(0.0) / naive.area.max(1e-9));
+    if indexes.len() <= 10 {
+        let exact = exact_schedule(&inum, &bench.workload, &indexes);
+        println!(
+            "exact  (DP optimum):           area {:>14.0}  ({:.1}% saved)",
+            exact.area,
+            100.0 * (naive.area - exact.area).max(0.0) / naive.area.max(1e-9)
+        );
+        println!("greedy gap to optimum: {:.2}%",
+            100.0 * (greedy.area - exact.area).max(0.0) / exact.area.max(1e-9));
+    }
+    println!("--- benefit curves (cumulative build time -> workload cost) ---");
+    let curve = |s: &pgdesign_interaction::Schedule| {
+        s.curve
+            .iter()
+            .map(|(t, c)| format!("{t:.0}:{c:.0}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("naive : {}", curve(&naive));
+    println!("greedy: {}", curve(&greedy));
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    print_report();
+    let bench = setup(27, 0xE2);
+    let designer = Designer::new(bench.catalog.clone());
+    let rec = designer.recommend(&bench.workload, designer.catalog.data_bytes() / 2);
+    let indexes = rec.indexes.indexes.clone();
+    let inum = Inum::new(&designer.catalog, &designer.optimizer);
+    inum.prepare_workload(&bench.workload);
+    let mut g = c.benchmark_group("e5");
+    g.sample_size(10);
+    g.bench_function("greedy_schedule", |b| {
+        b.iter(|| greedy_schedule(&inum, &bench.workload, &indexes))
+    });
+    if indexes.len() <= 10 {
+        g.bench_function("exact_schedule_dp", |b| {
+            b.iter(|| exact_schedule(&inum, &bench.workload, &indexes))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

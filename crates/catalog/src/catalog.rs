@@ -1,0 +1,126 @@
+//! The [`Catalog`]: schema + statistics + base physical design.
+
+use crate::design::PhysicalDesign;
+use crate::schema::{ColumnRef, Schema, TableId};
+use crate::stats::{ColumnStats, TableStats};
+
+/// Single source of truth for everything the optimizer and the advisors
+/// need to know about the database.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Logical schema.
+    pub schema: Schema,
+    /// Per-table statistics, aligned with table ids.
+    pub stats: Vec<TableStats>,
+    /// The *materialized* physical design (real indexes/partitions). The
+    /// what-if layer overlays hypothetical designs on top of this.
+    pub base_design: PhysicalDesign,
+}
+
+impl Catalog {
+    /// Assemble a catalog; panics if `stats` is not aligned with the schema
+    /// (that is a construction bug, not a runtime condition).
+    pub fn new(schema: Schema, stats: Vec<TableStats>) -> Self {
+        assert_eq!(
+            schema.len(),
+            stats.len(),
+            "stats must be provided for every table"
+        );
+        for t in schema.tables() {
+            assert_eq!(
+                t.columns.len(),
+                stats[t.id.0 as usize].columns.len(),
+                "column stats must align with table {}",
+                t.name
+            );
+        }
+        Catalog {
+            schema,
+            stats,
+            base_design: PhysicalDesign::empty(),
+        }
+    }
+
+    /// Statistics of one table.
+    pub fn table_stats(&self, table: TableId) -> &TableStats {
+        &self.stats[table.0 as usize]
+    }
+
+    /// Statistics of one column.
+    pub fn column_stats(&self, col: ColumnRef) -> &ColumnStats {
+        self.table_stats(col.table).column(col.column)
+    }
+
+    /// Row count of one table.
+    pub fn row_count(&self, table: TableId) -> u64 {
+        self.table_stats(table).row_count
+    }
+
+    /// Total bytes of base-table heap storage (the "data size" against
+    /// which storage budgets like "0.5× data" are expressed).
+    pub fn data_bytes(&self) -> u64 {
+        self.schema
+            .tables()
+            .map(|t| {
+                crate::sizing::pages_to_bytes(crate::sizing::heap_pages(
+                    self.stats[t.id.0 as usize].row_count,
+                    t.row_byte_width(),
+                ))
+            })
+            .sum()
+    }
+
+    /// Install the materialized design.
+    pub fn set_base_design(&mut self, d: PhysicalDesign) {
+        self.base_design = d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::types::DataType;
+
+    fn tiny() -> Catalog {
+        let schema = SchemaBuilder::new()
+            .table("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Float)
+            .build()
+            .unwrap();
+        let stats = vec![TableStats {
+            row_count: 1000,
+            columns: vec![
+                ColumnStats::synthetic_key(1000, 4.0),
+                ColumnStats::synthetic_uniform(0.0, 1.0, 100.0, 8.0),
+            ],
+        }];
+        Catalog::new(schema, stats)
+    }
+
+    #[test]
+    fn lookups_align() {
+        let c = tiny();
+        assert_eq!(c.row_count(TableId(0)), 1000);
+        let col = c.schema.resolve("t", "b").unwrap();
+        assert_eq!(c.column_stats(col).ndv, 100.0);
+    }
+
+    #[test]
+    fn data_bytes_positive() {
+        let c = tiny();
+        assert!(c.data_bytes() >= crate::sizing::PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "stats must be provided")]
+    fn misaligned_stats_panic() {
+        let schema = SchemaBuilder::new()
+            .table("t")
+            .column("a", DataType::Int)
+            .build()
+            .unwrap();
+        Catalog::new(schema, vec![]);
+    }
+}

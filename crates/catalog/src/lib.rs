@@ -1,0 +1,44 @@
+//! # pgdesign-catalog
+//!
+//! The catalog substrate of the *pgdesign* physical-design toolkit.
+//!
+//! The SIGMOD 2010 demonstration "An Automated, yet Interactive and Portable
+//! DB designer" layers its advisors (CoPhy, AutoPart, COLT, index
+//! interaction) on top of PostgreSQL's catalog and statistics subsystem.
+//! This crate reproduces that substrate from scratch:
+//!
+//! * [`schema`] — logical schema (tables, columns, data types);
+//! * [`stats`] / [`histogram`] — per-column statistics: row counts, number
+//!   of distinct values, null fractions, most-common values and equi-depth
+//!   histograms, mirroring what `ANALYZE` stores in `pg_statistic`;
+//! * [`datagen`] — synthetic data generation with controllable
+//!   distributions, from which statistics are *computed* (not stipulated),
+//!   so the selectivity model downstream sees realistic skew;
+//! * [`sizing`] — the page/size model (heap pages, B-tree pages) used both
+//!   by the cost model and by what-if index size estimation;
+//! * [`design`] — physical design structures: secondary indexes, vertical
+//!   partitions (column groups with optional replication) and horizontal
+//!   range partitioning, plus the [`design::PhysicalDesign`] container that
+//!   the what-if optimizer evaluates;
+//! * [`samples`] — the SDSS-like scientific schema used by the paper's demo
+//!   scenarios and a TPC-H-like schema for broader workloads.
+//!
+//! Everything downstream treats [`Catalog`] as the single source of truth
+//! for schema, statistics and base physical design.
+
+pub mod catalog;
+pub mod datagen;
+pub mod design;
+pub mod histogram;
+pub mod samples;
+pub mod schema;
+pub mod sizing;
+pub mod stats;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use design::{HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning};
+pub use histogram::EquiDepthHistogram;
+pub use schema::{ColumnDef, ColumnRef, Schema, SchemaBuilder, TableDef, TableId};
+pub use stats::{ColumnStats, TableStats};
+pub use types::{DataType, Value};

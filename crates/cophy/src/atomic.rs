@@ -1,0 +1,246 @@
+//! Atomic configuration enumeration and costing.
+//!
+//! An *atomic configuration* for a query is a set of candidate indexes a
+//! single plan can use simultaneously — at most one per table slot. The
+//! ILP's per-query decision is which atomic configuration to execute
+//! under; its cost is evaluated once, through INUM, and becomes a constant
+//! in the objective.
+
+use pgdesign_catalog::design::{Index, PhysicalDesign};
+use pgdesign_inum::Inum;
+use pgdesign_optimizer::candidates::CandidateSet;
+use pgdesign_query::ast::Query;
+use pgdesign_query::Workload;
+
+/// One atomic configuration: candidate ids (into the shared candidate
+/// list) with at most one index per slot, plus its INUM-estimated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomicConfig {
+    /// Candidate indexes (ids into [`CandidateSet::indexes`]).
+    pub candidate_ids: Vec<usize>,
+    /// INUM cost of the query under exactly these indexes.
+    pub cost: f64,
+}
+
+/// All atomic configurations of one query.
+#[derive(Debug, Clone)]
+pub struct QueryConfigs {
+    /// Configurations; index 0 is always the empty configuration.
+    pub configs: Vec<AtomicConfig>,
+}
+
+/// Per-slot shortlist size (top-k single-index winners per slot).
+const TOP_PER_SLOT: usize = 3;
+
+/// Enumerate and cost atomic configurations for every workload query.
+///
+/// `max_configs_per_query` caps the cartesian product per query; the empty
+/// configuration is always present so the ILP remains feasible at budget 0.
+pub fn enumerate_atomic_configs(
+    inum: &Inum<'_>,
+    workload: &Workload,
+    candidates: &CandidateSet,
+    max_configs_per_query: usize,
+) -> Vec<QueryConfigs> {
+    workload
+        .iter()
+        .map(|(q, _)| query_atomic_configs(inum, q, candidates, max_configs_per_query))
+        .collect()
+}
+
+fn query_atomic_configs(
+    inum: &Inum<'_>,
+    query: &Query,
+    candidates: &CandidateSet,
+    max_configs: usize,
+) -> QueryConfigs {
+    let empty_cost = inum.cost(&PhysicalDesign::empty(), query);
+
+    // Shortlist per slot: candidates on that slot's table whose solo
+    // benefit is positive, best first.
+    let mut per_slot: Vec<Vec<(usize, f64)>> = Vec::new();
+    for slot in 0..query.slot_count() {
+        let table = query.table_of(slot);
+        let mut scored: Vec<(usize, f64)> = Vec::new();
+        for (id, idx) in candidates.indexes.iter().enumerate() {
+            if idx.table != table {
+                continue;
+            }
+            let solo = inum.cost(&PhysicalDesign::with_indexes([idx.clone()]), query);
+            let benefit = empty_cost - solo;
+            if benefit > 1e-9 {
+                scored.push((id, benefit));
+            }
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored.truncate(TOP_PER_SLOT);
+        per_slot.push(scored);
+    }
+
+    // Cartesian product of (no index | shortlisted index) per slot.
+    let mut raw: Vec<Vec<usize>> = vec![Vec::new()];
+    for slot_list in &per_slot {
+        let mut next = Vec::with_capacity(raw.len() * (slot_list.len() + 1));
+        for prefix in &raw {
+            next.push(prefix.clone()); // no index for this slot
+            for &(id, _) in slot_list {
+                // Skip duplicates (self-joins may shortlist the same index
+                // for two slots; one copy is enough for costing).
+                if prefix.contains(&id) {
+                    continue;
+                }
+                let mut cfg = prefix.clone();
+                cfg.push(id);
+                next.push(cfg);
+            }
+        }
+        raw = next;
+        if raw.len() > 4 * max_configs {
+            // Pre-prune by keeping shorter configs first (they are
+            // supersets' building blocks and cheapest to cost).
+            raw.sort_by_key(Vec::len);
+            raw.truncate(4 * max_configs);
+        }
+    }
+    raw.sort_by_key(Vec::len);
+    raw.dedup();
+    raw.truncate(max_configs.max(1));
+
+    // Ensure the empty configuration exists at position 0.
+    if raw.first().map(Vec::len) != Some(0) {
+        raw.insert(0, Vec::new());
+        raw.truncate(max_configs.max(1));
+    }
+
+    let configs = raw
+        .into_iter()
+        .map(|ids| {
+            let cost = if ids.is_empty() {
+                empty_cost
+            } else {
+                let design = PhysicalDesign::with_indexes(
+                    ids.iter().map(|&i| candidates.indexes[i].clone()),
+                );
+                inum.cost(&design, query)
+            };
+            AtomicConfig {
+                candidate_ids: ids,
+                cost,
+            }
+        })
+        .collect();
+    QueryConfigs { configs }
+}
+
+/// The set of candidate ids used by any configuration (pruning the ILP).
+pub fn used_candidates(configs: &[QueryConfigs]) -> Vec<usize> {
+    let mut used: Vec<usize> = configs
+        .iter()
+        .flat_map(|qc| qc.configs.iter().flat_map(|c| c.candidate_ids.iter().copied()))
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    used
+}
+
+/// Build a [`PhysicalDesign`] from chosen candidate ids.
+pub fn design_from_ids(candidates: &CandidateSet, ids: &[usize]) -> PhysicalDesign {
+    PhysicalDesign::with_indexes(ids.iter().map(|&i| candidates.indexes[i].clone()))
+}
+
+/// Convenience: indexes for chosen candidate ids.
+pub fn indexes_from_ids(candidates: &CandidateSet, ids: &[usize]) -> Vec<Index> {
+    ids.iter().map(|&i| candidates.indexes[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
+    use pgdesign_optimizer::Optimizer;
+    use pgdesign_query::generators::sdss_workload;
+
+    #[test]
+    fn empty_config_is_always_first() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 1);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let configs = enumerate_atomic_configs(&inum, &w, &cands, 12);
+        assert_eq!(configs.len(), w.len());
+        for qc in &configs {
+            assert!(qc.configs[0].candidate_ids.is_empty());
+            assert!(qc.configs.len() <= 12);
+            // Costs are finite and positive.
+            for cfg in &qc.configs {
+                assert!(cfg.cost.is_finite() && cfg.cost > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nonempty_configs_never_cost_more_than_useful() {
+        // Configs are built from indexes with positive solo benefit, so a
+        // singleton config should beat (or match) the empty config.
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 2);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let configs = enumerate_atomic_configs(&inum, &w, &cands, 12);
+        for qc in &configs {
+            let empty = qc.configs[0].cost;
+            for cfg in &qc.configs[1..] {
+                if cfg.candidate_ids.len() == 1 {
+                    assert!(
+                        cfg.cost <= empty * 1.0001,
+                        "singleton config should not regress: {} vs {}",
+                        cfg.cost,
+                        empty
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn used_candidates_are_a_subset() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 3);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let configs = enumerate_atomic_configs(&inum, &w, &cands, 12);
+        let used = used_candidates(&configs);
+        assert!(used.iter().all(|&id| id < cands.indexes.len()));
+        assert!(!used.is_empty(), "some index should help some query");
+    }
+
+    #[test]
+    fn at_most_one_index_per_slot() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 4);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let configs = enumerate_atomic_configs(&inum, &w, &cands, 16);
+        for (qc, (q, _)) in configs.iter().zip(w.iter()) {
+            for cfg in &qc.configs {
+                // Count indexes per table; must not exceed the number of
+                // slots of that table in the query.
+                for slot in 0..q.slot_count() {
+                    let t = q.table_of(slot);
+                    let n_slots_of_t = (0..q.slot_count()).filter(|&s| q.table_of(s) == t).count();
+                    let n_indexes_of_t = cfg
+                        .candidate_ids
+                        .iter()
+                        .filter(|&&id| cands.indexes[id].table == t)
+                        .count();
+                    assert!(n_indexes_of_t <= n_slots_of_t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The CoPhy binary integer program.
+//!
+//! Variables:
+//! * `x_i ∈ {0,1}` — candidate index `i` is materialized;
+//! * `y_{q,k} ∈ [0,1]` — query `q` executes under atomic configuration
+//!   `k`. Given integral `x`, the optimal `y` is automatically integral
+//!   (each query picks its cheapest feasible configuration), so only the
+//!   `x` variables branch — the key to tractability.
+//!
+//! Constraints:
+//! * `Σ_k y_{q,k} = 1` for every query (exactly one configuration);
+//! * `y_{q,k} ≤ x_i` for every index `i` in configuration `k` (can't use
+//!   what isn't built);
+//! * `Σ_i size_i · x_i ≤ B` (storage budget).
+//!
+//! Objective: `min Σ_q w_q Σ_k cost(q,k) · y_{q,k}`.
+
+use crate::atomic::QueryConfigs;
+use pgdesign_optimizer::candidates::CandidateSet;
+use pgdesign_query::Workload;
+use pgdesign_solver::lp::Relation;
+use pgdesign_solver::Milp;
+use std::collections::HashMap;
+
+/// Mapping from ILP variables back to the design space.
+#[derive(Debug, Clone)]
+pub struct IlpModel {
+    /// The MILP instance.
+    pub milp: Milp,
+    /// `x` variable id per candidate id.
+    pub x_vars: HashMap<usize, usize>,
+    /// `y` variable ids: `y_vars[q][k]` for workload query `q`,
+    /// configuration `k`.
+    pub y_vars: Vec<Vec<usize>>,
+}
+
+/// Build the CoPhy ILP.
+///
+/// `maintenance` gives the per-index upkeep cost under the workload's
+/// write profile (zero for read-only workloads); it becomes the objective
+/// coefficient of the corresponding `x` variable, so an index must earn
+/// back its maintenance before the solver picks it.
+pub fn build_ilp(
+    workload: &Workload,
+    candidates: &CandidateSet,
+    configs: &[QueryConfigs],
+    sizes: &HashMap<usize, f64>,
+    maintenance: &HashMap<usize, f64>,
+    storage_budget: f64,
+) -> IlpModel {
+    let mut milp = Milp::new();
+
+    // x variables (binary); the objective coefficient is the index's
+    // maintenance cost — storage stays a constraint, not an objective term.
+    let mut x_vars: HashMap<usize, usize> = HashMap::new();
+    for (&cand, _) in sizes {
+        let v = milp.add_binary(maintenance.get(&cand).copied().unwrap_or(0.0));
+        x_vars.insert(cand, v);
+    }
+
+    // y variables (continuous in [0,1] via the Σ=1 rows + x-coupling).
+    let mut y_vars: Vec<Vec<usize>> = Vec::with_capacity(configs.len());
+    for (q_idx, qc) in configs.iter().enumerate() {
+        let weight = workload.entries[q_idx].weight;
+        let mut row = Vec::with_capacity(qc.configs.len());
+        for cfg in &qc.configs {
+            let y = milp.add_continuous(weight * cfg.cost);
+            row.push(y);
+        }
+        y_vars.push(row);
+    }
+
+    // Σ_k y_{q,k} = 1.
+    for row in &y_vars {
+        milp.lp.add_constraint(
+            row.iter().map(|&y| (y, 1.0)).collect(),
+            Relation::Eq,
+            1.0,
+        );
+    }
+
+    // y ≤ x couplings.
+    for (qc, row) in configs.iter().zip(&y_vars) {
+        for (cfg, &y) in qc.configs.iter().zip(row) {
+            for &cand in &cfg.candidate_ids {
+                let x = x_vars[&cand];
+                milp.lp
+                    .add_constraint(vec![(y, 1.0), (x, -1.0)], Relation::Le, 0.0);
+            }
+        }
+    }
+
+    // Storage budget.
+    let knapsack: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|(&cand, &size)| (x_vars[&cand], size))
+        .collect();
+    if !knapsack.is_empty() {
+        milp.lp
+            .add_constraint(knapsack, Relation::Le, storage_budget);
+    }
+
+    let _ = candidates;
+    IlpModel {
+        milp,
+        x_vars,
+        y_vars,
+    }
+}
+
+/// Construct a warm-start assignment from a set of chosen candidate ids:
+/// each query greedily takes its cheapest configuration supported by the
+/// chosen indexes.
+pub fn warm_start_assignment(
+    model: &IlpModel,
+    configs: &[QueryConfigs],
+    chosen: &[usize],
+) -> Vec<f64> {
+    let n = model.milp.lp.num_vars();
+    let mut x = vec![0.0; n];
+    for (&cand, &var) in &model.x_vars {
+        if chosen.contains(&cand) {
+            x[var] = 1.0;
+        }
+    }
+    for (qc, row) in configs.iter().zip(&model.y_vars) {
+        let mut best: Option<(usize, f64)> = None;
+        for (k, cfg) in qc.configs.iter().enumerate() {
+            if cfg.candidate_ids.iter().all(|c| chosen.contains(c))
+                && best.is_none_or(|(_, c)| cfg.cost < c)
+            {
+                best = Some((k, cfg.cost));
+            }
+        }
+        // Config 0 (empty) is always supported.
+        let (k, _) = best.unwrap_or((0, qc.configs[0].cost));
+        x[row[k]] = 1.0;
+    }
+    x
+}
+
+/// Decode a MILP solution into chosen candidate ids.
+pub fn decode_solution(model: &IlpModel, x: &[f64]) -> Vec<usize> {
+    let mut chosen: Vec<usize> = model
+        .x_vars
+        .iter()
+        .filter(|(_, &var)| x.get(var).copied().unwrap_or(0.0) > 0.5)
+        .map(|(&cand, _)| cand)
+        .collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicConfig;
+    use pgdesign_solver::{MilpOptions, MilpStatus};
+
+    /// A tiny hand-built instance: 2 queries, 2 candidate indexes.
+    /// Query 0: empty=100, {A}=10. Query 1: empty=100, {B}=20, {A,B}=5.
+    fn tiny() -> (Workload, CandidateSet, Vec<QueryConfigs>, HashMap<usize, f64>) {
+        use pgdesign_catalog::design::Index;
+        use pgdesign_catalog::schema::TableId;
+        use pgdesign_query::ast::QueryBuilder;
+
+        let q0 = QueryBuilder::new().table(TableId(0)).build();
+        let q1 = QueryBuilder::new().table(TableId(0)).build();
+        let workload = Workload::from_queries([q0, q1]);
+        let candidates = CandidateSet {
+            indexes: vec![
+                Index::new(TableId(0), vec![0]),
+                Index::new(TableId(0), vec![1]),
+            ],
+            relevant: vec![vec![0], vec![0, 1]],
+        };
+        let configs = vec![
+            QueryConfigs {
+                configs: vec![
+                    AtomicConfig { candidate_ids: vec![], cost: 100.0 },
+                    AtomicConfig { candidate_ids: vec![0], cost: 10.0 },
+                ],
+            },
+            QueryConfigs {
+                configs: vec![
+                    AtomicConfig { candidate_ids: vec![], cost: 100.0 },
+                    AtomicConfig { candidate_ids: vec![1], cost: 20.0 },
+                    AtomicConfig { candidate_ids: vec![0, 1], cost: 5.0 },
+                ],
+            },
+        ];
+        let mut sizes = HashMap::new();
+        sizes.insert(0usize, 10.0);
+        sizes.insert(1usize, 10.0);
+        (workload, candidates, configs, sizes)
+    }
+
+    #[test]
+    fn picks_both_indexes_when_budget_allows() {
+        let (w, cands, configs, sizes) = tiny();
+        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 100.0);
+        let r = model.milp.solve(&MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        let chosen = decode_solution(&model, &r.x);
+        assert_eq!(chosen, vec![0, 1]);
+        assert!((r.objective - 15.0).abs() < 1e-6, "{}", r.objective);
+    }
+
+    #[test]
+    fn respects_tight_budget() {
+        let (w, cands, configs, sizes) = tiny();
+        // Budget for one index only. A: 10+100=110; B: 100+20=120 → pick A.
+        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 10.0);
+        let r = model.milp.solve(&MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        let chosen = decode_solution(&model, &r.x);
+        assert_eq!(chosen, vec![0]);
+        assert!((r.objective - 110.0).abs() < 1e-6, "{}", r.objective);
+    }
+
+    #[test]
+    fn zero_budget_forces_empty_configs() {
+        let (w, cands, configs, sizes) = tiny();
+        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 0.0);
+        let r = model.milp.solve(&MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert!(decode_solution(&model, &r.x).is_empty());
+        assert!((r.objective - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_is_feasible_and_decodes() {
+        let (w, cands, configs, sizes) = tiny();
+        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 100.0);
+        let warm = warm_start_assignment(&model, &configs, &[0]);
+        // Feasible: solve with warm start at zero nodes.
+        let r = model.milp.solve_with_warm_start(
+            &MilpOptions {
+                node_limit: 0,
+                ..Default::default()
+            },
+            Some(&warm),
+        );
+        // Objective: q0 picks {A}=10, q1 must pick empty=100 → 110.
+        assert!((r.objective - 110.0).abs() < 1e-6, "{}", r.objective);
+        assert_eq!(decode_solution(&model, &r.x), vec![0]);
+    }
+
+    #[test]
+    fn maintenance_cost_repels_marginal_indexes() {
+        let (w, cands, configs, sizes) = tiny();
+        // Index B saves q1 80 (100→20) but costs 90 to maintain → skip it;
+        // A+B would save q1 95 but pay 90+0 maintenance: still worth it?
+        // {A,B}: obj = 10 + 5 + 90 = 105 vs {A}: 10 + 100 = 110 → A,B wins.
+        let mut maint = HashMap::new();
+        maint.insert(1usize, 90.0);
+        let model = build_ilp(&w, &cands, &configs, &sizes, &maint, 100.0);
+        let r = model.milp.solve(&MilpOptions::default());
+        assert_eq!(r.status, MilpStatus::Optimal);
+        assert_eq!(decode_solution(&model, &r.x), vec![0, 1]);
+        assert!((r.objective - 105.0).abs() < 1e-6, "{}", r.objective);
+        // Raise maintenance to 100: now {A} alone (110) beats {A,B} (115).
+        let mut maint = HashMap::new();
+        maint.insert(1usize, 100.0);
+        let model = build_ilp(&w, &cands, &configs, &sizes, &maint, 100.0);
+        let r = model.milp.solve(&MilpOptions::default());
+        assert_eq!(decode_solution(&model, &r.x), vec![0]);
+    }
+
+    #[test]
+    fn weights_scale_objective() {
+        let (mut w, cands, configs, sizes) = tiny();
+        w.entries[0].weight = 10.0;
+        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 100.0);
+        let r = model.milp.solve(&MilpOptions::default());
+        // q0 cost 10 × weight 10 + q1 cost 5 = 105.
+        assert!((r.objective - 105.0).abs() < 1e-6, "{}", r.objective);
+    }
+}

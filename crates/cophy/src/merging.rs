@@ -1,0 +1,170 @@
+//! Index merging — the candidate-set transformation of Chaudhuri &
+//! Narasayya's advisor line, added here as the natural companion to
+//! CoPhy's exact selection.
+//!
+//! Two candidates on the same table can be *merged* into one index whose
+//! key is the first candidate's columns followed by the second's remaining
+//! columns. The merged index serves (possibly less efficiently) the
+//! queries of both parents while paying one storage bill — exactly the
+//! trade a tight storage budget wants to consider. Merged candidates are
+//! *added* to the pool (never replacing parents); the ILP decides.
+
+use pgdesign_catalog::design::Index;
+use pgdesign_catalog::Catalog;
+use pgdesign_optimizer::candidates::CandidateSet;
+
+/// Merge two indexes on the same table: `a`'s key, then `b`'s columns not
+/// already present. Returns `None` for different tables or identical keys.
+pub fn merge_pair(a: &Index, b: &Index) -> Option<Index> {
+    if a.table != b.table {
+        return None;
+    }
+    let mut columns = a.columns.clone();
+    for &c in &b.columns {
+        if !columns.contains(&c) {
+            columns.push(c);
+        }
+    }
+    if columns == a.columns {
+        return None; // b ⊆ a: nothing new
+    }
+    Some(Index::new(a.table, columns))
+}
+
+/// Augment a candidate set with pairwise merges.
+///
+/// `max_width` caps merged key widths (wide B-tree keys stop paying);
+/// `max_added` bounds the growth of the pool. Relevance lists are extended:
+/// a merged candidate is relevant to every query either parent served.
+pub fn augment_with_merges(
+    catalog: &Catalog,
+    set: &CandidateSet,
+    max_width: usize,
+    max_added: usize,
+) -> CandidateSet {
+    let mut indexes = set.indexes.clone();
+    let mut relevant = set.relevant.clone();
+    let n = set.indexes.len();
+    let mut added = 0usize;
+
+    // Queries each parent is relevant to (inverted from `relevant`).
+    let mut queries_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (q, rel) in set.relevant.iter().enumerate() {
+        for &cand in rel {
+            queries_of[cand].push(q);
+        }
+    }
+
+    for i in 0..n {
+        for j in 0..n {
+            if i == j || added >= max_added {
+                continue;
+            }
+            let Some(merged) = merge_pair(&set.indexes[i], &set.indexes[j]) else {
+                continue;
+            };
+            if merged.columns.len() > max_width || indexes.contains(&merged) {
+                continue;
+            }
+            // Sanity: the merged index must be well-formed for the table.
+            let width = catalog.schema.table(merged.table).width();
+            if merged.columns.iter().any(|&c| c >= width) {
+                continue;
+            }
+            let id = indexes.len();
+            indexes.push(merged);
+            added += 1;
+            for &q in queries_of[i].iter().chain(queries_of[j].iter()) {
+                if !relevant[q].contains(&id) {
+                    relevant[q].push(id);
+                }
+            }
+        }
+    }
+    CandidateSet { indexes, relevant }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_catalog::schema::TableId;
+    use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
+    use pgdesign_query::generators::sdss_workload;
+
+    #[test]
+    fn merge_concatenates_and_dedupes() {
+        let a = Index::new(TableId(0), vec![1, 2]);
+        let b = Index::new(TableId(0), vec![2, 3]);
+        let m = merge_pair(&a, &b).unwrap();
+        assert_eq!(m.columns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_rejects_cross_table_and_subsets() {
+        let a = Index::new(TableId(0), vec![1, 2]);
+        let b = Index::new(TableId(1), vec![3]);
+        assert!(merge_pair(&a, &b).is_none());
+        let sub = Index::new(TableId(0), vec![2]);
+        assert!(merge_pair(&a, &sub).is_none());
+    }
+
+    #[test]
+    fn merge_order_matters() {
+        let a = Index::new(TableId(0), vec![1]);
+        let b = Index::new(TableId(0), vec![2]);
+        assert_eq!(merge_pair(&a, &b).unwrap().columns, vec![1, 2]);
+        assert_eq!(merge_pair(&b, &a).unwrap().columns, vec![2, 1]);
+    }
+
+    #[test]
+    fn augmentation_grows_pool_and_relevance() {
+        let c = sdss_catalog(0.01);
+        let w = sdss_workload(&c, 9, 8);
+        let base = workload_candidates(&c, &w, &CandidateConfig::default());
+        let augmented = augment_with_merges(&c, &base, 4, 50);
+        assert!(augmented.indexes.len() > base.indexes.len());
+        assert!(augmented.indexes.len() <= base.indexes.len() + 50);
+        // No duplicates.
+        for (i, a) in augmented.indexes.iter().enumerate() {
+            for b in &augmented.indexes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Every *added* (merged) candidate respects the width cap; base
+        // candidates may already be wider (covering candidates).
+        assert!(augmented.indexes[base.indexes.len()..]
+            .iter()
+            .all(|i| i.columns.len() <= 4));
+        // Relevance ids stay in range.
+        assert!(augmented
+            .relevant
+            .iter()
+            .flatten()
+            .all(|&id| id < augmented.indexes.len()));
+    }
+
+    #[test]
+    fn merged_candidate_can_replace_two_parents_under_tight_budget() {
+        use crate::greedy_select;
+        use pgdesign_inum::Inum;
+        use pgdesign_optimizer::Optimizer;
+
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 12);
+        let base = workload_candidates(&c, &w, &CandidateConfig::default());
+        let augmented = augment_with_merges(&c, &base, 4, 50);
+        // A budget that fits ~one index: the merged pool can only help.
+        let budget = c.data_bytes() / 40;
+        let plain = greedy_select(&inum, &w, &base, budget);
+        let merged = greedy_select(&inum, &w, &augmented, budget);
+        assert!(
+            merged.cost <= plain.cost + 1e-6,
+            "merged pool must not lose: {} vs {}",
+            merged.cost,
+            plain.cost
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! `pgdesign` — command-line front end to the designer.
+//!
+//! The demo drives the tool through a GUI; this binary is the terminal
+//! equivalent. Subcommands map to the three scenarios:
+//!
+//! ```text
+//! pgdesign recommend --catalog sdss --scale 0.01 --workload w.sql --budget-frac 0.5
+//! pgdesign evaluate  --catalog sdss --workload w.sql --index photoobj:type,r --index specobj:bestobjid
+//! pgdesign online    --catalog sdss --queries 600 --epoch 25
+//! pgdesign explain   --catalog sdss --sql "SELECT ra FROM photoobj WHERE objid = 5"
+//! ```
+//!
+//! Workload files contain one SQL statement per non-empty, non-`--` line
+//! (semicolons optional). Pass `--workload builtin:N` for an N-query
+//! generated SDSS/TPC-H workload.
+
+use pgdesign::Designer;
+use pgdesign_catalog::samples::{sdss_catalog, tpch_catalog};
+use pgdesign_catalog::Catalog;
+use pgdesign_colt::ColtConfig;
+use pgdesign_query::generators::{sdss_workload, tpch_workload, DriftingStream};
+use pgdesign_query::{parse_query, Workload};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F]
+  pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
+  pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N]
+  pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>";
+
+/// Minimal flag parser: `--key value` pairs after the subcommand;
+/// repeatable keys collect into a list.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, found {:?}", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+fn load_catalog(flags: &Flags) -> Result<Catalog, String> {
+    let scale: f64 = flags
+        .get("scale")
+        .map(|s| s.parse().map_err(|_| format!("bad --scale {s:?}")))
+        .transpose()?
+        .unwrap_or(0.01);
+    match flags.get("catalog").unwrap_or("sdss") {
+        "sdss" => Ok(sdss_catalog(scale)),
+        "tpch" => Ok(tpch_catalog(scale)),
+        other => Err(format!("unknown catalog {other:?} (sdss or tpch)")),
+    }
+}
+
+/// Parse a workload file's text into queries (used by tests too).
+fn parse_workload_text(catalog: &Catalog, text: &str) -> Result<Workload, String> {
+    let mut w = Workload::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let stmt = line.trim().trim_end_matches(';').trim();
+        if stmt.is_empty() || stmt.starts_with("--") {
+            continue;
+        }
+        let q = parse_query(&catalog.schema, stmt)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        w.push(q, 1.0);
+    }
+    if w.is_empty() {
+        return Err("workload file contains no statements".into());
+    }
+    Ok(w)
+}
+
+fn load_workload(catalog: &Catalog, flags: &Flags) -> Result<Workload, String> {
+    let spec = flags
+        .get("workload")
+        .ok_or_else(|| "missing --workload".to_string())?;
+    if let Some(n) = spec.strip_prefix("builtin:") {
+        let n: usize = n.parse().map_err(|_| format!("bad builtin size {n:?}"))?;
+        let is_tpch = flags.get("catalog") == Some("tpch");
+        return Ok(if is_tpch {
+            tpch_workload(catalog, n, 42)
+        } else {
+            sdss_workload(catalog, n, 42)
+        });
+    }
+    let text =
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    parse_workload_text(catalog, &text)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = Flags::parse(rest)?;
+    let catalog = load_catalog(&flags)?;
+    let designer = Designer::new(catalog);
+
+    match cmd.as_str() {
+        "recommend" => {
+            let workload = load_workload(&designer.catalog, &flags)?;
+            let frac: f64 = flags
+                .get("budget-frac")
+                .map(|s| s.parse().map_err(|_| format!("bad --budget-frac {s:?}")))
+                .transpose()?
+                .unwrap_or(0.5);
+            let budget = (designer.catalog.data_bytes() as f64 * frac) as u64;
+            let report = designer.recommend(&workload, budget);
+            println!("{report}");
+            println!("Index definitions:");
+            for idx in &report.indexes.indexes {
+                println!("  CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+            }
+            Ok(())
+        }
+        "evaluate" => {
+            let workload = load_workload(&designer.catalog, &flags)?;
+            let mut session = designer.session(workload);
+            for spec in flags.get_all("index") {
+                let (table, cols) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--index must be table:col1,col2; got {spec:?}"))?;
+                let cols: Vec<&str> = cols.split(',').collect();
+                session.add_index_by_name(table, &cols)?;
+            }
+            println!("{}", session.evaluate());
+            let graph = session.interaction_graph();
+            if graph.edge_count() > 0 {
+                println!("Index interactions:");
+                print!("{}", graph.to_text(&designer.catalog.schema, 10));
+            }
+            Ok(())
+        }
+        "online" => {
+            let queries: usize = flags
+                .get("queries")
+                .map(|s| s.parse().map_err(|_| format!("bad --queries {s:?}")))
+                .transpose()?
+                .unwrap_or(600);
+            let epoch: usize = flags
+                .get("epoch")
+                .map(|s| s.parse().map_err(|_| format!("bad --epoch {s:?}")))
+                .transpose()?
+                .unwrap_or(25);
+            let mut stream =
+                DriftingStream::sdss_default(designer.catalog.clone(), queries / 6, 7);
+            let mut session = designer.online_session(ColtConfig {
+                epoch_length: epoch,
+                storage_budget_bytes: designer.catalog.data_bytes() / 4,
+                ..Default::default()
+            });
+            session.observe_all(stream.batch(queries));
+            print!("{}", session.trajectory());
+            let (untuned, tuned) = session.cumulative_costs();
+            println!(
+                "cumulative: untuned {untuned:.0}, tuned {tuned:.0} ({:.1}% saved)",
+                100.0 * (untuned - tuned).max(0.0) / untuned.max(1e-9)
+            );
+            Ok(())
+        }
+        "explain" => {
+            let sql = flags.get("sql").ok_or_else(|| "missing --sql".to_string())?;
+            let q = parse_query(&designer.catalog.schema, sql).map_err(|e| e.to_string())?;
+            print!(
+                "{}",
+                designer.explain(&designer.catalog.base_design, &q)
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs_and_repeats() {
+        let args: Vec<String> = ["--a", "1", "--b", "2", "--a", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get("b"), Some("2"));
+        assert_eq!(f.get_all("a"), vec!["1", "3"]);
+        assert!(f.get("c").is_none());
+    }
+
+    #[test]
+    fn flags_reject_danglers() {
+        let args: Vec<String> = ["--a"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+        let args: Vec<String> = ["b", "1"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn workload_text_skips_comments_and_blanks() {
+        let catalog = sdss_catalog(0.005);
+        let text = "-- comment\n\nSELECT ra FROM photoobj WHERE objid = 1;\n   \nSELECT dec FROM photoobj WHERE type = 2\n";
+        let w = parse_workload_text(&catalog, text).unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn workload_text_reports_line_numbers() {
+        let catalog = sdss_catalog(0.005);
+        let text = "SELECT ra FROM photoobj;\nSELECT bogus FROM photoobj;";
+        let err = parse_workload_text(&catalog, text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let catalog = sdss_catalog(0.005);
+        assert!(parse_workload_text(&catalog, "-- nothing\n").is_err());
+    }
+
+    #[test]
+    fn run_explain_smoke() {
+        let args: Vec<String> = [
+            "explain",
+            "--catalog",
+            "sdss",
+            "--scale",
+            "0.005",
+            "--sql",
+            "SELECT ra FROM photoobj WHERE objid = 5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+    }
+
+    #[test]
+    fn run_unknown_subcommand_fails() {
+        let args: Vec<String> = ["frobnicate", "--catalog", "sdss"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! Interactive what-if sessions — demo scenario 1.
+//!
+//! "The DBA manually selects the combination of design features and the
+//! tool determines the benefit of using that combination." A session holds
+//! a workload and a hypothetical design under construction; every
+//! evaluation is pure what-if (nothing is ever materialized) and runs
+//! through a session-lifetime INUM cache, so repeated evaluations while
+//! the user explores stay interactive.
+
+use crate::designer::Designer;
+use pgdesign_catalog::design::{
+    HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning,
+};
+use pgdesign_interaction::{analyze, InteractionConfig, InteractionGraph};
+use pgdesign_inum::Inum;
+use pgdesign_query::Workload;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Benefit numbers for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryBenefit {
+    /// Cost under the base (empty) design.
+    pub base_cost: f64,
+    /// Cost under the session's what-if design.
+    pub whatif_cost: f64,
+}
+
+impl QueryBenefit {
+    /// Relative benefit in `[0, 1]` (negative improvements clamp to 0).
+    pub fn benefit(&self) -> f64 {
+        if self.base_cost <= 0.0 {
+            return 0.0;
+        }
+        ((self.base_cost - self.whatif_cost) / self.base_cost).max(0.0)
+    }
+}
+
+/// The full evaluation of a what-if design against the workload.
+#[derive(Debug, Clone)]
+pub struct BenefitReport {
+    /// Total workload cost under the base design.
+    pub base_cost: f64,
+    /// Total workload cost under the what-if design.
+    pub whatif_cost: f64,
+    /// Per-query benefits, aligned with the session workload.
+    pub per_query: Vec<QueryBenefit>,
+    /// Bytes the hypothetical indexes would occupy if built.
+    pub index_bytes: u64,
+    /// Bytes of replicated storage from vertical partitionings.
+    pub replication_bytes: u64,
+}
+
+impl BenefitReport {
+    /// Average workload benefit ("the average workload benefit and the
+    /// individual queries benefits ... are computed in a unified
+    /// approach").
+    pub fn average_benefit(&self) -> f64 {
+        if self.base_cost <= 0.0 {
+            return 0.0;
+        }
+        ((self.base_cost - self.whatif_cost) / self.base_cost).max(0.0)
+    }
+}
+
+impl fmt::Display for BenefitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "workload cost: {:.1} -> {:.1}", self.base_cost, self.whatif_cost)?;
+        writeln!(
+            f,
+            "average workload benefit: {:.1}%",
+            100.0 * self.average_benefit()
+        )?;
+        writeln!(
+            f,
+            "hypothetical storage: {:.1} MiB indexes, {:.1} MiB replication",
+            self.index_bytes as f64 / (1024.0 * 1024.0),
+            self.replication_bytes as f64 / (1024.0 * 1024.0)
+        )?;
+        for (i, q) in self.per_query.iter().enumerate() {
+            writeln!(
+                f,
+                "  Q{:<3} {:>12.1} -> {:>12.1}   ({:>5.1}%)",
+                i + 1,
+                q.base_cost,
+                q.whatif_cost,
+                100.0 * q.benefit()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// An interactive what-if session.
+pub struct InteractiveSession<'a> {
+    designer: &'a Designer,
+    inum: Inum<'a>,
+    workload: Workload,
+    whatif: PhysicalDesign,
+}
+
+impl<'a> InteractiveSession<'a> {
+    /// Start a session over a workload.
+    pub fn new(designer: &'a Designer, workload: Workload) -> Self {
+        let inum = Inum::new(&designer.catalog, &designer.optimizer);
+        inum.prepare_workload(&workload);
+        InteractiveSession {
+            designer,
+            inum,
+            workload,
+            whatif: designer.catalog.base_design.clone(),
+        }
+    }
+
+    /// The session's current hypothetical design.
+    pub fn design(&self) -> &PhysicalDesign {
+        &self.whatif
+    }
+
+    /// The session workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Add a what-if index; returns false if it was already present.
+    pub fn add_index(&mut self, index: Index) -> bool {
+        self.whatif.add_index(index)
+    }
+
+    /// Add a what-if index from column *names*, the way a DBA would type
+    /// it. Errors on unknown names.
+    pub fn add_index_by_name(&mut self, table: &str, columns: &[&str]) -> Result<bool, String> {
+        let schema = &self.designer.catalog.schema;
+        let t = schema
+            .table_by_name(table)
+            .ok_or_else(|| format!("unknown table {table:?}"))?;
+        let cols: Result<Vec<u16>, String> = columns
+            .iter()
+            .map(|c| {
+                t.column_by_name(c)
+                    .ok_or_else(|| format!("unknown column {table}.{c}"))
+            })
+            .collect();
+        Ok(self.whatif.add_index(Index::new(t.id, cols?)))
+    }
+
+    /// Remove a what-if index.
+    pub fn remove_index(&mut self, index: &Index) -> bool {
+        self.whatif.remove_index(index)
+    }
+
+    /// Install a what-if vertical partitioning.
+    pub fn set_vertical(&mut self, vp: VerticalPartitioning) {
+        self.whatif.set_vertical(vp);
+    }
+
+    /// Install a what-if horizontal partitioning.
+    pub fn set_horizontal(&mut self, hp: HorizontalPartitioning) {
+        self.whatif.set_horizontal(hp);
+    }
+
+    /// Reset to the catalog's base design.
+    pub fn reset(&mut self) {
+        self.whatif = self.designer.catalog.base_design.clone();
+    }
+
+    /// Evaluate the current what-if design against the workload.
+    pub fn evaluate(&self) -> BenefitReport {
+        let empty = PhysicalDesign::empty();
+        let per_query: Vec<QueryBenefit> = self
+            .workload
+            .iter()
+            .map(|(q, _)| QueryBenefit {
+                base_cost: self.inum.cost(&empty, q),
+                whatif_cost: self.inum.cost(&self.whatif, q),
+            })
+            .collect();
+        let base_cost = self
+            .workload
+            .iter()
+            .zip(&per_query)
+            .map(|((_, w), b)| w * b.base_cost)
+            .sum();
+        let whatif_cost = self
+            .workload
+            .iter()
+            .zip(&per_query)
+            .map(|((_, w), b)| w * b.whatif_cost)
+            .sum();
+        let catalog = &self.designer.catalog;
+        BenefitReport {
+            base_cost,
+            whatif_cost,
+            per_query,
+            index_bytes: self.whatif.index_bytes(&catalog.schema, &catalog.stats),
+            replication_bytes: self
+                .whatif
+                .replication_bytes(&catalog.schema, &catalog.stats),
+        }
+    }
+
+    /// The interaction graph over the session's what-if indexes (Fig 2).
+    pub fn interaction_graph(&self) -> InteractionGraph {
+        let analysis = analyze(
+            &self.inum,
+            &self.workload,
+            self.whatif.indexes(),
+            &InteractionConfig::default(),
+        );
+        analysis.graph()
+    }
+
+    /// EXPLAIN one workload query under the what-if design.
+    pub fn explain(&self, query_index: usize) -> String {
+        let q = self.workload.query(query_index);
+        self.designer.explain(&self.whatif, q)
+    }
+
+    /// "Save the rewritten queries for the new table partitions": a report
+    /// of which fragments each query reads under the session's vertical
+    /// partitionings.
+    pub fn fragment_report(&self) -> String {
+        let schema = &self.designer.catalog.schema;
+        let mut out = String::new();
+        for (qi, (q, _)) in self.workload.iter().enumerate() {
+            for slot in 0..q.slot_count() {
+                let table = q.table_of(slot);
+                let Some(vp) = self.whatif.vertical(table) else {
+                    continue;
+                };
+                let tdef = schema.table(table);
+                let needed = if q.select_star {
+                    (0..tdef.width()).collect()
+                } else {
+                    q.columns_used(slot)
+                };
+                let frags = vp.fragments_for(&needed);
+                let _ = writeln!(
+                    out,
+                    "Q{} reads {} fragment(s) of {}: {}",
+                    qi + 1,
+                    frags.len(),
+                    tdef.name,
+                    frags
+                        .iter()
+                        .map(|&fi| {
+                            let cols: Vec<&str> = vp.groups[fi]
+                                .iter()
+                                .map(|&c| tdef.column(c).name.as_str())
+                                .collect();
+                            format!("({})", cols.join(", "))
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" + ")
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_catalog::schema::TableId;
+    use pgdesign_query::parse_query;
+
+    fn setup() -> (Designer, Workload) {
+        let d = Designer::new(sdss_catalog(0.01));
+        let sqls = [
+            "SELECT ra, dec FROM photoobj WHERE objid = 77",
+            "SELECT objid FROM photoobj WHERE type = 3 AND r < 15",
+            "SELECT ra FROM photoobj WHERE ra BETWEEN 100 AND 110",
+        ];
+        let w = Workload::from_queries(
+            sqls.iter().map(|s| parse_query(&d.catalog.schema, s).unwrap()),
+        );
+        (d, w)
+    }
+
+    #[test]
+    fn whatif_indexes_show_benefit_without_materialization() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        let before = s.evaluate();
+        assert_eq!(before.average_benefit(), 0.0);
+        assert!(s.add_index_by_name("photoobj", &["objid"]).unwrap());
+        let after = s.evaluate();
+        assert!(after.average_benefit() > 0.0);
+        assert!(after.per_query[0].benefit() > 0.9, "point query: {:?}", after.per_query[0]);
+        assert!(after.index_bytes > 0, "sizes are real, not zero");
+    }
+
+    #[test]
+    fn add_index_by_name_errors_on_unknown() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        assert!(s.add_index_by_name("nope", &["x"]).is_err());
+        assert!(s.add_index_by_name("photoobj", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn reset_restores_base_design() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        s.add_index_by_name("photoobj", &["objid"]).unwrap();
+        assert_eq!(s.design().index_count(), 1);
+        s.reset();
+        assert_eq!(s.design().index_count(), 0);
+    }
+
+    #[test]
+    fn interaction_graph_over_session_indexes() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        s.add_index_by_name("photoobj", &["type", "r"]).unwrap();
+        s.add_index_by_name("photoobj", &["r", "type"]).unwrap();
+        let g = s.interaction_graph();
+        assert_eq!(g.indexes.len(), 2);
+        assert!(g.edge_count() >= 1, "competing indexes should interact");
+    }
+
+    #[test]
+    fn fragment_report_lists_partitions() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        let photo = TableId(0);
+        s.set_vertical(VerticalPartitioning::new(
+            photo,
+            vec![vec![0, 1, 2], (3..16).collect()],
+        ));
+        let report = s.fragment_report();
+        assert!(report.contains("Q1 reads 1 fragment(s) of photoobj"), "{report}");
+        assert!(report.contains("objid"));
+    }
+
+    #[test]
+    fn explain_uses_whatif_design() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        assert!(s.explain(0).contains("Seq Scan"));
+        s.add_index_by_name("photoobj", &["objid"]).unwrap();
+        assert!(s.explain(0).contains("Index"), "{}", s.explain(0));
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        s.add_index_by_name("photoobj", &["objid"]).unwrap();
+        let text = s.evaluate().to_string();
+        assert!(text.contains("average workload benefit"));
+        assert!(text.contains("Q1"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # pgdesign
+//!
+//! **An automated, yet interactive and portable DB designer** — a Rust
+//! reproduction of the SIGMOD 2010 demonstration by Alagiannis, Dash,
+//! Schnaitter, Ailamaki and Polyzotis.
+//!
+//! The toolkit suggests physical designs (indexes and partitions) for both
+//! offline and online workloads, on top of a built-in what-if cost-based
+//! optimizer. It integrates:
+//!
+//! * **CoPhy** — index selection as a combinatorial optimization problem
+//!   with certified optimality gaps ([`pgdesign_cophy`]);
+//! * **AutoPart** — vertical/horizontal partition suggestion
+//!   ([`pgdesign_autopart`]);
+//! * **COLT** — continuous on-line tuning of single-column indexes
+//!   ([`pgdesign_colt`]);
+//! * **INUM** — the cache-based cost model that makes thousands of what-if
+//!   calls affordable ([`pgdesign_inum`]);
+//! * **Index interactions** — degree-of-interaction analysis, the Figure-2
+//!   interaction graph, and interaction-aware materialization scheduling
+//!   ([`pgdesign_interaction`]).
+//!
+//! The portability claim of the paper — "the tool is designed so that it
+//! can be ported to any relational DBMS, which offers a query optimizer, a
+//! way to extract and create statistics, and control over join operations"
+//! — maps to this crate's seams: a [`pgdesign_catalog::Catalog`] supplies
+//! schema + statistics, a [`pgdesign_optimizer::Optimizer`] supplies
+//! costing with join-method control, and everything above is engine-
+//! agnostic.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pgdesign::Designer;
+//! use pgdesign_catalog::samples::sdss_catalog;
+//! use pgdesign_query::generators::sdss_workload;
+//!
+//! let catalog = sdss_catalog(0.01);               // SDSS-like, 100k objects
+//! let workload = sdss_workload(&catalog, 9, 42);  // 9 queries
+//! let designer = Designer::new(catalog);
+//!
+//! // Scenario 2: automatic design. Budget: half the data size.
+//! let budget = designer.catalog.data_bytes() / 2;
+//! let report = designer.recommend(&workload, budget);
+//! assert!(report.combined_cost <= report.base_cost);
+//! println!("{report}");
+//! ```
+
+pub mod designer;
+pub mod interactive;
+pub mod online;
+pub mod report;
+
+pub use designer::{Designer, OfflineReport};
+pub use interactive::{BenefitReport, InteractiveSession};
+pub use online::OnlineSession;
+
+// Re-export the component crates under one roof.
+pub use pgdesign_autopart as autopart;
+pub use pgdesign_catalog as catalog;
+pub use pgdesign_colt as colt;
+pub use pgdesign_cophy as cophy;
+pub use pgdesign_interaction as interaction;
+pub use pgdesign_inum as inum;
+pub use pgdesign_optimizer as optimizer;
+pub use pgdesign_query as query;
+pub use pgdesign_solver as solver;

@@ -1,0 +1,134 @@
+//! Continuous tuning sessions — demo scenario 3.
+//!
+//! A thin designer-side wrapper around [`pgdesign_colt::ColtTuner`] that
+//! owns the session INUM cache and accumulates the cost series the demo
+//! plots ("our tool presents the change in system's performance accruing
+//! from adopting the new suggested indexes").
+
+use crate::designer::Designer;
+use pgdesign_colt::{ColtConfig, ColtTuner, EpochReport};
+use pgdesign_inum::Inum;
+use pgdesign_query::ast::Query;
+use std::fmt::Write as _;
+
+/// A continuous-tuning session.
+pub struct OnlineSession<'a> {
+    tuner: ColtTuner<'a>,
+    reports: Vec<EpochReport>,
+    // Keeps the INUM alive for the tuner's lifetime.
+    _inum: Box<Inum<'a>>,
+}
+
+impl<'a> OnlineSession<'a> {
+    /// Start a session against a designer.
+    pub fn new(designer: &'a Designer, config: ColtConfig) -> Self {
+        let inum = Box::new(Inum::new(&designer.catalog, &designer.optimizer));
+        // SAFETY: the tuner's reference points into the boxed INUM, whose
+        // heap location is stable across moves of `OnlineSession`. The box
+        // is stored in `_inum`, declared *after* `tuner`, so the tuner is
+        // dropped first; nothing the tuner hands out borrows the INUM
+        // beyond `&self` of this session.
+        let inum_ref: &'a Inum<'a> = unsafe { &*(inum.as_ref() as *const Inum<'a>) };
+        OnlineSession {
+            tuner: ColtTuner::new(inum_ref, config),
+            reports: Vec::new(),
+            _inum: inum,
+        }
+    }
+
+    /// Feed one query; epoch reports accumulate internally.
+    pub fn observe(&mut self, query: Query) -> Option<&EpochReport> {
+        if let Some(r) = self.tuner.observe(query) {
+            self.reports.push(r);
+            self.reports.last()
+        } else {
+            None
+        }
+    }
+
+    /// Feed a batch of queries.
+    pub fn observe_all<I: IntoIterator<Item = Query>>(&mut self, queries: I) {
+        for q in queries {
+            let _ = self.observe(q);
+        }
+    }
+
+    /// Epoch reports so far.
+    pub fn reports(&self) -> &[EpochReport] {
+        &self.reports
+    }
+
+    /// The tuner's current on-line design.
+    pub fn current_design(&self) -> &pgdesign_catalog::design::PhysicalDesign {
+        self.tuner.current_design()
+    }
+
+    /// Cumulative `(untuned, tuned)` workload cost across all epochs.
+    pub fn cumulative_costs(&self) -> (f64, f64) {
+        self.reports.iter().fold((0.0, 0.0), |(u, t), r| {
+            (u + r.untuned_cost, t + r.tuned_cost)
+        })
+    }
+
+    /// A per-epoch text table of the tuning trajectory.
+    pub fn trajectory(&self) -> String {
+        let mut s = String::from("epoch  untuned      tuned        builds  indexes\n");
+        for r in &self.reports {
+            let _ = writeln!(
+                s,
+                "{:>5}  {:>11.1}  {:>11.1}  {:>6.1}  {}",
+                r.epoch,
+                r.untuned_cost,
+                r.tuned_cost,
+                r.build_cost,
+                r.materialized.len()
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_query::parse_query;
+
+    #[test]
+    fn online_session_accumulates_reports() {
+        let d = Designer::new(sdss_catalog(0.01));
+        let mut s = d.online_session(ColtConfig {
+            epoch_length: 5,
+            ..Default::default()
+        });
+        let q = parse_query(&d.catalog.schema, "SELECT ra FROM photoobj WHERE objid = 42")
+            .unwrap();
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(15));
+        assert_eq!(s.reports().len(), 3);
+        let (untuned, tuned) = s.cumulative_costs();
+        assert!(untuned > 0.0 && tuned > 0.0);
+        let text = s.trajectory();
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn tuned_eventually_beats_untuned() {
+        let d = Designer::new(sdss_catalog(0.01));
+        let mut s = d.online_session(ColtConfig {
+            epoch_length: 5,
+            payback_horizon_epochs: 10.0,
+            ..Default::default()
+        });
+        let q = parse_query(&d.catalog.schema, "SELECT ra FROM photoobj WHERE objid = 7")
+            .unwrap();
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(40));
+        let last = s.reports().last().unwrap();
+        assert!(
+            last.tuned_cost < last.untuned_cost / 10.0,
+            "steady state should be indexed: {} vs {}",
+            last.tuned_cost,
+            last.untuned_cost
+        );
+        assert!(!s.current_design().indexes().is_empty());
+    }
+}

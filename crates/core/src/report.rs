@@ -1,0 +1,100 @@
+//! Textual rendering of recommendations — the stand-in for the demo's GUI
+//! panels (Figure 3's "list of suggested partitions ... individual query
+//! benefit and the average workload benefit").
+
+use crate::designer::OfflineReport;
+use std::fmt;
+
+/// Render the scenario-2 report (called from `OfflineReport`'s `Display`).
+pub fn render_offline(r: &OfflineReport, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    writeln!(f, "==================== Physical design recommendation ====================")?;
+    writeln!(
+        f,
+        "Workload cost: {:.1} -> {:.1}   Average workload benefit: {:.1}%",
+        r.base_cost,
+        r.combined_cost,
+        100.0 * r.average_benefit()
+    )?;
+    writeln!(f)?;
+
+    writeln!(f, "-- Suggested indexes ({}) --", r.indexes.indexes.len())?;
+    writeln!(
+        f,
+        "   (storage: {:.1} MiB, solver gap: {:.2}%, status: {:?})",
+        r.indexes.total_index_bytes as f64 / (1024.0 * 1024.0),
+        100.0 * r.indexes.gap,
+        r.indexes.status
+    )?;
+    for (i, name) in r.index_display.iter().enumerate() {
+        writeln!(f, "   [{}] {}", i + 1, name)?;
+    }
+    writeln!(f)?;
+
+    writeln!(f, "-- Suggested partitions --")?;
+    let verticals: Vec<_> = r.partitions.design.verticals().collect();
+    let horizontals: Vec<_> = r.partitions.design.horizontals().collect();
+    if verticals.is_empty() && horizontals.is_empty() {
+        writeln!(f, "   (none beneficial)")?;
+    }
+    for vp in verticals {
+        writeln!(
+            f,
+            "   table {:?}: {} vertical fragment(s)",
+            vp.table,
+            vp.groups.len()
+        )?;
+    }
+    for hp in horizontals {
+        writeln!(
+            f,
+            "   table {:?}: {} range partition(s) on column {}",
+            hp.table,
+            hp.partitions(),
+            hp.column
+        )?;
+    }
+    writeln!(f)?;
+
+    writeln!(f, "-- Benefit per query --")?;
+    for (i, (base, tuned)) in r.per_query.iter().enumerate() {
+        let pct = if *base > 0.0 {
+            100.0 * (base - tuned).max(0.0) / base
+        } else {
+            0.0
+        };
+        writeln!(f, "   Q{:<3} {:>12.1} -> {:>12.1}   ({pct:>5.1}%)", i + 1, base, tuned)?;
+    }
+    writeln!(f)?;
+
+    writeln!(
+        f,
+        "-- Index interactions: {} pair(s) above threshold --",
+        r.graph.edge_count()
+    )?;
+    for (i, j, w) in r.graph.top_edges(5) {
+        writeln!(f, "   doi(#{}, #{}) = {:.4}", i + 1, j + 1, w)?;
+    }
+    writeln!(f)?;
+
+    writeln!(f, "-- Materialization schedule --")?;
+    writeln!(
+        f,
+        "   interaction-aware order: {:?}   (area {:.1})",
+        r.schedule.order.iter().map(|i| i + 1).collect::<Vec<_>>(),
+        r.schedule.area
+    )?;
+    writeln!(
+        f,
+        "   naive order:             {:?}   (area {:.1})",
+        r.naive_schedule.order.iter().map(|i| i + 1).collect::<Vec<_>>(),
+        r.naive_schedule.area
+    )?;
+    if r.naive_schedule.area > 0.0 {
+        writeln!(
+            f,
+            "   area saved by scheduling: {:.1}%",
+            100.0 * (r.naive_schedule.area - r.schedule.area).max(0.0) / r.naive_schedule.area
+        )?;
+    }
+    Ok(())
+}

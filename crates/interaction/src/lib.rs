@@ -1,0 +1,390 @@
+//! # pgdesign-interaction
+//!
+//! Index interactions — modeling, analysis and applications (Schnaitter,
+//! Polyzotis, Getoor, PVLDB 2009); the paper's index interaction component
+//! (§3.5) and the machinery behind Figure 2 and the materialization
+//! schedule of scenario 2.
+//!
+//! Two indexes *interact* when the benefit of one depends on the presence
+//! of the other — e.g. two indexes that serve the same query compete
+//! (negative interaction), while an index pair enabling a sort-free merge
+//! join cooperates (positive interaction). Formally, the *degree of
+//! interaction* within candidate set `S` is
+//!
+//! ```text
+//! doi(a,b) = max over q ∈ W, X ⊆ S∖{a,b} of
+//!            |δ_a(q, X) − δ_a(q, X ∪ {b})| / cost(q, X ∪ {a,b})
+//! ```
+//!
+//! where `δ_a(q, X) = cost(q, X) − cost(q, X ∪ {a})` is `a`'s benefit on
+//! top of configuration `X`.
+//!
+//! The crate provides:
+//! * [`analyze`] — the doi matrix over a candidate set, with configuration
+//!   costs memoized through INUM (subsets shared across pairs, so the
+//!   whole analysis costs `O(2^n · |W|)` cached cost calls, sampled when
+//!   `n` is large);
+//! * [`InteractionGraph`] — Figure 2's weighted undirected graph, with
+//!   top-k edge filtering ("the user can dynamically change the number of
+//!   interactions displayed") and DOT export;
+//! * stable partitions — connected components of the thresholded graph:
+//!   index subsets that can be reasoned about independently;
+//! * [`schedule`] — interaction-aware materialization scheduling: order
+//!   the chosen indexes so the workload reaps benefits as early as
+//!   possible while builds are in flight (greedy and exact-DP variants).
+
+pub mod graph;
+pub mod schedule;
+
+pub use graph::InteractionGraph;
+pub use schedule::{exact_schedule, greedy_schedule, naive_schedule, Schedule};
+
+use pgdesign_catalog::design::{Index, PhysicalDesign};
+use pgdesign_inum::Inum;
+use pgdesign_query::Workload;
+use std::collections::HashMap;
+
+/// Analysis knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct InteractionConfig {
+    /// Cap on enumerated configurations per pair context. When `2^n`
+    /// exceeds this, subsets are sampled deterministically.
+    pub max_subsets: usize,
+}
+
+impl Default for InteractionConfig {
+    fn default() -> Self {
+        InteractionConfig { max_subsets: 256 }
+    }
+}
+
+/// Memoized workload costs per index-subset bitmask.
+pub struct ConfigCostCache<'a> {
+    inum: &'a Inum<'a>,
+    workload: &'a Workload,
+    indexes: &'a [Index],
+    costs: HashMap<u32, Vec<f64>>,
+}
+
+impl<'a> ConfigCostCache<'a> {
+    /// New cache over a candidate set.
+    pub fn new(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &'a [Index]) -> Self {
+        assert!(indexes.len() <= 20, "interaction analysis supports ≤ 20 indexes");
+        ConfigCostCache {
+            inum,
+            workload,
+            indexes,
+            costs: HashMap::new(),
+        }
+    }
+
+    /// Per-query costs under the subset encoded by `mask`.
+    pub fn query_costs(&mut self, mask: u32) -> &[f64] {
+        if !self.costs.contains_key(&mask) {
+            let design = self.design_of(mask);
+            let costs: Vec<f64> = self
+                .workload
+                .iter()
+                .map(|(q, _)| self.inum.cost(&design, q))
+                .collect();
+            self.costs.insert(mask, costs);
+        }
+        &self.costs[&mask]
+    }
+
+    /// Weighted workload cost under the subset encoded by `mask`.
+    pub fn workload_cost(&mut self, mask: u32) -> f64 {
+        let weights: Vec<f64> = self.workload.iter().map(|(_, w)| w).collect();
+        self.query_costs(mask)
+            .iter()
+            .zip(weights)
+            .map(|(c, w)| c * w)
+            .sum()
+    }
+
+    /// The design corresponding to a bitmask.
+    pub fn design_of(&self, mask: u32) -> PhysicalDesign {
+        PhysicalDesign::with_indexes(
+            self.indexes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, idx)| idx.clone()),
+        )
+    }
+
+    /// Number of distinct configurations costed so far.
+    pub fn configurations_costed(&self) -> usize {
+        self.costs.len()
+    }
+}
+
+/// The result of interaction analysis.
+#[derive(Debug, Clone)]
+pub struct InteractionAnalysis {
+    /// The analysed candidate indexes.
+    pub indexes: Vec<Index>,
+    /// Symmetric degree-of-interaction matrix (`doi[i][j] = doi[j][i]`,
+    /// diagonal zero).
+    pub doi: Vec<Vec<f64>>,
+}
+
+impl InteractionAnalysis {
+    /// The interaction graph over this analysis.
+    pub fn graph(&self) -> InteractionGraph {
+        InteractionGraph::from_analysis(self)
+    }
+
+    /// Stable partition of the candidate set: connected components of the
+    /// graph with edges of weight > `threshold`. Indexes in different
+    /// parts do not (measurably) interact and can be scheduled/reasoned
+    /// about independently.
+    pub fn stable_partition(&self, threshold: f64) -> Vec<Vec<usize>> {
+        let n = self.indexes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.doi[i][j] > threshold {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+        out.sort();
+        out
+    }
+}
+
+/// Subset masks to explore for a pair context of `n` free indexes.
+fn subset_masks(n_free: usize, max_subsets: usize) -> Vec<u32> {
+    let total = 1u64 << n_free;
+    if total as usize <= max_subsets {
+        (0..total as u32).collect()
+    } else {
+        // Deterministic stride sampling, always including ∅ and the full
+        // set (the extreme contexts where interactions usually peak).
+        let mut masks: Vec<u32> = Vec::with_capacity(max_subsets);
+        masks.push(0);
+        masks.push((total - 1) as u32);
+        let stride = total / (max_subsets as u64 - 2);
+        let mut m = stride;
+        while m < total - 1 && masks.len() < max_subsets {
+            masks.push(m as u32);
+            m += stride;
+        }
+        masks
+    }
+}
+
+/// Compute the degree-of-interaction matrix for a candidate set.
+pub fn analyze(
+    inum: &Inum<'_>,
+    workload: &Workload,
+    indexes: &[Index],
+    config: &InteractionConfig,
+) -> InteractionAnalysis {
+    let n = indexes.len();
+    let mut cache = ConfigCostCache::new(inum, workload, indexes);
+    let mut doi = vec![vec![0.0f64; n]; n];
+    if n < 2 {
+        return InteractionAnalysis {
+            indexes: indexes.to_vec(),
+            doi,
+        };
+    }
+
+    // Free positions for a pair (a, b): all other indexes.
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let free: Vec<usize> = (0..n).filter(|&k| k != a && k != b).collect();
+            let mut max_doi = 0.0f64;
+            for sub in subset_masks(free.len(), config.max_subsets) {
+                // Expand the compact submask over the free positions.
+                let mut x = 0u32;
+                for (bit, &pos) in free.iter().enumerate() {
+                    if sub & (1 << bit) != 0 {
+                        x |= 1 << pos;
+                    }
+                }
+                let xa = x | (1 << a);
+                let xb = x | (1 << b);
+                let xab = x | (1 << a) | (1 << b);
+                let nq = workload.len();
+                for qi in 0..nq {
+                    let c_x = cache.query_costs(x)[qi];
+                    let c_xa = cache.query_costs(xa)[qi];
+                    let c_xb = cache.query_costs(xb)[qi];
+                    let c_xab = cache.query_costs(xab)[qi];
+                    let delta_a = c_x - c_xa;
+                    let delta_a_with_b = c_xb - c_xab;
+                    let denom = c_xab.max(1e-9);
+                    let d = (delta_a - delta_a_with_b).abs() / denom;
+                    if d > max_doi {
+                        max_doi = d;
+                    }
+                }
+            }
+            doi[a][b] = max_doi;
+            doi[b][a] = max_doi;
+        }
+    }
+
+    InteractionAnalysis {
+        indexes: indexes.to_vec(),
+        doi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_catalog::schema::TableId;
+    use pgdesign_catalog::Catalog;
+    use pgdesign_optimizer::Optimizer;
+    use pgdesign_query::parse_query;
+
+    fn photo(c: &Catalog) -> TableId {
+        c.schema.table_by_name("photoobj").unwrap().id
+    }
+
+    #[test]
+    fn competing_indexes_interact() {
+        // Two indexes that both serve the same selective predicate set:
+        // each one's benefit collapses when the other exists.
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = Workload::from_queries([parse_query(
+            &c.schema,
+            "SELECT objid FROM photoobj WHERE type = 3 AND r < 14",
+        )
+        .unwrap()]);
+        let t = photo(&c);
+        let indexes = vec![
+            Index::new(t, vec![3, 6]), // (type, r)
+            Index::new(t, vec![6, 3]), // (r, type)
+        ];
+        let an = analyze(&inum, &w, &indexes, &InteractionConfig::default());
+        assert!(
+            an.doi[0][1] > 0.1,
+            "competing indexes must interact: {}",
+            an.doi[0][1]
+        );
+    }
+
+    #[test]
+    fn unrelated_indexes_do_not_interact() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = Workload::from_queries([
+            parse_query(&c.schema, "SELECT ra FROM photoobj WHERE objid = 3").unwrap(),
+            parse_query(&c.schema, "SELECT bestobjid FROM specobj WHERE plate = 300").unwrap(),
+        ]);
+        let t = photo(&c);
+        let spec = c.schema.table_by_name("specobj").unwrap().id;
+        let indexes = vec![Index::new(t, vec![0]), Index::new(spec, vec![5])];
+        let an = analyze(&inum, &w, &indexes, &InteractionConfig::default());
+        assert!(
+            an.doi[0][1] < 1e-6,
+            "indexes on different tables serving different queries: {}",
+            an.doi[0][1]
+        );
+    }
+
+    #[test]
+    fn doi_matrix_is_symmetric_with_zero_diagonal() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = pgdesign_query::generators::sdss_workload(&c, 9, 41);
+        let t = photo(&c);
+        let indexes = vec![
+            Index::new(t, vec![0]),
+            Index::new(t, vec![1]),
+            Index::new(t, vec![6]),
+            Index::new(t, vec![3, 6]),
+        ];
+        let an = analyze(&inum, &w, &indexes, &InteractionConfig::default());
+        for i in 0..4 {
+            assert_eq!(an.doi[i][i], 0.0);
+            for j in 0..4 {
+                assert_eq!(an.doi[i][j], an.doi[j][i]);
+                assert!(an.doi[i][j] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stable_partition_separates_tables() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = Workload::from_queries([
+            parse_query(&c.schema, "SELECT objid FROM photoobj WHERE type = 3 AND r < 14")
+                .unwrap(),
+            parse_query(&c.schema, "SELECT bestobjid FROM specobj WHERE plate = 300").unwrap(),
+        ]);
+        let t = photo(&c);
+        let spec = c.schema.table_by_name("specobj").unwrap().id;
+        let indexes = vec![
+            Index::new(t, vec![3, 6]),
+            Index::new(t, vec![6, 3]),
+            Index::new(spec, vec![5]),
+        ];
+        let an = analyze(&inum, &w, &indexes, &InteractionConfig::default());
+        let parts = an.stable_partition(0.01);
+        // The two photoobj indexes belong together; the specobj one apart.
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        assert!(parts.contains(&vec![0, 1]));
+        assert!(parts.contains(&vec![2]));
+    }
+
+    #[test]
+    fn cache_shares_subsets_across_pairs() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = pgdesign_query::generators::sdss_workload(&c, 9, 43);
+        let t = photo(&c);
+        let indexes = vec![
+            Index::new(t, vec![0]),
+            Index::new(t, vec![1]),
+            Index::new(t, vec![6]),
+        ];
+        let mut cache = ConfigCostCache::new(&inum, &w, &indexes);
+        for mask in 0u32..8 {
+            let _ = cache.workload_cost(mask);
+        }
+        assert_eq!(cache.configurations_costed(), 8);
+        // Re-asking costs nothing new.
+        let _ = cache.workload_cost(5);
+        assert_eq!(cache.configurations_costed(), 8);
+    }
+
+    #[test]
+    fn subset_sampling_caps_enumeration() {
+        let all = subset_masks(4, 256);
+        assert_eq!(all.len(), 16);
+        let sampled = subset_masks(12, 64);
+        assert!(sampled.len() <= 64);
+        assert!(sampled.contains(&0));
+        assert!(sampled.contains(&((1u32 << 12) - 1)));
+    }
+}

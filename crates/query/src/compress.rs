@@ -1,0 +1,177 @@
+//! Workload compression.
+//!
+//! Real traces repeat the same query template with different literals. The
+//! designer's cost is driven by the number of *distinct* optimization
+//! problems, so collapsing a trace into weighted template representatives
+//! keeps advisor runtime proportional to template diversity rather than
+//! trace length — the standard workload-compression step of production
+//! tuning advisors, and the reason the demo can ingest "large query
+//! workloads".
+
+use crate::workload::Workload;
+use std::collections::HashMap;
+
+/// How literals of merged queries are represented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Representative {
+    /// Keep the first instance seen (cheap, biased toward early literals).
+    First,
+    /// Keep the instance with the median estimated restrictiveness, using
+    /// the count of filter predicates as a proxy ordering. Deterministic
+    /// and robust to outlier literals.
+    Median,
+}
+
+/// Result of compressing a workload.
+#[derive(Debug, Clone)]
+pub struct CompressedWorkload {
+    /// One weighted representative per template.
+    pub workload: Workload,
+    /// For each compressed entry, how many original queries it stands for.
+    pub multiplicity: Vec<usize>,
+    /// Original workload size.
+    pub original_len: usize,
+}
+
+impl CompressedWorkload {
+    /// Compression ratio (original / compressed), ≥ 1.
+    pub fn ratio(&self) -> f64 {
+        if self.workload.is_empty() {
+            return 1.0;
+        }
+        self.original_len as f64 / self.workload.len() as f64
+    }
+}
+
+/// Compress a workload by template signature, summing weights.
+pub fn compress(workload: &Workload, representative: Representative) -> CompressedWorkload {
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for (i, (q, _)) in workload.iter().enumerate() {
+        let sig = q.template_signature();
+        let entry = groups.entry(sig).or_default();
+        if entry.is_empty() {
+            order.push(sig);
+        }
+        entry.push(i);
+    }
+
+    let mut out = Workload::new();
+    let mut multiplicity = Vec::with_capacity(order.len());
+    for sig in order {
+        let members = &groups[&sig];
+        let weight: f64 = members.iter().map(|&i| workload.entries[i].weight).sum();
+        let pick = match representative {
+            Representative::First => members[0],
+            Representative::Median => {
+                let mut sorted: Vec<usize> = members.clone();
+                sorted.sort_by_key(|&i| workload.query(i).filters.len());
+                sorted[sorted.len() / 2]
+            }
+        };
+        out.push(workload.query(pick).clone(), weight);
+        multiplicity.push(members.len());
+    }
+    CompressedWorkload {
+        workload: out,
+        multiplicity,
+        original_len: workload.len(),
+    }
+}
+
+/// Convenience: compress only when the trace exceeds `threshold` queries.
+pub fn maybe_compress(workload: &Workload, threshold: usize) -> Workload {
+    if workload.len() <= threshold {
+        workload.clone()
+    } else {
+        compress(workload, Representative::Median).workload
+    }
+}
+
+/// Distinct template count of a workload.
+pub fn template_count(workload: &Workload) -> usize {
+    let mut sigs: Vec<u64> = workload
+        .iter()
+        .map(|(q, _)| q.template_signature())
+        .collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    sigs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Query, QueryBuilder};
+    use pgdesign_catalog::schema::TableId;
+
+    fn q(col: u16, v: i64) -> Query {
+        QueryBuilder::new()
+            .table(TableId(0))
+            .filter(0, col, CmpOp::Eq, v)
+            .build()
+    }
+
+    #[test]
+    fn identical_templates_merge_with_summed_weights() {
+        let mut w = Workload::new();
+        w.push(q(1, 5), 1.0);
+        w.push(q(1, 9), 2.0);
+        w.push(q(2, 5), 1.0);
+        let c = compress(&w, Representative::First);
+        assert_eq!(c.workload.len(), 2);
+        assert_eq!(c.workload.entries[0].weight, 3.0);
+        assert_eq!(c.workload.entries[1].weight, 1.0);
+        assert_eq!(c.multiplicity, vec![2, 1]);
+        assert!((c.ratio() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let mut w = Workload::new();
+        for i in 0..10 {
+            w.push(q((i % 3) as u16, i), 1.5);
+        }
+        let c = compress(&w, Representative::Median);
+        assert!((c.workload.total_weight() - w.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn representative_modes_pick_group_members() {
+        let mut w = Workload::new();
+        w.push(q(1, 5), 1.0);
+        w.push(q(1, 7), 1.0);
+        for mode in [Representative::First, Representative::Median] {
+            let c = compress(&w, mode);
+            assert_eq!(c.workload.len(), 1);
+            let rep = c.workload.query(0);
+            assert!(rep == w.query(0) || rep == w.query(1));
+        }
+    }
+
+    #[test]
+    fn maybe_compress_respects_threshold() {
+        let mut w = Workload::new();
+        w.push(q(1, 5), 1.0);
+        w.push(q(1, 9), 1.0);
+        assert_eq!(maybe_compress(&w, 10).len(), 2);
+        assert_eq!(maybe_compress(&w, 1).len(), 1);
+    }
+
+    #[test]
+    fn template_count_matches_compression() {
+        let mut w = Workload::new();
+        for i in 0..20 {
+            w.push(q((i % 4) as u16, i), 1.0);
+        }
+        assert_eq!(template_count(&w), 4);
+        assert_eq!(compress(&w, Representative::First).workload.len(), 4);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let c = compress(&Workload::new(), Representative::First);
+        assert!(c.workload.is_empty());
+        assert_eq!(c.ratio(), 1.0);
+    }
+}

@@ -1,0 +1,809 @@
+//! A recursive-descent parser for the SQL subset the designer tunes.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT { * | item [, item]* }
+//! FROM   table [alias] [, table [alias]]* | ... JOIN table [alias] ON col = col ...
+//! [WHERE  pred [AND pred]*]
+//! [GROUP BY col [, col]*]
+//! [ORDER BY col [ASC|DESC] [, ...]*]
+//! [LIMIT n]
+//!
+//! item ::= col | COUNT(*) | COUNT(col) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+//! pred ::= col op literal | literal op col | col BETWEEN lit AND lit
+//!        | col IN (lit [, lit]*) | col IS [NOT] NULL | col = col   -- equi-join
+//! op   ::= = | < | <= | > | >= | <>
+//! ```
+//!
+//! WHERE is conjunctive only — the same restriction every cited advisor
+//! (CoPhy, AutoPart, COLT) places on the predicates it models.
+
+use crate::ast::{
+    Aggregate, CmpOp, FilterPredicate, JoinPredicate, OrderItem, PredOp, Query, QueryColumn,
+    QueryTable,
+};
+use pgdesign_catalog::schema::Schema;
+use pgdesign_catalog::types::Value;
+use std::fmt;
+
+/// Parse failure with a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input near the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Symbol(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            let start = self.pos;
+            let bytes = self.src.as_bytes();
+            if self.pos >= bytes.len() {
+                out.push((Tok::Eof, start));
+                return Ok(out);
+            }
+            let c = bytes[self.pos] as char;
+            let tok = if c.is_ascii_alphabetic() || c == '_' {
+                let s = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+                Tok::Ident(s)
+            } else if c.is_ascii_digit()
+                || (c == '-' && self.peek_next().is_some_and(|n| n.is_ascii_digit()))
+            {
+                let neg = c == '-';
+                if neg {
+                    self.pos += 1;
+                }
+                let s = self.take_while(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-' && false);
+                let v: f64 = s.parse().map_err(|_| ParseError {
+                    message: format!("bad number {s:?}"),
+                    offset: start,
+                })?;
+                Tok::Number(if neg { -v } else { v })
+            } else if c == '\'' {
+                self.pos += 1;
+                let s = self.take_while(|c| c != '\'');
+                if self.pos >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                self.pos += 1; // closing quote
+                Tok::Str(s)
+            } else {
+                let sym: &'static str = match c {
+                    ',' => ",",
+                    '.' => ".",
+                    '(' => "(",
+                    ')' => ")",
+                    '*' => "*",
+                    '=' => "=",
+                    '<' => {
+                        if self.peek_next() == Some('=') {
+                            self.pos += 1;
+                            "<="
+                        } else if self.peek_next() == Some('>') {
+                            self.pos += 1;
+                            "<>"
+                        } else {
+                            "<"
+                        }
+                    }
+                    '>' => {
+                        if self.peek_next() == Some('=') {
+                            self.pos += 1;
+                            ">="
+                        } else {
+                            ">"
+                        }
+                    }
+                    ';' => ";",
+                    other => {
+                        return Err(ParseError {
+                            message: format!("unexpected character {other:?}"),
+                            offset: start,
+                        })
+                    }
+                };
+                self.pos += 1;
+                Tok::Symbol(sym)
+            };
+            out.push((tok, start));
+        }
+    }
+
+    fn peek_next(&self) -> Option<char> {
+        self.src[self.pos..].chars().nth(1)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len()
+            && (self.src.as_bytes()[self.pos] as char).is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn take_while(&mut self, f: impl Fn(char) -> bool) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() && f(self.src.as_bytes()[self.pos] as char) {
+            self.pos += 1;
+        }
+        self.src[start..self.pos].to_string()
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+    schema: &'a Schema,
+    query: Query,
+    /// Pending SELECT items by name, resolved after FROM is parsed.
+    pending_select: Vec<SelectItem>,
+}
+
+#[derive(Debug)]
+enum SelectItem {
+    Star,
+    Col(Option<String>, String),
+    Agg(String, Option<(Option<String>, String)>),
+}
+
+/// Parse one SQL statement against a schema.
+pub fn parse_query(schema: &Schema, sql: &str) -> Result<Query, ParseError> {
+    let toks = Lexer::new(sql).tokens()?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        schema,
+        query: Query::default(),
+        pending_select: Vec::new(),
+    };
+    p.parse()?;
+    Ok(p.query)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.i].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].0.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn kw(&mut self, word: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(word) {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.kw(word) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {word}"))
+        }
+    }
+
+    fn sym(&mut self, s: &str) -> bool {
+        if let Tok::Symbol(t) = self.peek() {
+            if *t == s {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.sym(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected {s:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn parse(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("select")?;
+        self.parse_select_list()?;
+        self.expect_kw("from")?;
+        self.parse_from()?;
+        if self.kw("where") {
+            self.parse_where()?;
+        }
+        if self.kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                let c = self.parse_colref()?;
+                self.query.group_by.push(c);
+                if !self.sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let c = self.parse_colref()?;
+                let desc = if self.kw("desc") {
+                    true
+                } else {
+                    self.kw("asc");
+                    false
+                };
+                self.query.order_by.push(OrderItem { col: c, desc });
+                if !self.sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.kw("limit") {
+            match self.bump() {
+                Tok::Number(n) if n >= 0.0 => self.query.limit = Some(n as u64),
+                _ => return self.err("expected LIMIT count"),
+            }
+        }
+        self.sym(";");
+        if *self.peek() != Tok::Eof {
+            return self.err("trailing tokens after statement");
+        }
+        // Resolve deferred SELECT items now that slots exist.
+        let pending = std::mem::take(&mut self.pending_select);
+        for item in pending {
+            match item {
+                SelectItem::Star => self.query.select_star = true,
+                SelectItem::Col(q, n) => {
+                    let c = self.resolve_named(q.as_deref(), &n)?;
+                    self.query.projection.push(c);
+                }
+                SelectItem::Agg(f, arg) => {
+                    let agg = match (f.as_str(), arg) {
+                        ("count", None) => Aggregate::CountStar,
+                        ("count", Some((q, n))) => {
+                            Aggregate::Count(self.resolve_named(q.as_deref(), &n)?)
+                        }
+                        ("sum", Some((q, n))) => {
+                            Aggregate::Sum(self.resolve_named(q.as_deref(), &n)?)
+                        }
+                        ("avg", Some((q, n))) => {
+                            Aggregate::Avg(self.resolve_named(q.as_deref(), &n)?)
+                        }
+                        ("min", Some((q, n))) => {
+                            Aggregate::Min(self.resolve_named(q.as_deref(), &n)?)
+                        }
+                        ("max", Some((q, n))) => {
+                            Aggregate::Max(self.resolve_named(q.as_deref(), &n)?)
+                        }
+                        (f, _) => return self.err(format!("unsupported aggregate {f}")),
+                    };
+                    self.query.aggregates.push(agg);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_select_list(&mut self) -> Result<(), ParseError> {
+        loop {
+            if self.sym("*") {
+                self.pending_select.push(SelectItem::Star);
+            } else {
+                let first = self.ident()?;
+                let lower = first.to_ascii_lowercase();
+                if matches!(lower.as_str(), "count" | "sum" | "avg" | "min" | "max")
+                    && self.sym("(")
+                {
+                    if self.sym("*") {
+                        self.expect_sym(")")?;
+                        self.pending_select.push(SelectItem::Agg(lower, None));
+                    } else {
+                        let a = self.ident()?;
+                        let (q, n) = if self.sym(".") {
+                            (Some(a), self.ident()?)
+                        } else {
+                            (None, a)
+                        };
+                        self.expect_sym(")")?;
+                        self.pending_select.push(SelectItem::Agg(lower, Some((q, n))));
+                    }
+                } else if self.sym(".") {
+                    let n = self.ident()?;
+                    self.pending_select.push(SelectItem::Col(Some(first), n));
+                } else {
+                    self.pending_select.push(SelectItem::Col(None, first));
+                }
+            }
+            if !self.sym(",") {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_from(&mut self) -> Result<(), ParseError> {
+        self.parse_table_ref()?;
+        loop {
+            if self.sym(",") {
+                self.parse_table_ref()?;
+            } else if self.kw("join") || (self.kw("inner") && self.kw("join")) {
+                self.parse_table_ref()?;
+                self.expect_kw("on")?;
+                let l = self.parse_colref()?;
+                self.expect_sym("=")?;
+                let r = self.parse_colref()?;
+                self.query.joins.push(JoinPredicate { left: l, right: r });
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<(), ParseError> {
+        let name = self.ident()?;
+        let table = match self.schema.table_by_name(&name) {
+            Some(t) => t.id,
+            None => return self.err(format!("unknown table {name:?}")),
+        };
+        // Optional [AS] alias — but do not swallow clause keywords.
+        let mut alias = None;
+        if self.kw("as") {
+            alias = Some(self.ident()?);
+        } else if let Tok::Ident(s) = self.peek().clone() {
+            let lower = s.to_ascii_lowercase();
+            if !matches!(
+                lower.as_str(),
+                "where" | "group" | "order" | "limit" | "join" | "inner" | "on"
+            ) {
+                self.bump();
+                alias = Some(s);
+            }
+        }
+        self.query.tables.push(QueryTable { table, alias });
+        Ok(())
+    }
+
+    fn parse_where(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.parse_predicate()?;
+            if !self.kw("and") {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<(), ParseError> {
+        let col = self.parse_colref()?;
+        if self.kw("between") {
+            let lo = self.parse_literal()?;
+            self.expect_kw("and")?;
+            let hi = self.parse_literal()?;
+            self.query.filters.push(FilterPredicate {
+                col,
+                op: PredOp::Between(lo, hi),
+            });
+            return Ok(());
+        }
+        if self.kw("in") {
+            self.expect_sym("(")?;
+            let mut vals = Vec::new();
+            loop {
+                vals.push(self.parse_literal()?);
+                if !self.sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            self.query.filters.push(FilterPredicate {
+                col,
+                op: PredOp::InList(vals),
+            });
+            return Ok(());
+        }
+        if self.kw("is") {
+            let not = self.kw("not");
+            self.expect_kw("null")?;
+            self.query.filters.push(FilterPredicate {
+                col,
+                op: if not { PredOp::IsNotNull } else { PredOp::IsNull },
+            });
+            return Ok(());
+        }
+        let op = match self.peek().clone() {
+            Tok::Symbol(s @ ("=" | "<" | "<=" | ">" | ">=" | "<>")) => {
+                self.bump();
+                match s {
+                    "=" => CmpOp::Eq,
+                    "<" => CmpOp::Lt,
+                    "<=" => CmpOp::Le,
+                    ">" => CmpOp::Gt,
+                    ">=" => CmpOp::Ge,
+                    _ => CmpOp::Ne,
+                }
+            }
+            other => return self.err(format!("expected comparison operator, found {other:?}")),
+        };
+        // Right side: literal → filter; column → equi-join (only for `=`).
+        if self.peek_is_colref() {
+            let right = self.parse_colref()?;
+            if op != CmpOp::Eq {
+                return self.err("only equality joins are supported");
+            }
+            self.query.joins.push(JoinPredicate { left: col, right });
+        } else {
+            let lit = self.parse_literal()?;
+            self.query.filters.push(FilterPredicate {
+                col,
+                op: PredOp::Cmp(op, lit),
+            });
+        }
+        Ok(())
+    }
+
+    fn peek_is_colref(&self) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            // NULL / TRUE / FALSE are literals, not columns.
+            !matches!(
+                s.to_ascii_lowercase().as_str(),
+                "null" | "true" | "false"
+            )
+        } else {
+            false
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Value, ParseError> {
+        match self.peek().clone() {
+            Tok::Number(n) => {
+                self.bump();
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    Ok(Value::Int(n as i64))
+                } else {
+                    Ok(Value::Float(n))
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            Tok::Ident(s) => {
+                let lower = s.to_ascii_lowercase();
+                match lower.as_str() {
+                    "null" => {
+                        self.bump();
+                        Ok(Value::Null)
+                    }
+                    "true" => {
+                        self.bump();
+                        Ok(Value::Bool(true))
+                    }
+                    "false" => {
+                        self.bump();
+                        Ok(Value::Bool(false))
+                    }
+                    _ => self.err(format!("expected literal, found identifier {s:?}")),
+                }
+            }
+            other => self.err(format!("expected literal, found {other:?}")),
+        }
+    }
+
+    fn parse_colref(&mut self) -> Result<QueryColumn, ParseError> {
+        let first = self.ident()?;
+        if self.sym(".") {
+            let col = self.ident()?;
+            self.resolve_named(Some(&first), &col)
+        } else {
+            self.resolve_named(None, &first)
+        }
+    }
+
+    /// Resolve `qualifier.name` against the FROM slots: the qualifier is an
+    /// alias if one was declared, else a table name; bare names search all
+    /// slots and must be unambiguous.
+    fn resolve_named(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+    ) -> Result<QueryColumn, ParseError> {
+        let mut matches = Vec::new();
+        for (slot, qt) in self.query.tables.iter().enumerate() {
+            let t = self.schema.table(qt.table);
+            let qualifier_ok = match qualifier {
+                None => true,
+                Some(q) => {
+                    qt.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                        || (qt.alias.is_none() && t.name.eq_ignore_ascii_case(q))
+                }
+            };
+            if !qualifier_ok {
+                continue;
+            }
+            if let Some(c) = t.column_by_name(name) {
+                matches.push(QueryColumn::new(slot as u16, c));
+            }
+        }
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(ParseError {
+                message: match qualifier {
+                    Some(q) => format!("unknown column {q}.{name}"),
+                    None => format!("unknown column {name}"),
+                },
+                offset: self.offset(),
+            }),
+            _ => Err(ParseError {
+                message: format!("ambiguous column {name}"),
+                offset: self.offset(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::schema::SchemaBuilder;
+    use pgdesign_catalog::types::DataType;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .table("photoobj")
+            .column("objid", DataType::BigInt)
+            .column("ra", DataType::Float)
+            .column("dec", DataType::Float)
+            .column("type", DataType::Int)
+            .column("r", DataType::Float)
+            .table("specobj")
+            .column("specobjid", DataType::BigInt)
+            .column("bestobjid", DataType::BigInt)
+            .column("zredshift", DataType::Float)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simple_select() {
+        let s = schema();
+        let q = parse_query(&s, "SELECT ra, dec FROM photoobj WHERE type = 3").unwrap();
+        assert_eq!(q.tables.len(), 1);
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.filters[0].col, QueryColumn::new(0, 3));
+    }
+
+    #[test]
+    fn range_between_and_order() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT objid FROM photoobj WHERE ra BETWEEN 120.0 AND 130.0 AND r < 19.5 ORDER BY r DESC LIMIT 100",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 2);
+        assert!(matches!(q.filters[0].op, PredOp::Between(_, _)));
+        assert_eq!(q.order_by.len(), 1);
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(100));
+    }
+
+    #[test]
+    fn implicit_join_in_where() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT p.ra FROM photoobj p, specobj sp WHERE p.objid = sp.bestobjid AND sp.zredshift > 0.1",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left, QueryColumn::new(0, 0));
+        assert_eq!(q.joins[0].right, QueryColumn::new(1, 1));
+        assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn explicit_join_syntax() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT count(*) FROM photoobj JOIN specobj ON photoobj.objid = specobj.bestobjid",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.aggregates, vec![Aggregate::CountStar]);
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT type, count(*), avg(r) FROM photoobj GROUP BY type",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec![QueryColumn::new(0, 3)]);
+        assert_eq!(q.aggregates.len(), 2);
+        assert!(matches!(q.aggregates[1], Aggregate::Avg(_)));
+    }
+
+    #[test]
+    fn in_list_and_null_tests() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT * FROM photoobj WHERE type IN (3, 6) AND dec IS NOT NULL",
+        )
+        .unwrap();
+        assert!(q.select_star);
+        assert!(matches!(q.filters[0].op, PredOp::InList(ref v) if v.len() == 2));
+        assert!(matches!(q.filters[1].op, PredOp::IsNotNull));
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let s = schema();
+        let q = parse_query(
+            &s,
+            "SELECT a.objid FROM photoobj a, photoobj b WHERE a.objid = b.objid AND a.r < 20",
+        )
+        .unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left.slot, 0);
+        assert_eq!(q.joins[0].right.slot, 1);
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let s = schema();
+        assert!(parse_query(&s, "SELECT x FROM nope").is_err());
+        assert!(parse_query(&s, "SELECT nope FROM photoobj").is_err());
+        let e = parse_query(&s, "SELECT objid FROM photoobj, specobj WHERE specobjid = 1 AND objid < bogus")
+            .unwrap_err();
+        assert!(e.message.contains("bogus"), "{e}");
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let s = SchemaBuilder::new()
+            .table("a")
+            .column("x", DataType::Int)
+            .table("b")
+            .column("x", DataType::Int)
+            .build()
+            .unwrap();
+        let e = parse_query(&s, "SELECT x FROM a, b").unwrap_err();
+        assert!(e.message.contains("ambiguous"));
+    }
+
+    #[test]
+    fn non_equality_join_rejected() {
+        let s = schema();
+        let e = parse_query(
+            &s,
+            "SELECT p.ra FROM photoobj p, specobj sp WHERE p.objid < sp.bestobjid",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("equality"));
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let s = schema();
+        let q = parse_query(&s, "SELECT ra FROM photoobj WHERE dec > -12.5").unwrap();
+        assert!(
+            matches!(q.filters[0].op, PredOp::Cmp(CmpOp::Gt, Value::Float(v)) if v == -12.5)
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        let s = SchemaBuilder::new()
+            .table("t")
+            .column("name", DataType::Text { avg_len: 10 })
+            .build()
+            .unwrap();
+        let q = parse_query(&s, "SELECT name FROM t WHERE name = 'galaxy'").unwrap();
+        assert!(matches!(
+            &q.filters[0].op,
+            PredOp::Cmp(CmpOp::Eq, Value::Str(s)) if s == "galaxy"
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = schema();
+        assert!(parse_query(&s, "SELECT ra FROM photoobj garbage garbage").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let s = schema();
+        assert!(parse_query(&s, "select RA from PHOTOOBJ where TYPE = 1").is_err());
+        // Table names are case sensitive (PostgreSQL folds to lowercase;
+        // we require exact lowercase), but keywords are not:
+        assert!(parse_query(&s, "SeLeCt ra FrOm photoobj WhErE type = 1").is_ok());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn parser_never_panics(input in ".{0,80}") {
+                let s = schema();
+                let _ = parse_query(&s, &input);
+            }
+
+            #[test]
+            fn roundtrip_simple_filters(v in -1000i64..1000) {
+                let s = schema();
+                let sql = format!("SELECT ra FROM photoobj WHERE type = {v}");
+                let q = parse_query(&s, &sql).unwrap();
+                prop_assert!(matches!(q.filters[0].op, PredOp::Cmp(CmpOp::Eq, Value::Int(x)) if x == v));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # pgdesign-solver
+//!
+//! A self-contained linear and mixed-integer optimization kit.
+//!
+//! CoPhy casts index selection as a *convex combinatorial optimization
+//! problem* and hands it to "sophisticated and mature solvers" (the paper,
+//! §1). Shipping CPLEX is not an option for an open-source reproduction,
+//! so this crate implements the contract CoPhy relies on:
+//!
+//! * [`lp`] — a dense two-phase primal simplex for linear programs
+//!   (minimization, `≤ / ≥ / =` constraints, non-negative variables);
+//! * [`milp`] — best-first branch-and-bound over the LP relaxation with
+//!   binary variables, warm starts, node/time budgets, and — crucially for
+//!   CoPhy's "quality guarantees" — a certified optimality *gap* between
+//!   the incumbent and the best LP bound at any interruption point;
+//! * [`knapsack`] — greedy and exact 0/1 knapsack used by COLT's storage-
+//!   budgeted index retention and as a warm-start heuristic.
+//!
+//! The solver is deliberately dense and simple: pgdesign's ILPs have a few
+//! hundred to a few thousand variables, far below where sparse revised
+//! simplex pays off.
+
+pub mod knapsack;
+pub mod lp;
+pub mod milp;
+
+pub use lp::{LinearProgram, LpError, LpSolution, Relation};
+pub use milp::{Milp, MilpOptions, MilpResult, MilpStatus};

@@ -1,0 +1,543 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0` with the classic tableau
+//! method: phase 1 drives artificial variables out of the basis (detecting
+//! infeasibility), phase 2 optimizes the real objective. Dantzig pricing
+//! with a Bland's-rule fallback guards against cycling.
+
+use std::collections::HashMap;
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<(usize, f64)>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Iteration limit hit (numerically pathological instance).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::IterationLimit => write!(f, "iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal variable assignment (length = number of variables).
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// A linear program in minimization form with non-negative variables.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with objective coefficient `cost`; returns its id.
+    pub fn add_var(&mut self, cost: f64) -> usize {
+        self.objective.push(cost);
+        self.objective.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add `Σ coeffs ᵒ rhs`; duplicate variable entries are summed.
+    pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, rel: Relation, rhs: f64) {
+        debug_assert!(coeffs.iter().all(|&(v, _)| v < self.num_vars()));
+        self.constraints.push(Constraint { coeffs, rel, rhs });
+    }
+
+    /// Solve the LP.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.solve_with_fixed(&HashMap::new())
+    }
+
+    /// Solve with some variables fixed to constants (they are substituted
+    /// out, keeping the tableau small — this is how branch-and-bound
+    /// explores 0/1 branches).
+    pub fn solve_with_fixed(&self, fixed: &HashMap<usize, f64>) -> Result<LpSolution, LpError> {
+        // Map free variables to dense columns.
+        let n_all = self.num_vars();
+        let mut col_of: Vec<Option<usize>> = vec![None; n_all];
+        let mut free_vars: Vec<usize> = Vec::new();
+        for v in 0..n_all {
+            if !fixed.contains_key(&v) {
+                col_of[v] = Some(free_vars.len());
+                free_vars.push(v);
+            }
+        }
+        let n = free_vars.len();
+
+        let mut fixed_cost = 0.0;
+        for (&v, &val) in fixed {
+            fixed_cost += self.objective[v] * val;
+        }
+
+        // Build rows with substituted rhs.
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            let mut dense = vec![0.0; n];
+            let mut rhs = c.rhs;
+            for &(v, a) in &c.coeffs {
+                match col_of[v] {
+                    Some(j) => dense[j] += a,
+                    None => rhs -= a * fixed[&v],
+                }
+            }
+            // Constant rows: check feasibility directly.
+            if dense.iter().all(|&a| a.abs() < 1e-12) {
+                let ok = match c.rel {
+                    Relation::Le => rhs >= -1e-7,
+                    Relation::Ge => rhs <= 1e-7,
+                    Relation::Eq => rhs.abs() <= 1e-7,
+                };
+                if !ok {
+                    return Err(LpError::Infeasible);
+                }
+                continue;
+            }
+            rows.push((dense, c.rel, rhs));
+        }
+
+        if n == 0 {
+            return Ok(LpSolution {
+                x: (0..n_all).map(|v| fixed.get(&v).copied().unwrap_or(0.0)).collect(),
+                objective: fixed_cost,
+            });
+        }
+
+        let sol = simplex(&self.objective_dense(&free_vars), &rows)?;
+        let mut x = vec![0.0; n_all];
+        for (&v, &val) in fixed {
+            x[v] = val;
+        }
+        for (j, &v) in free_vars.iter().enumerate() {
+            x[v] = sol.0[j];
+        }
+        Ok(LpSolution {
+            x,
+            objective: sol.1 + fixed_cost,
+        })
+    }
+
+    fn objective_dense(&self, free_vars: &[usize]) -> Vec<f64> {
+        free_vars.iter().map(|&v| self.objective[v]).collect()
+    }
+}
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 50_000;
+
+/// Core tableau simplex: `min cᵀx, rows, x ≥ 0`.
+/// Returns (x, objective).
+fn simplex(c: &[f64], rows: &[(Vec<f64>, Relation, f64)]) -> Result<(Vec<f64>, f64), LpError> {
+    let n = c.len();
+    let m = rows.len();
+
+    // Normalise rhs ≥ 0 and count auxiliary columns.
+    let mut norm: Vec<(Vec<f64>, Relation, f64)> = Vec::with_capacity(m);
+    for (coeffs, rel, rhs) in rows {
+        if *rhs < 0.0 {
+            let flipped: Vec<f64> = coeffs.iter().map(|a| -a).collect();
+            let new_rel = match rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            norm.push((flipped, new_rel, -rhs));
+        } else {
+            norm.push((coeffs.clone(), *rel, *rhs));
+        }
+    }
+
+    let n_slack = norm
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
+        .count();
+    let n_art = norm
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Ge | Relation::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    // tableau[m][total + 1]; last column = rhs.
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut s_idx = n;
+    let mut a_idx = n + n_slack;
+    for (i, (coeffs, rel, rhs)) in norm.iter().enumerate() {
+        t[i][..n].copy_from_slice(coeffs);
+        t[i][total] = *rhs;
+        match rel {
+            Relation::Le => {
+                t[i][s_idx] = 1.0;
+                basis[i] = s_idx;
+                s_idx += 1;
+            }
+            Relation::Ge => {
+                t[i][s_idx] = -1.0;
+                s_idx += 1;
+                t[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                a_idx += 1;
+            }
+            Relation::Eq => {
+                t[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                a_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials.
+    if n_art > 0 {
+        let mut c1 = vec![0.0; total];
+        for j in (n + n_slack)..total {
+            c1[j] = 1.0;
+        }
+        let obj = run_phase(&mut t, &mut basis, &c1, total)?;
+        if obj > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if basis[i] >= n + n_slack {
+                if let Some(j) = (0..n + n_slack).find(|&j| t[i][j].abs() > 1e-7) {
+                    pivot(&mut t, &mut basis, i, j, total);
+                }
+                // If no pivot column exists the row is redundant (all
+                // zeros); the artificial stays basic at value 0 — harmless.
+            }
+        }
+    }
+
+    // Phase 2: real objective (artificial columns frozen at zero).
+    let mut c2 = vec![0.0; total];
+    c2[..n].copy_from_slice(c);
+    let art_start = n + n_slack;
+    let obj = run_phase_restricted(&mut t, &mut basis, &c2, total, art_start)?;
+
+    let mut x = vec![0.0; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[i][total];
+        }
+    }
+    Ok((x, obj))
+}
+
+fn run_phase(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    c: &[f64],
+    total: usize,
+) -> Result<f64, LpError> {
+    run_phase_restricted(t, basis, c, total, total)
+}
+
+/// Simplex iterations; columns at `forbidden_from..` may not enter.
+fn run_phase_restricted(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    c: &[f64],
+    total: usize,
+    forbidden_from: usize,
+) -> Result<f64, LpError> {
+    let m = t.len();
+    for iter in 0..MAX_ITERS {
+        // Reduced costs: r_j = c_j - c_B' B^-1 A_j (computed row-wise).
+        let mut reduced = c[..total].to_vec();
+        for (i, &b) in basis.iter().enumerate() {
+            let cb = c[b];
+            if cb != 0.0 {
+                for j in 0..total {
+                    reduced[j] -= cb * t[i][j];
+                }
+            }
+        }
+        // Entering column.
+        let bland = iter > 4 * (m + total);
+        let mut enter: Option<usize> = None;
+        if bland {
+            for (j, &rj) in reduced.iter().enumerate().take(forbidden_from) {
+                if rj < -EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -EPS;
+            for (j, &rj) in reduced.iter().enumerate().take(forbidden_from) {
+                if rj < best {
+                    best = rj;
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else {
+            // Optimal.
+            let mut obj = 0.0;
+            for (i, &b) in basis.iter().enumerate() {
+                obj += c[b] * t[i][total];
+            }
+            return Ok(obj);
+        };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][j] > EPS {
+                let ratio = t[i][total] / t[i][j];
+                if ratio < best_ratio - EPS
+                    || (bland
+                        && (ratio - best_ratio).abs() <= EPS
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(t, basis, i, j, total);
+    }
+    Err(LpError::IterationLimit)
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let m = t.len();
+    let pv = t[row][col];
+    for j in 0..=total {
+        t[row][j] /= pv;
+    }
+    for i in 0..m {
+        if i != row {
+            let factor = t[i][col];
+            if factor.abs() > 0.0 {
+                for j in 0..=total {
+                    t[i][j] -= factor * t[row][j];
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min -x - 2y  s.t.  x + y ≤ 4, x ≤ 2, y ≤ 3
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        let y = lp.add_var(-2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Le, 3.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, -7.0), "{}", s.objective);
+        assert!(approx(s.x[x], 1.0) && approx(s.x[y], 3.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y  s.t. x + y = 10, x ≥ 3
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 3.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, 10.0));
+        assert!(s.x[x] >= 3.0 - 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::Le, 0.0); // -x ≤ 0, x free upward
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x ≥ 0, constraint -x ≤ -2  ⇔  x ≥ 2; min x → 2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::Le, -2.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, 2.0));
+    }
+
+    #[test]
+    fn fixed_variables_substituted() {
+        // min x + y  s.t. x + y ≥ 5, with y fixed to 2 → x = 3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        let y = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        let mut fix = HashMap::new();
+        fix.insert(y, 2.0);
+        let s = lp.solve_with_fixed(&fix).unwrap();
+        assert!(approx(s.objective, 5.0));
+        assert!(approx(s.x[x], 3.0));
+        assert!(approx(s.x[y], 2.0));
+    }
+
+    #[test]
+    fn fixing_can_make_infeasible() {
+        // x ≤ 1 with x fixed to 2 → infeasible (constant row check).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        let mut fix = HashMap::new();
+        fix.insert(x, 2.0);
+        assert_eq!(lp.solve_with_fixed(&fix).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn all_vars_fixed() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(3.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0);
+        let mut fix = HashMap::new();
+        fix.insert(x, 4.0);
+        let s = lp.solve_with_fixed(&fix).unwrap();
+        assert!(approx(s.objective, 12.0));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(-1.0);
+        let y = lp.add_var(-1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Le, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        let s = lp.solve().unwrap();
+        assert!(approx(s.objective, -1.0));
+    }
+
+    #[test]
+    fn lp_relaxation_of_knapsack() {
+        // max 6a + 10b + 12c (min negative), weights 1,2,3 ≤ 5; a,b,c ∈ [0,1].
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var(-6.0);
+        let b = lp.add_var(-10.0);
+        let c = lp.add_var(-12.0);
+        lp.add_constraint(vec![(a, 1.0), (b, 2.0), (c, 3.0)], Relation::Le, 5.0);
+        for v in [a, b, c] {
+            lp.add_constraint(vec![(v, 1.0)], Relation::Le, 1.0);
+        }
+        let s = lp.solve().unwrap();
+        // LP optimum: a=1, b=1, c=2/3 → -(6+10+8) = -24.
+        assert!(approx(s.objective, -24.0), "{}", s.objective);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn solution_is_feasible(
+                costs in proptest::collection::vec(-5.0f64..5.0, 2..6),
+                rows in proptest::collection::vec(
+                    (proptest::collection::vec(0.0f64..3.0, 2..6), 1.0f64..20.0),
+                    1..6
+                ),
+            ) {
+                let mut lp = LinearProgram::new();
+                let vars: Vec<usize> = costs.iter().map(|&c| lp.add_var(c.max(0.01))).collect();
+                for (coeffs, rhs) in &rows {
+                    let row: Vec<(usize, f64)> = vars
+                        .iter()
+                        .zip(coeffs.iter())
+                        .map(|(&v, &a)| (v, a))
+                        .collect();
+                    lp.add_constraint(row, Relation::Le, *rhs);
+                }
+                // Positive costs and ≤ constraints: x = 0 is feasible and
+                // optimal-ish; solver must return a feasible point.
+                let s = lp.solve().unwrap();
+                for (coeffs, rhs) in &rows {
+                    let lhs: f64 = vars
+                        .iter()
+                        .zip(coeffs.iter())
+                        .map(|(&v, &a)| a * s.x[v])
+                        .sum();
+                    prop_assert!(lhs <= rhs + 1e-6);
+                }
+                for &v in &vars {
+                    prop_assert!(s.x[v] >= -1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Demo scenario 1 — interactive what-if design exploration.
+//!
+//! "The user provides the query workload and the original physical schema.
+//! Then, she creates several what-if partitions and indexes using the
+//! tool's interface. Now, the tool presents the benefits from using the
+//! new physical design for the particular workload. The user can examine
+//! interactions between the what-if indexes as visualized by the Index
+//! Interaction component and save the rewritten queries for the new table
+//! partitions."
+//!
+//! ```sh
+//! cargo run --release --example scenario1_interactive
+//! ```
+
+use pgdesign::Designer;
+use pgdesign_catalog::design::VerticalPartitioning;
+use pgdesign_catalog::samples::sdss_catalog;
+use pgdesign_query::{parse_query, Workload};
+
+fn main() {
+    let catalog = sdss_catalog(0.01);
+    let sqls = [
+        "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 150 AND 160",
+        "SELECT objid, ra, dec, r FROM photoobj WHERE type = 3 AND r < 17",
+        "SELECT objid FROM photoobj WHERE type = 3 AND r < 15 ORDER BY r",
+        "SELECT p.ra, s.zredshift FROM photoobj p, specobj s WHERE p.objid = s.bestobjid",
+    ];
+    let workload: Workload = sqls
+        .iter()
+        .map(|s| parse_query(&catalog.schema, s).expect("valid SQL"))
+        .collect();
+    let designer = Designer::new(catalog);
+    let mut session = designer.session(workload);
+
+    println!("== Baseline (no hypothetical structures) ==");
+    println!("{}", session.evaluate());
+
+    // The DBA tries a few what-if indexes, by name, as in the demo UI.
+    session
+        .add_index_by_name("photoobj", &["type", "r"])
+        .unwrap();
+    session
+        .add_index_by_name("photoobj", &["r", "type"])
+        .unwrap();
+    session.add_index_by_name("photoobj", &["objid"]).unwrap();
+    session.add_index_by_name("specobj", &["bestobjid"]).unwrap();
+
+    println!("== With 4 what-if indexes ==");
+    println!("{}", session.evaluate());
+
+    // Figure 2: the index interaction graph. The two (type,r)/(r,type)
+    // indexes compete; the user can cap how many edges are displayed.
+    let graph = session.interaction_graph();
+    println!("== Index interactions (top 3 of {}) ==", graph.edge_count());
+    print!("{}", graph.to_text(&designer.catalog.schema, 3));
+    println!("\nDOT for rendering:\n{}", graph.to_dot(&designer.catalog.schema, 3));
+
+    // A what-if vertical partition of photoobj: hot positional columns
+    // split from the wide photometric payload.
+    session.set_vertical(VerticalPartitioning::new(
+        designer.catalog.schema.table_by_name("photoobj").unwrap().id,
+        vec![vec![0, 1, 2], (3..16).collect()],
+    ));
+    println!("== With the what-if vertical partition added ==");
+    println!("{}", session.evaluate());
+
+    println!("== Rewritten-query report for the partitions ==");
+    print!("{}", session.fragment_report());
+
+    println!("== EXPLAIN Q3 under the hypothetical design ==");
+    print!("{}", session.explain(2));
+}

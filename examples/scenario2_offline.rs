@@ -1,0 +1,54 @@
+//! Demo scenario 2 — automatic offline design with materialization
+//! scheduling.
+//!
+//! "The user provides the query workload, the original physical schema and
+//! size constraints. Then, the tool recommends a set of indexes and
+//! partitions which maximize the performance. ... In the case of indexes,
+//! a materialization schedule becomes available."
+//!
+//! ```sh
+//! cargo run --release --example scenario2_offline
+//! ```
+
+use pgdesign::Designer;
+use pgdesign_catalog::samples::sdss_catalog;
+use pgdesign_query::generators::sdss_workload;
+
+fn main() {
+    let catalog = sdss_catalog(0.01);
+    let workload = sdss_workload(&catalog, 27, 2024);
+    let designer = Designer::new(catalog);
+
+    for budget_frac in [0.25, 0.5, 1.0] {
+        let budget = (designer.catalog.data_bytes() as f64 * budget_frac) as u64;
+        println!(
+            "########## storage budget = {budget_frac}× data size ({:.0} MiB) ##########",
+            budget as f64 / (1024.0 * 1024.0)
+        );
+        let report = designer.recommend(&workload, budget);
+        println!("{report}");
+        println!("Index definitions:");
+        for idx in &report.indexes.indexes {
+            println!("  CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+        }
+        println!(
+            "Materialization order (interaction-aware): {}",
+            report
+                .schedule
+                .order
+                .iter()
+                .map(|&i| report.indexes.indexes[i].display(&designer.catalog.schema))
+                .collect::<Vec<_>>()
+                .join("  ->  ")
+        );
+        println!(
+            "Benefit curve while building: {:?}\n",
+            report
+                .schedule
+                .curve
+                .iter()
+                .map(|(t, c)| format!("t={t:.0}: {c:.0}"))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for workspace-level integration tests and examples.
+//!
+//! The real library surface lives in the `pgdesign` facade crate and the
+//! per-component crates (`pgdesign-catalog`, `pgdesign-optimizer`, ...).
+pub use pgdesign as facade;

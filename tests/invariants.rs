@@ -1,0 +1,107 @@
+//! Cross-crate property-based tests on system-level invariants.
+
+use pgdesign_catalog::design::{Index, PhysicalDesign};
+use pgdesign_catalog::samples::sdss_catalog;
+use pgdesign_catalog::Catalog;
+use pgdesign_optimizer::Optimizer;
+use pgdesign_query::generators::{sdss_template, SDSS_TEMPLATE_COUNT};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn catalog() -> &'static Catalog {
+    use std::sync::OnceLock;
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(|| sdss_catalog(0.01))
+}
+
+fn optimizer() -> Optimizer {
+    Optimizer::new()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Monotonicity: adding an index never increases the estimated cost of
+    /// any query (our model charges no index maintenance for read-only
+    /// workloads, so more access paths can only help or tie).
+    #[test]
+    fn adding_an_index_never_hurts(template in 0..SDSS_TEMPLATE_COUNT, seed in 0u64..500, col in 0u16..16) {
+        let c = catalog();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = sdss_template(c, template, &mut rng);
+        let opt = optimizer();
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let base = opt.cost(c, &PhysicalDesign::empty(), &q);
+        let with = opt.cost(
+            c,
+            &PhysicalDesign::with_indexes([Index::new(photo, vec![col])]),
+            &q,
+        );
+        prop_assert!(with <= base * 1.0001, "index regressed query: {with} vs {base}");
+    }
+
+    /// Costs are finite, positive, and deterministic.
+    #[test]
+    fn costs_are_finite_and_deterministic(template in 0..SDSS_TEMPLATE_COUNT, seed in 0u64..500) {
+        let c = catalog();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = sdss_template(c, template, &mut rng);
+        let opt = optimizer();
+        let d = PhysicalDesign::empty();
+        let a = opt.cost(c, &d, &q);
+        let b = opt.cost(c, &d, &q);
+        prop_assert!(a.is_finite() && a > 0.0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Plan cardinalities are design-independent (the INUM invariant).
+    #[test]
+    fn cardinality_is_design_independent(template in 0..SDSS_TEMPLATE_COUNT, seed in 0u64..500, col in 0u16..16) {
+        let c = catalog();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = sdss_template(c, template, &mut rng);
+        let opt = optimizer();
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let p1 = opt.optimize(c, &PhysicalDesign::empty(), &q);
+        let p2 = opt.optimize(
+            c,
+            &PhysicalDesign::with_indexes([Index::new(photo, vec![col])]),
+            &q,
+        );
+        let rel = (p1.rows - p2.rows).abs() / p1.rows.max(1.0);
+        prop_assert!(rel < 1e-6, "rows changed with design: {} vs {}", p1.rows, p2.rows);
+    }
+
+    /// The what-if size model matches the catalog's size model exactly —
+    /// hypothetical and real structures share one ruler.
+    #[test]
+    fn whatif_sizes_match_catalog_sizes(cols in proptest::collection::vec(0u16..16, 1..4)) {
+        let c = catalog();
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let mut unique = cols.clone();
+        unique.dedup();
+        let idx = Index::new(photo, unique);
+        let via_design = PhysicalDesign::with_indexes([idx.clone()]).index_bytes(&c.schema, &c.stats);
+        let direct = idx.size_bytes(&c.schema, c.table_stats(photo));
+        prop_assert_eq!(via_design, direct);
+        prop_assert!(direct > 0, "no zero-size what-if indexes");
+    }
+}
+
+/// Workload cost decomposes linearly over queries and weights.
+#[test]
+fn workload_cost_is_linear() {
+    let c = catalog();
+    let opt = optimizer();
+    let mut rng = StdRng::seed_from_u64(1);
+    let q1 = sdss_template(c, 0, &mut rng);
+    let q2 = sdss_template(c, 1, &mut rng);
+    let d = PhysicalDesign::empty();
+    let mut w = pgdesign_query::Workload::new();
+    w.push(q1.clone(), 2.0);
+    w.push(q2.clone(), 3.0);
+    let total = opt.workload_cost(c, &d, &w);
+    let manual = 2.0 * opt.cost(c, &d, &q1) + 3.0 * opt.cost(c, &d, &q2);
+    assert!((total - manual).abs() < 1e-9);
+}
