@@ -1,0 +1,27 @@
+# Developer entry points. `make verify` is the full pre-merge gate; CI
+# (.github/workflows/ci.yml) runs the same steps.
+
+CARGO ?= cargo
+
+.PHONY: verify tier1 fmt lint doc bench
+
+# Everything CI checks, in CI's order.
+verify: fmt lint tier1 doc
+
+# The tier-1 gate from ROADMAP.md.
+tier1:
+	$(CARGO) build --release
+	$(CARGO) test -q
+
+fmt:
+	$(CARGO) fmt --check
+
+lint:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+doc:
+	$(CARGO) doc --workspace --no-deps
+
+# The E1-E7 experiment benches (report + timing per experiment).
+bench:
+	$(CARGO) bench -p pgdesign-bench

@@ -370,7 +370,10 @@ mod tests {
         let w = narrow_workload(&c);
         let rec = advisor.recommend(&w);
         let photo = c.schema.table_by_name("photoobj").unwrap().id;
-        assert!(rec.design.vertical(photo).is_some(), "photoobj should split");
+        assert!(
+            rec.design.vertical(photo).is_some(),
+            "photoobj should split"
+        );
         assert!(rec.cost < rec.base_cost);
         assert!(
             rec.average_benefit() > 0.3,
@@ -429,7 +432,11 @@ mod tests {
         // objid is co-accessed with both {ra,dec} and {r}: replicating it
         // may help.
         let w = Workload::from_queries([
-            parse_query(&c.schema, "SELECT objid, ra, dec FROM photoobj WHERE ra < 100").unwrap(),
+            parse_query(
+                &c.schema,
+                "SELECT objid, ra, dec FROM photoobj WHERE ra < 100",
+            )
+            .unwrap(),
             parse_query(&c.schema, "SELECT objid, r FROM photoobj WHERE r < 15").unwrap(),
         ]);
         let rec = advisor.recommend(&w);

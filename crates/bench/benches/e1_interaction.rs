@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgdesign_bench::setup;
 use pgdesign_catalog::design::Index;
-use pgdesign_inum::Inum;
 use pgdesign_interaction::{analyze, InteractionConfig};
+use pgdesign_inum::Inum;
 
 fn dba_candidates(bench: &pgdesign_bench::Bench) -> Vec<Index> {
     let photo = bench.catalog.schema.table_by_name("photoobj").unwrap().id;

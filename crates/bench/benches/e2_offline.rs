@@ -27,7 +27,11 @@ fn print_report() {
         let report = designer.recommend(&bench.workload, budget);
         // Greedy baseline at the same budget.
         let inum = Inum::new(&designer.catalog, &designer.optimizer);
-        let cands = workload_candidates(&designer.catalog, &bench.workload, &CandidateConfig::default());
+        let cands = workload_candidates(
+            &designer.catalog,
+            &bench.workload,
+            &CandidateConfig::default(),
+        );
         let greedy = greedy_select(&inum, &bench.workload, &cands, budget);
         let sched_save = if report.naive_schedule.area > 0.0 {
             100.0 * (report.naive_schedule.area - report.schedule.area).max(0.0)

@@ -21,11 +21,16 @@ fn print_report() {
 
     let naive = naive_schedule(&inum, &bench.workload, &indexes);
     let greedy = greedy_schedule(&inum, &bench.workload, &indexes);
-    println!("=== E5: materialization scheduling over {} suggested indexes ===", indexes.len());
+    println!(
+        "=== E5: materialization scheduling over {} suggested indexes ===",
+        indexes.len()
+    );
     println!("naive  (recommendation order): area {:>14.0}", naive.area);
-    println!("greedy (interaction-aware):    area {:>14.0}  ({:.1}% saved)",
+    println!(
+        "greedy (interaction-aware):    area {:>14.0}  ({:.1}% saved)",
         greedy.area,
-        100.0 * (naive.area - greedy.area).max(0.0) / naive.area.max(1e-9));
+        100.0 * (naive.area - greedy.area).max(0.0) / naive.area.max(1e-9)
+    );
     if indexes.len() <= 10 {
         let exact = exact_schedule(&inum, &bench.workload, &indexes);
         println!(
@@ -33,8 +38,10 @@ fn print_report() {
             exact.area,
             100.0 * (naive.area - exact.area).max(0.0) / naive.area.max(1e-9)
         );
-        println!("greedy gap to optimum: {:.2}%",
-            100.0 * (greedy.area - exact.area).max(0.0) / exact.area.max(1e-9));
+        println!(
+            "greedy gap to optimum: {:.2}%",
+            100.0 * (greedy.area - exact.area).max(0.0) / exact.area.max(1e-9)
+        );
     }
     println!("--- benefit curves (cumulative build time -> workload cost) ---");
     let curve = |s: &pgdesign_interaction::Schedule| {

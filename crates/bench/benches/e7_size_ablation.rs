@@ -23,22 +23,23 @@ fn print_report() {
 
     // Size-aware advisor: greedy under the real budget.
     let aware = greedy_select(&inum, &bench.workload, &cands, budget);
-    let aware_design = PhysicalDesign::with_indexes(
-        aware.chosen.iter().map(|&i| cands.indexes[i].clone()),
-    );
+    let aware_design =
+        PhysicalDesign::with_indexes(aware.chosen.iter().map(|&i| cands.indexes[i].clone()));
     let aware_bytes = aware_design.index_bytes(&bench.catalog.schema, &bench.catalog.stats);
 
     // Zero-size advisor: believes every index is free, so it takes every
     // candidate with positive benefit ("unlimited" budget); the *claimed*
     // storage is zero, the actual storage is whatever those indexes weigh.
     let zero = greedy_select(&inum, &bench.workload, &cands, u64::MAX / 2);
-    let zero_design = PhysicalDesign::with_indexes(
-        zero.chosen.iter().map(|&i| cands.indexes[i].clone()),
-    );
+    let zero_design =
+        PhysicalDesign::with_indexes(zero.chosen.iter().map(|&i| cands.indexes[i].clone()));
     let zero_bytes = zero_design.index_bytes(&bench.catalog.schema, &bench.catalog.stats);
 
     println!("=== E7: size-aware vs zero-size what-if indexes (budget = 0.25x data) ===");
-    println!("{:<22} {:>10} {:>12} {:>14} {:>14}", "advisor", "#indexes", "cost", "claimed MiB", "actual MiB");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>14}",
+        "advisor", "#indexes", "cost", "claimed MiB", "actual MiB"
+    );
     println!(
         "{:<22} {:>10} {:>12.0} {:>14.1} {:>14.1}",
         "size-aware (budget)",
@@ -55,7 +56,10 @@ fn print_report() {
         0.0,
         mib(zero_bytes)
     );
-    println!("base workload cost: {base:.0}; storage budget: {:.1} MiB", mib(budget));
+    println!(
+        "base workload cost: {base:.0}; storage budget: {:.1} MiB",
+        mib(budget)
+    );
     if zero_bytes > budget {
         println!(
             "zero-size advisor OVERSHOOTS the budget by {:.1}x — the design is unbuildable",

@@ -141,7 +141,10 @@ impl TableData {
 /// Generate `rows` rows from per-column generators with a fixed seed.
 pub fn generate(specs: &[ColumnGen], rows: u64, seed: u64) -> TableData {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut columns: Vec<Vec<Value>> = specs.iter().map(|_| Vec::with_capacity(rows as usize)).collect();
+    let mut columns: Vec<Vec<Value>> = specs
+        .iter()
+        .map(|_| Vec::with_capacity(rows as usize))
+        .collect();
     for row in 0..rows {
         for (c, spec) in specs.iter().enumerate() {
             columns[c].push(spec.generate(row, &mut rng));
@@ -241,7 +244,7 @@ fn analyze_column(col: &[Value], scale: f64, logical_rows: u64) -> ColumnStats {
             i = j;
         }
     }
-    freq.sort_by(|a, b| b.1.cmp(&a.1));
+    freq.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     let mcv: Vec<(f64, f64)> = freq
         .iter()
         .take(MCV_TARGET)
@@ -255,8 +258,8 @@ fn analyze_column(col: &[Value], scale: f64, logical_rows: u64) -> ColumnStats {
     // position vs value image; adequate for the cost model's needs).
     let correlation = storage_correlation(col);
 
-    let avg_width = 8.0 * scale.min(1.0).max(0.0) + 4.0; // coarse default; callers
-    // with schema knowledge overwrite via `with_schema_widths`.
+    let avg_width = 8.0 * scale.clamp(0.0, 1.0) + 4.0; // coarse default; callers
+                                                       // with schema knowledge overwrite via `with_schema_widths`.
 
     ColumnStats {
         ndv,

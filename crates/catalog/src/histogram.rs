@@ -179,7 +179,7 @@ mod tests {
         let h = uniform_0_100();
         assert!((h.selectivity_range(Some(50.0), None) - 0.5).abs() < 1e-9);
         let below = h.selectivity_range(None, Some(50.0));
-        assert!(below >= 0.5 && below < 0.52);
+        assert!((0.5..0.52).contains(&below));
     }
 
     mod prop {

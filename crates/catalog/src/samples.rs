@@ -100,22 +100,46 @@ pub fn sdss_catalog(scale: f64) -> Catalog {
         &schema,
         "photoobj",
         &[
-            ColumnGen::Sequential,                                  // objid
-            ColumnGen::UniformFloat { lo: 0.0, hi: 360.0 },         // ra
-            ColumnGen::Normal { mean: 20.0, std: 25.0 },            // dec
-            ColumnGen::Zipf { n: 6, s: 0.8 },                       // type (skewed: star/galaxy)
-            ColumnGen::Normal { mean: 21.0, std: 2.0 },             // u
-            ColumnGen::Normal { mean: 20.0, std: 2.0 },             // g
-            ColumnGen::Normal { mean: 19.5, std: 2.0 },             // r
-            ColumnGen::Normal { mean: 19.0, std: 2.0 },             // i
-            ColumnGen::Normal { mean: 18.8, std: 2.0 },             // z
-            ColumnGen::UniformInt { lo: 94, hi: 8162 },             // run
-            ColumnGen::UniformInt { lo: 1, hi: 6 },                 // camcol
-            ColumnGen::UniformInt { lo: 11, hi: 1000 },             // field
-            ColumnGen::UniformInt { lo: 0, hi: 1 << 30 },           // flags
-            ColumnGen::Zipf { n: 8, s: 1.0 },                       // status
-            ColumnGen::UniformFloat { lo: 0.0, hi: 1489.0 },        // rowc
-            ColumnGen::UniformFloat { lo: 0.0, hi: 2048.0 },        // colc
+            ColumnGen::Sequential,                          // objid
+            ColumnGen::UniformFloat { lo: 0.0, hi: 360.0 }, // ra
+            ColumnGen::Normal {
+                mean: 20.0,
+                std: 25.0,
+            }, // dec
+            ColumnGen::Zipf { n: 6, s: 0.8 },               // type (skewed: star/galaxy)
+            ColumnGen::Normal {
+                mean: 21.0,
+                std: 2.0,
+            }, // u
+            ColumnGen::Normal {
+                mean: 20.0,
+                std: 2.0,
+            }, // g
+            ColumnGen::Normal {
+                mean: 19.5,
+                std: 2.0,
+            }, // r
+            ColumnGen::Normal {
+                mean: 19.0,
+                std: 2.0,
+            }, // i
+            ColumnGen::Normal {
+                mean: 18.8,
+                std: 2.0,
+            }, // z
+            ColumnGen::UniformInt { lo: 94, hi: 8162 },     // run
+            ColumnGen::UniformInt { lo: 1, hi: 6 },         // camcol
+            ColumnGen::UniformInt { lo: 11, hi: 1000 },     // field
+            ColumnGen::UniformInt { lo: 0, hi: 1 << 30 },   // flags
+            ColumnGen::Zipf { n: 8, s: 1.0 },               // status
+            ColumnGen::UniformFloat {
+                lo: 0.0,
+                hi: 1489.0,
+            }, // rowc
+            ColumnGen::UniformFloat {
+                lo: 0.0,
+                hi: 2048.0,
+            }, // colc
         ],
         photo_rows,
         0xDEC0,
@@ -124,16 +148,22 @@ pub fn sdss_catalog(scale: f64) -> Catalog {
         &schema,
         "specobj",
         &[
-            ColumnGen::Sequential,                                  // specobjid
+            ColumnGen::Sequential, // specobjid
             ColumnGen::ForeignKey {
                 parent_rows: photo_rows.max(1),
-            },                                                      // bestobjid
-            ColumnGen::Zipf { n: 4, s: 0.9 },                       // class
-            ColumnGen::Normal { mean: 0.15, std: 0.12 },            // zredshift
-            ColumnGen::UniformFloat { lo: 0.0, hi: 0.01 },          // zerr
-            ColumnGen::UniformInt { lo: 266, hi: 2974 },            // plate
-            ColumnGen::UniformInt { lo: 51578, hi: 54663 },         // mjd
-            ColumnGen::UniformInt { lo: 1, hi: 640 },               // fiberid
+            }, // bestobjid
+            ColumnGen::Zipf { n: 4, s: 0.9 }, // class
+            ColumnGen::Normal {
+                mean: 0.15,
+                std: 0.12,
+            }, // zredshift
+            ColumnGen::UniformFloat { lo: 0.0, hi: 0.01 }, // zerr
+            ColumnGen::UniformInt { lo: 266, hi: 2974 }, // plate
+            ColumnGen::UniformInt {
+                lo: 51578,
+                hi: 54663,
+            }, // mjd
+            ColumnGen::UniformInt { lo: 1, hi: 640 }, // fiberid
         ],
         spec_rows,
         0xDEC1,
@@ -163,7 +193,10 @@ pub fn sdss_catalog(scale: f64) -> Catalog {
             ColumnGen::UniformInt { lo: 1, hi: 6 },
             ColumnGen::UniformInt { lo: 11, hi: 1000 },
             ColumnGen::Zipf { n: 3, s: 0.5 },
-            ColumnGen::UniformInt { lo: 51075, hi: 54663 },
+            ColumnGen::UniformInt {
+                lo: 51075,
+                hi: 54663,
+            },
         ],
         field_rows,
         0xDEC3,
@@ -229,17 +262,35 @@ pub fn tpch_catalog(scale: f64) -> Catalog {
         &schema,
         "lineitem",
         &[
-            ColumnGen::ForeignKey { parent_rows: ord_rows.max(1) },
-            ColumnGen::ForeignKey { parent_rows: part_rows.max(1) },
-            ColumnGen::ForeignKey { parent_rows: supp_rows.max(1) },
+            ColumnGen::ForeignKey {
+                parent_rows: ord_rows.max(1),
+            },
+            ColumnGen::ForeignKey {
+                parent_rows: part_rows.max(1),
+            },
+            ColumnGen::ForeignKey {
+                parent_rows: supp_rows.max(1),
+            },
             ColumnGen::UniformInt { lo: 1, hi: 7 },
             ColumnGen::UniformInt { lo: 1, hi: 50 },
-            ColumnGen::UniformFloat { lo: 900.0, hi: 105_000.0 },
+            ColumnGen::UniformFloat {
+                lo: 900.0,
+                hi: 105_000.0,
+            },
             ColumnGen::UniformFloat { lo: 0.0, hi: 0.10 },
             ColumnGen::UniformFloat { lo: 0.0, hi: 0.08 },
-            ColumnGen::UniformInt { lo: day0, hi: day0 + 2526 },
-            ColumnGen::UniformInt { lo: day0, hi: day0 + 2526 },
-            ColumnGen::UniformInt { lo: day0, hi: day0 + 2526 },
+            ColumnGen::UniformInt {
+                lo: day0,
+                hi: day0 + 2526,
+            },
+            ColumnGen::UniformInt {
+                lo: day0,
+                hi: day0 + 2526,
+            },
+            ColumnGen::UniformInt {
+                lo: day0,
+                hi: day0 + 2526,
+            },
             ColumnGen::Zipf { n: 3, s: 0.3 },
             ColumnGen::Zipf { n: 2, s: 0.2 },
         ],
@@ -251,10 +302,18 @@ pub fn tpch_catalog(scale: f64) -> Catalog {
         "orders",
         &[
             ColumnGen::Sequential,
-            ColumnGen::ForeignKey { parent_rows: cust_rows.max(1) },
+            ColumnGen::ForeignKey {
+                parent_rows: cust_rows.max(1),
+            },
             ColumnGen::Zipf { n: 3, s: 0.5 },
-            ColumnGen::UniformFloat { lo: 850.0, hi: 560_000.0 },
-            ColumnGen::UniformInt { lo: day0, hi: day0 + 2405 },
+            ColumnGen::UniformFloat {
+                lo: 850.0,
+                hi: 560_000.0,
+            },
+            ColumnGen::UniformInt {
+                lo: day0,
+                hi: day0 + 2405,
+            },
             ColumnGen::UniformInt { lo: 1, hi: 5 },
             ColumnGen::UniformInt { lo: 0, hi: 0 },
         ],
@@ -267,7 +326,10 @@ pub fn tpch_catalog(scale: f64) -> Catalog {
         &[
             ColumnGen::Sequential,
             ColumnGen::UniformInt { lo: 0, hi: 24 },
-            ColumnGen::UniformFloat { lo: -999.0, hi: 9999.0 },
+            ColumnGen::UniformFloat {
+                lo: -999.0,
+                hi: 9999.0,
+            },
             ColumnGen::UniformInt { lo: 0, hi: 4 },
         ],
         cust_rows,
@@ -281,7 +343,10 @@ pub fn tpch_catalog(scale: f64) -> Catalog {
             ColumnGen::UniformInt { lo: 0, hi: 24 },
             ColumnGen::UniformInt { lo: 0, hi: 149 },
             ColumnGen::UniformInt { lo: 1, hi: 50 },
-            ColumnGen::UniformFloat { lo: 900.0, hi: 2100.0 },
+            ColumnGen::UniformFloat {
+                lo: 900.0,
+                hi: 2100.0,
+            },
         ],
         part_rows,
         0x7C04,
@@ -292,7 +357,10 @@ pub fn tpch_catalog(scale: f64) -> Catalog {
         &[
             ColumnGen::Sequential,
             ColumnGen::UniformInt { lo: 0, hi: 24 },
-            ColumnGen::UniformFloat { lo: -999.0, hi: 9999.0 },
+            ColumnGen::UniformFloat {
+                lo: -999.0,
+                hi: 9999.0,
+            },
         ],
         supp_rows,
         0x7C05,
@@ -309,7 +377,10 @@ mod tests {
     fn sdss_catalog_builds_and_has_expected_shape() {
         let c = sdss_catalog(0.01);
         assert_eq!(c.schema.len(), 4);
-        assert_eq!(c.row_count(c.schema.table_by_name("photoobj").unwrap().id), 100_000);
+        assert_eq!(
+            c.row_count(c.schema.table_by_name("photoobj").unwrap().id),
+            100_000
+        );
         let objid = c.schema.resolve("photoobj", "objid").unwrap();
         assert!(c.column_stats(objid).ndv > 50_000.0, "objid is a key");
     }

@@ -9,9 +9,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a table within a [`Schema`] (dense, 0-based).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TableId(pub u32);
 
 impl fmt::Display for TableId {
@@ -21,9 +19,7 @@ impl fmt::Display for TableId {
 }
 
 /// Reference to a column: table plus 0-based column position.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ColumnRef {
     /// Owning table.
     pub table: TableId,

@@ -65,9 +65,7 @@ impl ColumnStats {
             min: 0.0,
             max: (k - 1) as f64,
             histogram: Some(EquiDepthHistogram::uniform(0.0, (k - 1) as f64, k as usize)),
-            mcv: (0..k.min(10))
-                .map(|i| (i as f64, 1.0 / k as f64))
-                .collect(),
+            mcv: (0..k.min(10)).map(|i| (i as f64, 1.0 / k as f64)).collect(),
             avg_width,
             correlation: 0.0,
         }

@@ -149,7 +149,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_order(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn total_order_sorts_nulls_last() {
-        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1)];
         vals.sort();
         assert_eq!(vals[0], Value::Int(1));
         assert_eq!(vals[1], Value::Int(3));

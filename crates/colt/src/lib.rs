@@ -270,8 +270,7 @@ impl<'a> ColtTuner<'a> {
                 };
                 pgdesign_solver::knapsack::Item {
                     value: st.ewma_benefit + retention,
-                    weight: idx.size_bytes(&catalog.schema, catalog.table_stats(idx.table))
-                        as f64,
+                    weight: idx.size_bytes(&catalog.schema, catalog.table_stats(idx.table)) as f64,
                 }
             })
             .collect();
@@ -289,8 +288,7 @@ impl<'a> ColtTuner<'a> {
             .map(|i| (i.clone(), self.build_cost(i)))
             .collect();
         target.retain(|idx| {
-            current.has_index(idx)
-                || states[idx].ewma_benefit * cfg_horizon > build_costs[idx]
+            current.has_index(idx) || states[idx].ewma_benefit * cfg_horizon > build_costs[idx]
         });
 
         // Diff current vs target; emit events and charge build costs.
@@ -474,8 +472,16 @@ mod tests {
             },
         );
         let mut stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 20);
-        stream.extend(repeat_query(&c, "SELECT ra FROM photoobj WHERE run = 100", 20));
-        stream.extend(repeat_query(&c, "SELECT ra FROM photoobj WHERE camcol = 2", 20));
+        stream.extend(repeat_query(
+            &c,
+            "SELECT ra FROM photoobj WHERE run = 100",
+            20,
+        ));
+        stream.extend(repeat_query(
+            &c,
+            "SELECT ra FROM photoobj WHERE camcol = 2",
+            20,
+        ));
         colt.process_stream(stream);
         let used = colt.current_design().index_bytes(&c.schema, &c.stats);
         assert!(used <= budget, "{used} > {budget}");

@@ -176,7 +176,9 @@ impl<'a> CophyAdvisor<'a> {
         // and keep the better one (so the recommendation never regresses
         // below the greedy baseline).
         let maint_of = |ids: &[usize]| -> f64 {
-            ids.iter().map(|id| maintenance.get(id).copied().unwrap_or(0.0)).sum()
+            ids.iter()
+                .map(|id| maintenance.get(id).copied().unwrap_or(0.0))
+                .sum()
         };
         let ilp_design = atomic::design_from_ids(&candidates, &ilp_ids);
         let ilp_cost = self.inum.workload_cost(&ilp_design, workload) + maint_of(&ilp_ids);
@@ -306,8 +308,16 @@ mod tests {
             },
         )
         .recommend(&w);
-        let ro_photo = read_only.indexes.iter().filter(|i| i.table == photo).count();
-        let wh_photo = write_heavy.indexes.iter().filter(|i| i.table == photo).count();
+        let ro_photo = read_only
+            .indexes
+            .iter()
+            .filter(|i| i.table == photo)
+            .count();
+        let wh_photo = write_heavy
+            .indexes
+            .iter()
+            .filter(|i| i.table == photo)
+            .count();
         assert!(
             wh_photo <= ro_photo,
             "write-heavy {wh_photo} vs read-only {ro_photo}"

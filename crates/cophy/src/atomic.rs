@@ -136,7 +136,11 @@ fn query_atomic_configs(
 pub fn used_candidates(configs: &[QueryConfigs]) -> Vec<usize> {
     let mut used: Vec<usize> = configs
         .iter()
-        .flat_map(|qc| qc.configs.iter().flat_map(|c| c.candidate_ids.iter().copied()))
+        .flat_map(|qc| {
+            qc.configs
+                .iter()
+                .flat_map(|c| c.candidate_ids.iter().copied())
+        })
         .collect();
     used.sort_unstable();
     used.dedup();

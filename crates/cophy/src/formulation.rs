@@ -53,7 +53,7 @@ pub fn build_ilp(
     // x variables (binary); the objective coefficient is the index's
     // maintenance cost — storage stays a constraint, not an objective term.
     let mut x_vars: HashMap<usize, usize> = HashMap::new();
-    for (&cand, _) in sizes {
+    for &cand in sizes.keys() {
         let v = milp.add_binary(maintenance.get(&cand).copied().unwrap_or(0.0));
         x_vars.insert(cand, v);
     }
@@ -72,11 +72,8 @@ pub fn build_ilp(
 
     // Σ_k y_{q,k} = 1.
     for row in &y_vars {
-        milp.lp.add_constraint(
-            row.iter().map(|&y| (y, 1.0)).collect(),
-            Relation::Eq,
-            1.0,
-        );
+        milp.lp
+            .add_constraint(row.iter().map(|&y| (y, 1.0)).collect(), Relation::Eq, 1.0);
     }
 
     // y ≤ x couplings.
@@ -159,7 +156,12 @@ mod tests {
 
     /// A tiny hand-built instance: 2 queries, 2 candidate indexes.
     /// Query 0: empty=100, {A}=10. Query 1: empty=100, {B}=20, {A,B}=5.
-    fn tiny() -> (Workload, CandidateSet, Vec<QueryConfigs>, HashMap<usize, f64>) {
+    fn tiny() -> (
+        Workload,
+        CandidateSet,
+        Vec<QueryConfigs>,
+        HashMap<usize, f64>,
+    ) {
         use pgdesign_catalog::design::Index;
         use pgdesign_catalog::schema::TableId;
         use pgdesign_query::ast::QueryBuilder;
@@ -177,15 +179,30 @@ mod tests {
         let configs = vec![
             QueryConfigs {
                 configs: vec![
-                    AtomicConfig { candidate_ids: vec![], cost: 100.0 },
-                    AtomicConfig { candidate_ids: vec![0], cost: 10.0 },
+                    AtomicConfig {
+                        candidate_ids: vec![],
+                        cost: 100.0,
+                    },
+                    AtomicConfig {
+                        candidate_ids: vec![0],
+                        cost: 10.0,
+                    },
                 ],
             },
             QueryConfigs {
                 configs: vec![
-                    AtomicConfig { candidate_ids: vec![], cost: 100.0 },
-                    AtomicConfig { candidate_ids: vec![1], cost: 20.0 },
-                    AtomicConfig { candidate_ids: vec![0, 1], cost: 5.0 },
+                    AtomicConfig {
+                        candidate_ids: vec![],
+                        cost: 100.0,
+                    },
+                    AtomicConfig {
+                        candidate_ids: vec![1],
+                        cost: 20.0,
+                    },
+                    AtomicConfig {
+                        candidate_ids: vec![0, 1],
+                        cost: 5.0,
+                    },
                 ],
             },
         ];

@@ -39,7 +39,32 @@ const USAGE: &str = "usage:
   pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F]
   pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
   pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N]
-  pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>";
+  pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>
+  pgdesign --help";
+
+const HELP: &str = "pgdesign — automated, interactive, portable DB designer
+
+Subcommands (one per usage scenario of the SIGMOD 2010 demo):
+  evaluate    Scenario 1 (interactive): what-if evaluation of DBA-chosen
+              indexes, with benefit panel and index-interaction graph
+  recommend   Scenario 2 (offline): automatic index recommendation for a
+              workload under a storage budget
+  online      Scenario 3 (online): continuous COLT-style tuning over a
+              drifting query stream
+  explain     Show the what-if optimizer's plan for one SQL statement
+
+Common flags:
+  --catalog <sdss|tpch>   Built-in sample catalog (default sdss)
+  --scale S               Catalog scale factor (default 0.01)
+  --workload <FILE|builtin:N>
+                          One SQL statement per line, or a generated
+                          N-query built-in workload
+
+Per-subcommand flags:
+  recommend   --budget-frac F        Index budget as a fraction of data size
+  evaluate    --index table:c1,c2    Hypothetical index (repeatable)
+  online      --queries N --epoch N  Stream length and COLT epoch length
+  explain     --sql QUERY            Statement to explain";
 
 /// Minimal flag parser: `--key value` pairs after the subcommand;
 /// repeatable keys collect into a list.
@@ -101,8 +126,8 @@ fn parse_workload_text(catalog: &Catalog, text: &str) -> Result<Workload, String
         if stmt.is_empty() || stmt.starts_with("--") {
             continue;
         }
-        let q = parse_query(&catalog.schema, stmt)
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let q =
+            parse_query(&catalog.schema, stmt).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         w.push(q, 1.0);
     }
     if w.is_empty() {
@@ -124,8 +149,7 @@ fn load_workload(catalog: &Catalog, flags: &Flags) -> Result<Workload, String> {
             sdss_workload(catalog, n, 42)
         });
     }
-    let text =
-        std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
+    let text = std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec:?}: {e}"))?;
     parse_workload_text(catalog, &text)
 }
 
@@ -133,6 +157,23 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing subcommand".into());
     };
+    // A bare `help` only counts in subcommand position — later args could
+    // be flag values that legitimately spell "help".
+    let help_flag = |a: &String| matches!(a.as_str(), "--help" | "-h");
+    if help_flag(cmd) || cmd == "help" || rest.iter().any(help_flag) {
+        println!("{HELP}");
+        println!();
+        println!("{USAGE}");
+        return Ok(());
+    }
+    // Validate the subcommand before the (multi-second) catalog build so
+    // typos fail instantly.
+    if !matches!(
+        cmd.as_str(),
+        "recommend" | "evaluate" | "online" | "explain"
+    ) {
+        return Err(format!("unknown subcommand {cmd:?}"));
+    }
     let flags = Flags::parse(rest)?;
     let catalog = load_catalog(&flags)?;
     let designer = Designer::new(catalog);
@@ -150,7 +191,10 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{report}");
             println!("Index definitions:");
             for idx in &report.indexes.indexes {
-                println!("  CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+                println!(
+                    "  CREATE INDEX ON {};",
+                    idx.display(&designer.catalog.schema)
+                );
             }
             Ok(())
         }
@@ -183,8 +227,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| format!("bad --epoch {s:?}")))
                 .transpose()?
                 .unwrap_or(25);
-            let mut stream =
-                DriftingStream::sdss_default(designer.catalog.clone(), queries / 6, 7);
+            let mut stream = DriftingStream::sdss_default(designer.catalog.clone(), queries / 6, 7);
             let mut session = designer.online_session(ColtConfig {
                 epoch_length: epoch,
                 storage_budget_bytes: designer.catalog.data_bytes() / 4,
@@ -200,12 +243,11 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "explain" => {
-            let sql = flags.get("sql").ok_or_else(|| "missing --sql".to_string())?;
+            let sql = flags
+                .get("sql")
+                .ok_or_else(|| "missing --sql".to_string())?;
             let q = parse_query(&designer.catalog.schema, sql).map_err(|e| e.to_string())?;
-            print!(
-                "{}",
-                designer.explain(&designer.catalog.base_design, &q)
-            );
+            print!("{}", designer.explain(&designer.catalog.base_design, &q));
             Ok(())
         }
         other => Err(format!("unknown subcommand {other:?}")),

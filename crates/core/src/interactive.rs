@@ -65,7 +65,11 @@ impl BenefitReport {
 
 impl fmt::Display for BenefitReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "workload cost: {:.1} -> {:.1}", self.base_cost, self.whatif_cost)?;
+        writeln!(
+            f,
+            "workload cost: {:.1} -> {:.1}",
+            self.base_cost, self.whatif_cost
+        )?;
         writeln!(
             f,
             "average workload benefit: {:.1}%",
@@ -274,7 +278,8 @@ mod tests {
             "SELECT ra FROM photoobj WHERE ra BETWEEN 100 AND 110",
         ];
         let w = Workload::from_queries(
-            sqls.iter().map(|s| parse_query(&d.catalog.schema, s).unwrap()),
+            sqls.iter()
+                .map(|s| parse_query(&d.catalog.schema, s).unwrap()),
         );
         (d, w)
     }
@@ -288,7 +293,11 @@ mod tests {
         assert!(s.add_index_by_name("photoobj", &["objid"]).unwrap());
         let after = s.evaluate();
         assert!(after.average_benefit() > 0.0);
-        assert!(after.per_query[0].benefit() > 0.9, "point query: {:?}", after.per_query[0]);
+        assert!(
+            after.per_query[0].benefit() > 0.9,
+            "point query: {:?}",
+            after.per_query[0]
+        );
         assert!(after.index_bytes > 0, "sizes are real, not zero");
     }
 
@@ -331,7 +340,10 @@ mod tests {
             vec![vec![0, 1, 2], (3..16).collect()],
         ));
         let report = s.fragment_report();
-        assert!(report.contains("Q1 reads 1 fragment(s) of photoobj"), "{report}");
+        assert!(
+            report.contains("Q1 reads 1 fragment(s) of photoobj"),
+            "{report}"
+        );
         assert!(report.contains("objid"));
     }
 

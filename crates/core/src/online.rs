@@ -101,8 +101,11 @@ mod tests {
             epoch_length: 5,
             ..Default::default()
         });
-        let q = parse_query(&d.catalog.schema, "SELECT ra FROM photoobj WHERE objid = 42")
-            .unwrap();
+        let q = parse_query(
+            &d.catalog.schema,
+            "SELECT ra FROM photoobj WHERE objid = 42",
+        )
+        .unwrap();
         s.observe_all(std::iter::repeat_with(|| q.clone()).take(15));
         assert_eq!(s.reports().len(), 3);
         let (untuned, tuned) = s.cumulative_costs();
@@ -119,8 +122,7 @@ mod tests {
             payback_horizon_epochs: 10.0,
             ..Default::default()
         });
-        let q = parse_query(&d.catalog.schema, "SELECT ra FROM photoobj WHERE objid = 7")
-            .unwrap();
+        let q = parse_query(&d.catalog.schema, "SELECT ra FROM photoobj WHERE objid = 7").unwrap();
         s.observe_all(std::iter::repeat_with(|| q.clone()).take(40));
         let last = s.reports().last().unwrap();
         assert!(

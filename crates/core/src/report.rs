@@ -7,7 +7,10 @@ use std::fmt;
 
 /// Render the scenario-2 report (called from `OfflineReport`'s `Display`).
 pub fn render_offline(r: &OfflineReport, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    writeln!(f, "==================== Physical design recommendation ====================")?;
+    writeln!(
+        f,
+        "==================== Physical design recommendation ===================="
+    )?;
     writeln!(
         f,
         "Workload cost: {:.1} -> {:.1}   Average workload benefit: {:.1}%",
@@ -62,7 +65,13 @@ pub fn render_offline(r: &OfflineReport, f: &mut fmt::Formatter<'_>) -> fmt::Res
         } else {
             0.0
         };
-        writeln!(f, "   Q{:<3} {:>12.1} -> {:>12.1}   ({pct:>5.1}%)", i + 1, base, tuned)?;
+        writeln!(
+            f,
+            "   Q{:<3} {:>12.1} -> {:>12.1}   ({pct:>5.1}%)",
+            i + 1,
+            base,
+            tuned
+        )?;
     }
     writeln!(f)?;
 
@@ -86,7 +95,11 @@ pub fn render_offline(r: &OfflineReport, f: &mut fmt::Formatter<'_>) -> fmt::Res
     writeln!(
         f,
         "   naive order:             {:?}   (area {:.1})",
-        r.naive_schedule.order.iter().map(|i| i + 1).collect::<Vec<_>>(),
+        r.naive_schedule
+            .order
+            .iter()
+            .map(|i| i + 1)
+            .collect::<Vec<_>>(),
         r.naive_schedule.area
     )?;
     if r.naive_schedule.area > 0.0 {

@@ -1,0 +1,85 @@
+//! Smoke tests driving the compiled `pgdesign` binary end to end, so the
+//! CLI surface is covered by `cargo test`.
+
+use std::process::Command;
+
+fn pgdesign(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_pgdesign"))
+        .args(args)
+        .output()
+        .expect("spawn pgdesign")
+}
+
+#[test]
+fn help_lists_the_three_scenario_subcommands() {
+    let out = pgdesign(&["--help"]);
+    assert!(out.status.success(), "--help should exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for subcommand in ["evaluate", "recommend", "online"] {
+        assert!(
+            text.contains(subcommand),
+            "--help must list the scenario subcommand {subcommand:?}:\n{text}"
+        );
+    }
+    // Each scenario is labelled with its number from the paper.
+    for scenario in ["Scenario 1", "Scenario 2", "Scenario 3"] {
+        assert!(
+            text.contains(scenario),
+            "--help must mention {scenario}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn help_spellings_are_equivalent() {
+    let long = pgdesign(&["--help"]);
+    let short = pgdesign(&["-h"]);
+    let word = pgdesign(&["help"]);
+    assert!(short.status.success() && word.status.success());
+    assert_eq!(long.stdout, short.stdout);
+    assert_eq!(long.stdout, word.stdout);
+}
+
+#[test]
+fn subcommand_followed_by_help_prints_help() {
+    let out = pgdesign(&["recommend", "--help"]);
+    assert!(out.status.success(), "recommend --help should exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("Scenario 2"),
+        "should print the help text:\n{text}"
+    );
+}
+
+#[test]
+fn unknown_subcommand_fails_fast() {
+    let out = pgdesign(&["recomend", "--scale", "0.1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown subcommand"), "{err}");
+}
+
+#[test]
+fn missing_subcommand_fails_with_usage() {
+    let out = pgdesign(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "stderr should carry usage:\n{err}");
+}
+
+#[test]
+fn explain_prints_a_plan() {
+    let out = pgdesign(&[
+        "explain",
+        "--scale",
+        "0.005",
+        "--sql",
+        "SELECT ra FROM photoobj WHERE objid = 5",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("Scan"),
+        "plan should contain a scan node:\n{text}"
+    );
+}

@@ -69,7 +69,10 @@ pub struct ConfigCostCache<'a> {
 impl<'a> ConfigCostCache<'a> {
     /// New cache over a candidate set.
     pub fn new(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &'a [Index]) -> Self {
-        assert!(indexes.len() <= 20, "interaction analysis supports ≤ 20 indexes");
+        assert!(
+            indexes.len() <= 20,
+            "interaction analysis supports ≤ 20 indexes"
+        );
         ConfigCostCache {
             inum,
             workload,
@@ -337,8 +340,11 @@ mod tests {
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
         let w = Workload::from_queries([
-            parse_query(&c.schema, "SELECT objid FROM photoobj WHERE type = 3 AND r < 14")
-                .unwrap(),
+            parse_query(
+                &c.schema,
+                "SELECT objid FROM photoobj WHERE type = 3 AND r < 14",
+            )
+            .unwrap(),
             parse_query(&c.schema, "SELECT bestobjid FROM specobj WHERE plate = 300").unwrap(),
         ]);
         let t = photo(&c);

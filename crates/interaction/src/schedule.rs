@@ -60,11 +60,7 @@ fn evaluate_order(
 }
 
 /// The naive schedule: build in the given (recommendation) order.
-pub fn naive_schedule(
-    inum: &Inum<'_>,
-    workload: &Workload,
-    indexes: &[Index],
-) -> Schedule {
+pub fn naive_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -> Schedule {
     let times: Vec<f64> = indexes.iter().map(|i| build_time(inum, i)).collect();
     let mut cache = ConfigCostCache::new(inum, workload, indexes);
     let order: Vec<usize> = (0..indexes.len()).collect();
@@ -76,11 +72,7 @@ pub fn naive_schedule(
 /// the largest marginal benefit-rate per unit build time given what is
 /// already built. Interactions are honoured because marginal benefits are
 /// re-evaluated against the current set.
-pub fn greedy_schedule(
-    inum: &Inum<'_>,
-    workload: &Workload,
-    indexes: &[Index],
-) -> Schedule {
+pub fn greedy_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -> Schedule {
     let n = indexes.len();
     let times: Vec<f64> = indexes.iter().map(|i| build_time(inum, i)).collect();
     let mut cache = ConfigCostCache::new(inum, workload, indexes);
@@ -110,11 +102,7 @@ pub fn greedy_schedule(
 ///
 /// `dp[mask]` = minimum area to have built exactly `mask`;
 /// `dp[mask | i] = min(dp[mask] + t_i × rate(mask))`.
-pub fn exact_schedule(
-    inum: &Inum<'_>,
-    workload: &Workload,
-    indexes: &[Index],
-) -> Schedule {
+pub fn exact_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -> Schedule {
     let n = indexes.len();
     assert!(n <= 16, "exact schedule supports ≤ 16 indexes");
     let times: Vec<f64> = indexes.iter().map(|i| build_time(inum, i)).collect();
@@ -195,7 +183,11 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let (w, idxs) = scenario(&c);
         let s = greedy_schedule(&inum, &w, &idxs);
-        assert_eq!(s.order[0], 1, "objid index should be built first: {:?}", s.order);
+        assert_eq!(
+            s.order[0], 1,
+            "objid index should be built first: {:?}",
+            s.order
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! super-structure of a plan — and therefore its *internal cost* — does not
 //! depend on which physical structures deliver the rows. Cardinalities are
 //! design-independent, so the internal cost can be computed once per order
-//! combination (a [`Skeleton`](pgdesign_optimizer::Skeleton)) and reused
+//! combination (a [`Skeleton`]) and reused
 //! for every candidate configuration:
 //!
 //! ```text
@@ -152,10 +152,7 @@ impl<'a> Inum<'a> {
                     order: p.order,
                 })
                 .collect();
-            let unordered = paths
-                .iter()
-                .map(|p| p.cost)
-                .fold(f64::INFINITY, f64::min);
+            let unordered = paths.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min);
             slot_paths.push(paths);
             slot_unordered.push(unordered);
             slot_eq_bound.push(prof.eq_bound);
@@ -263,8 +260,8 @@ impl<'a> Inum<'a> {
 /// Hash key identifying a query (template *and* literals — selectivities
 /// feed the internal cost, so literals matter).
 fn query_key(query: &Query) -> u64 {
-    use pgdesign_query::ast::{Aggregate, PredOp};
     use pgdesign_catalog::types::Value;
+    use pgdesign_query::ast::{Aggregate, PredOp};
 
     fn hash_value<H: Hasher>(v: &Value, h: &mut H) {
         match v {
@@ -346,7 +343,7 @@ fn query_key(query: &Query) -> u64 {
 }
 
 /// Enumerate interesting-order combinations: the cartesian product of
-/// `None ∪ interesting_orders(slot)` over slots, capped at [`MAX_COMBOS`]
+/// `None ∪ interesting_orders(slot)` over slots, capped at `MAX_COMBOS`
 /// (the all-`None` combination always included first).
 pub fn order_combinations(query: &Query) -> Vec<Vec<Option<Vec<u16>>>> {
     let per_slot: Vec<Vec<Option<Vec<u16>>>> = (0..query.slot_count())
@@ -586,7 +583,14 @@ mod tests {
             vec![vec![0, 1, 2], (3..16).collect()],
         ));
         let part = inum.cost(&d, &q);
-        assert_eq!(inum.stats().skeletons_built, built, "partition extension reuses cache");
-        assert!(part < base, "narrow fragment should be cheaper: {part} vs {base}");
+        assert_eq!(
+            inum.stats().skeletons_built,
+            built,
+            "partition extension reuses cache"
+        );
+        assert!(
+            part < base,
+            "narrow fragment should be cheaper: {part} vs {base}"
+        );
     }
 }

@@ -83,11 +83,7 @@ pub fn query_candidates(catalog: &Catalog, query: &Query, cfg: &CandidateConfig)
         // Multi-column: sargable prefix (equality cols first, then the
         // first range column — already the order `sargable_columns` gives).
         if sargable.len() >= 2 {
-            let key: Vec<u16> = sargable
-                .iter()
-                .copied()
-                .take(cfg.max_key_columns)
-                .collect();
+            let key: Vec<u16> = sargable.iter().copied().take(cfg.max_key_columns).collect();
             push(Index::new(table, key.clone()));
             // Covering variant: append remaining needed columns.
             if cfg.include_covering {
@@ -273,7 +269,9 @@ mod tests {
         .unwrap();
         let cfg = CandidateConfig::default();
         let cands = query_candidates(&c, &q, &cfg);
-        assert!(cands.iter().all(|i| i.columns.len() <= cfg.max_covering_width));
+        assert!(cands
+            .iter()
+            .all(|i| i.columns.len() <= cfg.max_covering_width));
         // Some covering candidate includes a projected column.
         assert!(cands.iter().any(|i| i.columns.contains(&1)));
     }

@@ -145,10 +145,7 @@ pub fn execute(data: &[&TableData], query: &Query) -> Result<ResultSet, ExecErro
             .max_by_key(|&s| {
                 query
                     .joins_on(s)
-                    .filter(|j| {
-                        j.other_side(s)
-                            .is_some_and(|o| bound.contains(&o.slot))
-                    })
+                    .filter(|j| j.other_side(s).is_some_and(|o| bound.contains(&o.slot)))
                     .count()
             })
             .expect("unbound slot exists");
@@ -160,11 +157,9 @@ pub fn execute(data: &[&TableData], query: &Query) -> Result<ResultSet, ExecErro
             .filter_map(|j| {
                 let mine = j.column_on(next)?;
                 let other = j.other_side(next)?;
-                bound.contains(&other.slot).then_some((
-                    mine,
-                    other.slot,
-                    other.column,
-                ))
+                bound
+                    .contains(&other.slot)
+                    .then_some((mine, other.slot, other.column))
             })
             .collect();
 
@@ -503,10 +498,7 @@ mod tests {
     fn missing_data_is_an_error() {
         let (c, t, _) = setup(50);
         let q = parse_query(&c.schema, "SELECT t.id FROM t, u WHERE t.id = u.tid").unwrap();
-        assert!(matches!(
-            execute(&[&t], &q),
-            Err(ExecError::MissingData(_))
-        ));
+        assert!(matches!(execute(&[&t], &q), Err(ExecError::MissingData(_))));
     }
 
     #[test]

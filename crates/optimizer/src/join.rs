@@ -31,12 +31,7 @@ pub trait LeafProvider {
 
     /// A parameterized probe of `slot` with equality bindings on
     /// `eq_cols`, for use as a nested-loop inner. `None` disables NLJ.
-    fn param_probe(
-        &self,
-        ctx: &AccessContext<'_>,
-        slot: u16,
-        eq_cols: &[u16],
-    ) -> Option<PlanExpr>;
+    fn param_probe(&self, ctx: &AccessContext<'_>, slot: u16, eq_cols: &[u16]) -> Option<PlanExpr>;
 }
 
 /// The production leaf provider: real access paths under the design.
@@ -56,12 +51,7 @@ impl LeafProvider for AccessLeafProvider {
         Some(access::best_access(ctx, slot, Some(order), &[]))
     }
 
-    fn param_probe(
-        &self,
-        ctx: &AccessContext<'_>,
-        slot: u16,
-        eq_cols: &[u16],
-    ) -> Option<PlanExpr> {
+    fn param_probe(&self, ctx: &AccessContext<'_>, slot: u16, eq_cols: &[u16]) -> Option<PlanExpr> {
         Some(access::best_access(ctx, slot, None, eq_cols))
     }
 }
@@ -159,7 +149,7 @@ impl<'a, L: LeafProvider> JoinPlanner<'a, L> {
     pub fn plan(&self) -> Vec<PlanExpr> {
         let q = self.ctx.query;
         let n = q.slot_count() as usize;
-        assert!(n >= 1 && n <= 16, "join DP supports 1..=16 slots");
+        assert!((1..=16).contains(&n), "join DP supports 1..=16 slots");
         let full = (1u32 << n) - 1;
         let mut table: Vec<Vec<PlanExpr>> = vec![Vec::new(); (full + 1) as usize];
 
@@ -351,7 +341,9 @@ impl<'a, L: LeafProvider> JoinPlanner<'a, L> {
     ) {
         let p = self.ctx.params;
         let out_rows = self.subset_rows(mask);
-        if let (Some(outer), Some(inner)) = (cheapest(&table[a as usize]), cheapest(&table[b as usize])) {
+        if let (Some(outer), Some(inner)) =
+            (cheapest(&table[a as usize]), cheapest(&table[b as usize]))
+        {
             let cost = outer.cost
                 + inner.cost
                 + outer.rows * inner.rows * p.cpu_operator_cost
@@ -653,7 +645,10 @@ mod tests {
         let rj = planner.subset_rows(0b11);
         // FK join: |join| ≈ |specobj| (every spec row matches one photo).
         assert!(rj < r0 * r1, "join must be selective");
-        assert!((rj / r1 - 1.0).abs() < 0.5, "FK join ≈ inner size: {rj} vs {r1}");
+        assert!(
+            (rj / r1 - 1.0).abs() < 0.5,
+            "FK join ≈ inner size: {rj} vs {r1}"
+        );
     }
 
     #[test]

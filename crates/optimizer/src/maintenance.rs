@@ -125,7 +125,8 @@ pub fn design_maintenance_cost(
     for vp in design.verticals() {
         if let Some(w) = profile.per_table.get(&vp.table) {
             let extra_fragments = vp.groups.len().saturating_sub(1) as f64;
-            total += w.inserts * extra_fragments * (params.cpu_tuple_cost + params.seq_page_cost * 0.1);
+            total +=
+                w.inserts * extra_fragments * (params.cpu_tuple_cost + params.seq_page_cost * 0.1);
         }
     }
     total
@@ -197,10 +198,8 @@ mod tests {
     fn design_cost_sums_indexes_and_fragments() {
         let (c, p, t) = setup();
         let profile = WriteProfile::read_only().with_inserts(t, 1000.0);
-        let mut design = PhysicalDesign::with_indexes([
-            Index::new(t, vec![0]),
-            Index::new(t, vec![1, 2]),
-        ]);
+        let mut design =
+            PhysicalDesign::with_indexes([Index::new(t, vec![0]), Index::new(t, vec![1, 2])]);
         let idx_only = design_maintenance_cost(&p, &c, &design, &profile);
         design.set_vertical(VerticalPartitioning::new(
             t,

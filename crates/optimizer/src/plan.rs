@@ -197,14 +197,20 @@ impl PlanExpr {
                 } else {
                     "Index Scan"
                 };
-                let param = if *parameterized { ", parameterized" } else { "" };
+                let param = if *parameterized {
+                    ", parameterized"
+                } else {
+                    ""
+                };
                 format!(
                     "{kind} using {} (matched={matched_cols}{param})",
                     index.display(schema)
                 )
             }
             PlanNode::BitmapHeapScan {
-                index, matched_cols, ..
+                index,
+                matched_cols,
+                ..
             } => format!(
                 "Bitmap Heap Scan using {} (matched={matched_cols})",
                 index.display(schema)
@@ -222,7 +228,11 @@ impl PlanExpr {
             PlanNode::HashJoin { .. } => "Hash Join".to_string(),
             PlanNode::MergeJoin { key, .. } => {
                 let t = schema.table(query.table_of(key.0.slot));
-                format!("Merge Join (key: {}.{})", t.name, t.column(key.0.column).name)
+                format!(
+                    "Merge Join (key: {}.{})",
+                    t.name,
+                    t.column(key.0.column).name
+                )
             }
             PlanNode::NestLoop { .. } => "Nested Loop".to_string(),
             PlanNode::Aggregate { hash, .. } => {
@@ -290,7 +300,10 @@ mod tests {
 
     fn leaf(cost: f64) -> PlanExpr {
         PlanExpr {
-            node: PlanNode::SeqScan { slot: 0, filters: 0 },
+            node: PlanNode::SeqScan {
+                slot: 0,
+                filters: 0,
+            },
             cost,
             rows: 100.0,
             order: vec![],

@@ -24,14 +24,17 @@ pub fn predicate_selectivity(stats: &ColumnStats, op: &PredOp) -> f64 {
             match cmp {
                 CmpOp::Eq => stats.eq_selectivity(image),
                 CmpOp::Ne => (1.0 - stats.null_frac - stats.eq_selectivity(image)).max(0.0),
-                CmpOp::Lt => stats.range_selectivity(None, Some(image)) - stats.eq_selectivity(image).min(0.5),
-                CmpOp::Le => stats.range_selectivity(None, Some(image)),
-                CmpOp::Gt => (1.0 - stats.null_frac - stats.range_selectivity(None, Some(image))).max(0.0),
-                CmpOp::Ge => {
-                    (1.0 - stats.null_frac - stats.range_selectivity(None, Some(image))
-                        + stats.eq_selectivity(image))
-                    .max(0.0)
+                CmpOp::Lt => {
+                    stats.range_selectivity(None, Some(image))
+                        - stats.eq_selectivity(image).min(0.5)
                 }
+                CmpOp::Le => stats.range_selectivity(None, Some(image)),
+                CmpOp::Gt => {
+                    (1.0 - stats.null_frac - stats.range_selectivity(None, Some(image))).max(0.0)
+                }
+                CmpOp::Ge => (1.0 - stats.null_frac - stats.range_selectivity(None, Some(image))
+                    + stats.eq_selectivity(image))
+                .max(0.0),
             }
         }
         PredOp::Between(lo, hi) => {
@@ -110,9 +113,7 @@ pub fn group_count(catalog: &Catalog, query: &Query, input_rows: f64) -> f64 {
     }
     let mut ndv = 1.0f64;
     for g in &query.group_by {
-        let stats = catalog
-            .table_stats(query.table_of(g.slot))
-            .column(g.column);
+        let stats = catalog.table_stats(query.table_of(g.slot)).column(g.column);
         ndv *= stats.ndv.max(1.0);
     }
     ndv.min(input_rows).max(1.0)
@@ -220,8 +221,7 @@ mod tests {
     #[test]
     fn null_comparison_selects_nothing() {
         let c = catalog();
-        let stats = c
-            .column_stats(c.schema.resolve("photoobj", "ra").unwrap());
+        let stats = c.column_stats(c.schema.resolve("photoobj", "ra").unwrap());
         assert_eq!(
             predicate_selectivity(stats, &PredOp::Cmp(CmpOp::Eq, Value::Null)),
             0.0
@@ -231,8 +231,7 @@ mod tests {
     #[test]
     fn empty_between_selects_nothing() {
         let c = catalog();
-        let stats = c
-            .column_stats(c.schema.resolve("photoobj", "ra").unwrap());
+        let stats = c.column_stats(c.schema.resolve("photoobj", "ra").unwrap());
         let s = predicate_selectivity(
             stats,
             &PredOp::Between(Value::Float(50.0), Value::Float(10.0)),
@@ -243,8 +242,7 @@ mod tests {
     #[test]
     fn selectivities_clamped_to_unit() {
         let c = catalog();
-        let stats = c
-            .column_stats(c.schema.resolve("photoobj", "type").unwrap());
+        let stats = c.column_stats(c.schema.resolve("photoobj", "type").unwrap());
         let many: Vec<Value> = (0..100).map(Value::Int).collect();
         let s = predicate_selectivity(stats, &PredOp::InList(many));
         assert!(s <= 1.0);

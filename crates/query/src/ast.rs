@@ -20,9 +20,7 @@ pub struct QueryTable {
 }
 
 /// Reference to a column of a specific table slot in the query.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QueryColumn {
     /// Index into [`Query::tables`].
     pub slot: u16,
@@ -289,7 +287,11 @@ impl Query {
             if !f.op.is_sargable() {
                 continue;
             }
-            let bucket = if f.op.is_equality() { &mut eq } else { &mut rng };
+            let bucket = if f.op.is_equality() {
+                &mut eq
+            } else {
+                &mut rng
+            };
             if !bucket.contains(&f.col.column) {
                 bucket.push(f.col.column);
             }

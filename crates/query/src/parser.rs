@@ -84,7 +84,7 @@ impl<'a> Lexer<'a> {
                 if neg {
                     self.pos += 1;
                 }
-                let s = self.take_while(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '-' && false);
+                let s = self.take_while(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E');
                 let v: f64 = s.parse().map_err(|_| ParseError {
                     message: format!("bad number {s:?}"),
                     offset: start,
@@ -365,7 +365,8 @@ impl<'a> Parser<'a> {
                             (None, a)
                         };
                         self.expect_sym(")")?;
-                        self.pending_select.push(SelectItem::Agg(lower, Some((q, n))));
+                        self.pending_select
+                            .push(SelectItem::Agg(lower, Some((q, n))));
                     }
                 } else if self.sym(".") {
                     let n = self.ident()?;
@@ -464,7 +465,11 @@ impl<'a> Parser<'a> {
             self.expect_kw("null")?;
             self.query.filters.push(FilterPredicate {
                 col,
-                op: if not { PredOp::IsNotNull } else { PredOp::IsNull },
+                op: if not {
+                    PredOp::IsNotNull
+                } else {
+                    PredOp::IsNull
+                },
             });
             return Ok(());
         }
@@ -502,10 +507,7 @@ impl<'a> Parser<'a> {
     fn peek_is_colref(&self) -> bool {
         if let Tok::Ident(s) = self.peek() {
             // NULL / TRUE / FALSE are literals, not columns.
-            !matches!(
-                s.to_ascii_lowercase().as_str(),
-                "null" | "true" | "false"
-            )
+            !matches!(s.to_ascii_lowercase().as_str(), "null" | "true" | "false")
         } else {
             false
         }
@@ -571,7 +573,9 @@ impl<'a> Parser<'a> {
             let qualifier_ok = match qualifier {
                 None => true,
                 Some(q) => {
-                    qt.alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(q))
+                    qt.alias
+                        .as_deref()
+                        .is_some_and(|a| a.eq_ignore_ascii_case(q))
                         || (qt.alias.is_none() && t.name.eq_ignore_ascii_case(q))
                 }
             };
@@ -718,8 +722,11 @@ mod tests {
         let s = schema();
         assert!(parse_query(&s, "SELECT x FROM nope").is_err());
         assert!(parse_query(&s, "SELECT nope FROM photoobj").is_err());
-        let e = parse_query(&s, "SELECT objid FROM photoobj, specobj WHERE specobjid = 1 AND objid < bogus")
-            .unwrap_err();
+        let e = parse_query(
+            &s,
+            "SELECT objid FROM photoobj, specobj WHERE specobjid = 1 AND objid < bogus",
+        )
+        .unwrap_err();
         assert!(e.message.contains("bogus"), "{e}");
     }
 
@@ -751,9 +758,7 @@ mod tests {
     fn negative_and_float_literals() {
         let s = schema();
         let q = parse_query(&s, "SELECT ra FROM photoobj WHERE dec > -12.5").unwrap();
-        assert!(
-            matches!(q.filters[0].op, PredOp::Cmp(CmpOp::Gt, Value::Float(v)) if v == -12.5)
-        );
+        assert!(matches!(q.filters[0].op, PredOp::Cmp(CmpOp::Gt, Value::Float(v)) if v == -12.5));
     }
 
     #[test]

@@ -146,7 +146,9 @@ impl LinearProgram {
 
         if n == 0 {
             return Ok(LpSolution {
-                x: (0..n_all).map(|v| fixed.get(&v).copied().unwrap_or(0.0)).collect(),
+                x: (0..n_all)
+                    .map(|v| fixed.get(&v).copied().unwrap_or(0.0))
+                    .collect(),
                 objective: fixed_cost,
             });
         }

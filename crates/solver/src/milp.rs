@@ -140,11 +140,7 @@ impl Milp {
     }
 
     /// Solve with a warm-start incumbent (e.g. from a greedy heuristic).
-    pub fn solve_with_warm_start(
-        &self,
-        opts: &MilpOptions,
-        warm: Option<&[f64]>,
-    ) -> MilpResult {
+    pub fn solve_with_warm_start(&self, opts: &MilpOptions, warm: Option<&[f64]>) -> MilpResult {
         let start = Instant::now();
         let mut nodes = 0usize;
 
@@ -358,8 +354,7 @@ mod tests {
         let mut m = Milp::new();
         let a = m.add_binary(1.0);
         let b = m.add_binary(1.0);
-        m.lp
-            .add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
+        m.lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Ge, 3.0);
         let r = m.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Infeasible);
     }
@@ -401,11 +396,7 @@ mod tests {
         // Choose exactly one of three options; costs 3, 1, 2 → pick #1.
         let mut m = Milp::new();
         let vars = [m.add_binary(3.0), m.add_binary(1.0), m.add_binary(2.0)];
-        m.lp.add_constraint(
-            vars.iter().map(|&v| (v, 1.0)).collect(),
-            Relation::Eq,
-            1.0,
-        );
+        m.lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Relation::Eq, 1.0);
         let r = m.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert!((r.objective - 1.0).abs() < 1e-6);
@@ -419,8 +410,7 @@ mod tests {
         let mut m = Milp::new();
         let x = m.add_binary(5.0);
         let y = m.add_continuous(-1.0);
-        m.lp
-            .add_constraint(vec![(y, 1.0), (x, -10.0)], Relation::Le, 0.0);
+        m.lp.add_constraint(vec![(y, 1.0), (x, -10.0)], Relation::Le, 0.0);
         m.lp.add_constraint(vec![(y, 1.0)], Relation::Le, 7.0);
         let r = m.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);

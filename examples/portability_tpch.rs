@@ -33,7 +33,10 @@ fn main() {
     println!("{report}");
     println!("Index definitions:");
     for idx in &report.indexes.indexes {
-        println!("  CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+        println!(
+            "  CREATE INDEX ON {};",
+            idx.display(&designer.catalog.schema)
+        );
     }
 
     // Sanity: the compressed recommendation serves the full trace too.

@@ -36,7 +36,10 @@ fn main() {
     println!("{report}");
     println!("Suggested index definitions:");
     for idx in &report.indexes.indexes {
-        println!("  CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+        println!(
+            "  CREATE INDEX ON {};",
+            idx.display(&designer.catalog.schema)
+        );
     }
 
     // Every number above was computed with what-if analysis: nothing was

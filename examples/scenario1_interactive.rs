@@ -43,7 +43,9 @@ fn main() {
         .add_index_by_name("photoobj", &["r", "type"])
         .unwrap();
     session.add_index_by_name("photoobj", &["objid"]).unwrap();
-    session.add_index_by_name("specobj", &["bestobjid"]).unwrap();
+    session
+        .add_index_by_name("specobj", &["bestobjid"])
+        .unwrap();
 
     println!("== With 4 what-if indexes ==");
     println!("{}", session.evaluate());
@@ -53,12 +55,20 @@ fn main() {
     let graph = session.interaction_graph();
     println!("== Index interactions (top 3 of {}) ==", graph.edge_count());
     print!("{}", graph.to_text(&designer.catalog.schema, 3));
-    println!("\nDOT for rendering:\n{}", graph.to_dot(&designer.catalog.schema, 3));
+    println!(
+        "\nDOT for rendering:\n{}",
+        graph.to_dot(&designer.catalog.schema, 3)
+    );
 
     // A what-if vertical partition of photoobj: hot positional columns
     // split from the wide photometric payload.
     session.set_vertical(VerticalPartitioning::new(
-        designer.catalog.schema.table_by_name("photoobj").unwrap().id,
+        designer
+            .catalog
+            .schema
+            .table_by_name("photoobj")
+            .unwrap()
+            .id,
         vec![vec![0, 1, 2], (3..16).collect()],
     ));
     println!("== With the what-if vertical partition added ==");

@@ -29,7 +29,10 @@ fn main() {
         println!("{report}");
         println!("Index definitions:");
         for idx in &report.indexes.indexes {
-            println!("  CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+            println!(
+                "  CREATE INDEX ON {};",
+                idx.display(&designer.catalog.schema)
+            );
         }
         println!(
             "Materialization order (interaction-aware): {}",

@@ -28,7 +28,6 @@ fn main() {
         whatif_budget_per_epoch: 120,
         ewma_alpha: 0.6,
         payback_horizon_epochs: 6.0,
-        ..Default::default()
     });
 
     for _ in 0..12 {
@@ -57,7 +56,11 @@ fn main() {
     for r in session.reports() {
         for e in &r.events {
             match e {
-                pgdesign_colt::ColtEvent::Materialize { epoch, index, build_cost } => {
+                pgdesign_colt::ColtEvent::Materialize {
+                    epoch,
+                    index,
+                    build_cost,
+                } => {
                     println!(
                         "epoch {epoch}: MATERIALIZE {} (build cost {build_cost:.0})",
                         index.display(&designer.catalog.schema)

@@ -20,8 +20,18 @@ fn main() {
     let catalog = sdss_catalog(0.01);
     let workload = sdss_workload(&catalog, 18, 404);
     let designer = Designer::new(catalog);
-    let photo = designer.catalog.schema.table_by_name("photoobj").unwrap().id;
-    let neighbors = designer.catalog.schema.table_by_name("neighbors").unwrap().id;
+    let photo = designer
+        .catalog
+        .schema
+        .table_by_name("photoobj")
+        .unwrap()
+        .id;
+    let neighbors = designer
+        .catalog
+        .schema
+        .table_by_name("neighbors")
+        .unwrap()
+        .id;
 
     // Nightly ingest per tuning period (sized against this workload's
     // weight so the trade-off is visible rather than degenerate).
@@ -30,7 +40,10 @@ fn main() {
         .with_inserts(neighbors, 16_000.0)
         .with_updates(photo, 1_000.0, vec![12, 13]); // flags, status
 
-    for (label, profile) in [("read-only assumption", None), ("write-aware", Some(writes.clone()))] {
+    for (label, profile) in [
+        ("read-only assumption", None),
+        ("write-aware", Some(writes.clone())),
+    ] {
         let rec = designer.recommend_indexes(
             &workload,
             CophyConfig {
@@ -52,12 +65,13 @@ fn main() {
             .map(|(q, w)| w * designer.cost(&rec.design, q))
             .sum();
         println!("== {label} ==");
-        println!(
-            "  query cost {query_cost:.0}, TRUE upkeep under real writes: {upkeep:.0}"
-        );
+        println!("  query cost {query_cost:.0}, TRUE upkeep under real writes: {upkeep:.0}");
         println!("  total cost including upkeep: {:.0}", query_cost + upkeep);
         for idx in &rec.indexes {
-            println!("    CREATE INDEX ON {};", idx.display(&designer.catalog.schema));
+            println!(
+                "    CREATE INDEX ON {};",
+                idx.display(&designer.catalog.schema)
+            );
         }
         println!();
     }

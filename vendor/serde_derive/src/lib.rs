@@ -1,0 +1,21 @@
+//! Offline shim for the real `serde_derive` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal stand-in. The workspace only *derives* `Serialize`/`Deserialize`
+//! (no code actually serializes anything yet, and nothing bounds on the
+//! traits), so the derives expand to nothing. Swap `vendor/serde` for the
+//! real crates in the root manifest to restore full serde behaviour.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
