@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify tier1 fmt lint doc bench
+.PHONY: verify tier1 fmt lint doc bench bench-json
 
 # Everything CI checks, in CI's order.
 verify: fmt lint tier1 doc
@@ -25,3 +25,8 @@ doc:
 # The E1-E7 experiment benches (report + timing per experiment).
 bench:
 	$(CARGO) bench -p pgdesign-bench
+
+# E4 perf trajectory: run the matrix-vs-INUM-vs-reoptimization comparison
+# and record calls/sec + speedup factors in BENCH_e4.json at the repo root.
+bench-json:
+	BENCH_E4_JSON=$(CURDIR)/BENCH_e4.json $(CARGO) bench -p pgdesign-bench --bench e4_inum

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pgdesign::Designer;
 use pgdesign_bench::{mib, setup};
 use pgdesign_cophy::greedy_select;
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 
 fn print_report() {
@@ -32,7 +32,8 @@ fn print_report() {
             &bench.workload,
             &CandidateConfig::default(),
         );
-        let greedy = greedy_select(&inum, &bench.workload, &cands, budget);
+        let matrix = CostMatrix::build(&inum, &bench.workload, &cands.indexes);
+        let greedy = greedy_select(&matrix, budget);
         let sched_save = if report.naive_schedule.area > 0.0 {
             100.0 * (report.naive_schedule.area - report.schedule.area).max(0.0)
                 / report.naive_schedule.area

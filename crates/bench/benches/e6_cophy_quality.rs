@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgdesign_bench::setup;
 use pgdesign_cophy::{greedy_select, CophyAdvisor, CophyConfig};
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_solver::MilpOptions;
 use std::time::{Duration, Instant};
@@ -22,7 +22,8 @@ fn print_report() {
     // Greedy reference.
     let cands = workload_candidates(&bench.catalog, &bench.workload, &CandidateConfig::default());
     let t = Instant::now();
-    let greedy = greedy_select(&inum, &bench.workload, &cands, budget);
+    let matrix = CostMatrix::build(&inum, &bench.workload, &cands.indexes);
+    let greedy = greedy_select(&matrix, budget);
     let greedy_ms = t.elapsed().as_secs_f64() * 1e3;
 
     println!("=== E6: CoPhy anytime quality (27 queries, budget = 0.25x data) ===");

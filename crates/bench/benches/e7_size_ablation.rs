@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pgdesign_bench::{mib, setup};
 use pgdesign_catalog::design::PhysicalDesign;
 use pgdesign_cophy::greedy_select;
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 
 fn print_report() {
@@ -19,10 +19,11 @@ fn print_report() {
     inum.prepare_workload(&bench.workload);
     let budget = bench.catalog.data_bytes() / 4;
     let cands = workload_candidates(&bench.catalog, &bench.workload, &CandidateConfig::default());
+    let matrix = CostMatrix::build(&inum, &bench.workload, &cands.indexes);
     let base = inum.workload_cost(&PhysicalDesign::empty(), &bench.workload);
 
     // Size-aware advisor: greedy under the real budget.
-    let aware = greedy_select(&inum, &bench.workload, &cands, budget);
+    let aware = greedy_select(&matrix, budget);
     let aware_design =
         PhysicalDesign::with_indexes(aware.chosen.iter().map(|&i| cands.indexes[i].clone()));
     let aware_bytes = aware_design.index_bytes(&bench.catalog.schema, &bench.catalog.stats);
@@ -30,7 +31,7 @@ fn print_report() {
     // Zero-size advisor: believes every index is free, so it takes every
     // candidate with positive benefit ("unlimited" budget); the *claimed*
     // storage is zero, the actual storage is whatever those indexes weigh.
-    let zero = greedy_select(&inum, &bench.workload, &cands, u64::MAX / 2);
+    let zero = greedy_select(&matrix, u64::MAX / 2);
     let zero_design =
         PhysicalDesign::with_indexes(zero.chosen.iter().map(|&i| cands.indexes[i].clone()));
     let zero_bytes = zero_design.index_bytes(&bench.catalog.schema, &bench.catalog.stats);
@@ -79,10 +80,11 @@ fn bench_selection(c: &mut Criterion) {
     inum.prepare_workload(&bench.workload);
     let budget = bench.catalog.data_bytes() / 4;
     let cands = workload_candidates(&bench.catalog, &bench.workload, &CandidateConfig::default());
+    let matrix = CostMatrix::build(&inum, &bench.workload, &cands.indexes);
     let mut g = c.benchmark_group("e7");
     g.sample_size(10);
     g.bench_function("greedy_select_budgeted", |b| {
-        b.iter(|| greedy_select(&inum, &bench.workload, &cands, budget))
+        b.iter(|| greedy_select(&matrix, budget))
     });
     g.finish();
 }

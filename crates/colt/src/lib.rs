@@ -24,9 +24,10 @@
 //!   tuner here applies them to its own simulated design.
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{query_candidates, CandidateConfig};
 use pgdesign_query::ast::Query;
+use pgdesign_query::Workload;
 use std::collections::HashMap;
 
 /// COLT knobs.
@@ -200,36 +201,98 @@ impl<'a> ColtTuner<'a> {
             }
         }
 
-        // Budgeted benefit profiling.
+        // Probe plan: exactly the (candidate, query) pairs the what-if
+        // budget admits, computed up front in deterministic (sorted
+        // candidate) order. Each probed pair consumes two calls, matching
+        // the pre-matrix accounting (an odd budget admits its last pair,
+        // as the old per-pair check did). Candidates the plan never
+        // reaches receive zero benefit, exactly as if the budget had run
+        // out before them.
+        let mut profile_order: Vec<(&Index, &Vec<usize>)> = relevant.iter().collect();
+        profile_order.sort_by(|a, b| a.0.cmp(b.0));
+        let mut remaining_pairs = self.config.whatif_budget_per_epoch.div_ceil(2);
+        let plan: Vec<(&Index, &[usize], usize)> = profile_order
+            .into_iter()
+            .map(|(cand, queries)| {
+                let take = queries.len().min(remaining_pairs);
+                remaining_pairs -= take;
+                (cand, &queries[..take], queries.len())
+            })
+            .collect();
+
+        // Per-epoch cost matrix over the planned candidates plus the
+        // currently materialized set, restricted to the queries the plan
+        // probes: every with/without probe below is a pure lookup (delta
+        // evaluation against the current configuration) instead of a
+        // per-design INUM call, and the build work is bounded by the
+        // what-if budget — not by the epoch length.
+        let mut cand_list: Vec<Index> = plan
+            .iter()
+            .filter(|(_, probed, _)| !probed.is_empty())
+            .map(|(c, _, _)| (*c).clone())
+            .collect();
+        for idx in self.current.indexes() {
+            if !cand_list.contains(idx) {
+                cand_list.push(idx.clone());
+            }
+        }
+        let mut probed_queries: Vec<usize> = plan
+            .iter()
+            .flat_map(|(_, probed, _)| probed.iter().copied())
+            .collect();
+        probed_queries.sort_unstable();
+        probed_queries.dedup();
+        let dense_of = |qi: usize| probed_queries.binary_search(&qi).expect("probed");
+        let epoch_workload = Workload::from_queries(
+            probed_queries
+                .iter()
+                .map(|&qi| self.epoch_queries[qi].clone()),
+        );
+        let matrix = CostMatrix::build(self.inum, &epoch_workload, &cand_list);
+        let current_config = matrix.config_of(
+            self.current
+                .indexes()
+                .iter()
+                .map(|idx| cand_list.iter().position(|c| c == idx).expect("in list")),
+        );
+
+        // The current configuration's per-query costs depend only on the
+        // query, so they are computed once and shared by every candidate
+        // probe (each probe still charges two what-if calls — one side is
+        // served from this prefix, the other is the toggled lookup).
+        let current_costs: Vec<f64> = (0..epoch_workload.len())
+            .map(|qi| matrix.cost(qi, &current_config))
+            .collect();
         let mut whatif_calls = 0usize;
         let mut epoch_benefit: HashMap<Index, f64> = HashMap::new();
-        for (cand, queries) in &relevant {
-            let (design_without, design_with);
-            if self.current.has_index(cand) {
-                design_without = self.current.minus_index(cand);
-                design_with = self.current.clone();
-            } else {
-                design_without = self.current.clone();
-                design_with = self.current.plus_index(cand);
+        for (i, (cand, probed, n_relevant)) in plan.into_iter().enumerate() {
+            if probed.is_empty() {
+                epoch_benefit.insert(cand.clone(), 0.0);
+                continue;
             }
+            // The non-empty plan prefix mirrors cand_list's head, so the
+            // id is just the position.
+            let cid = i;
+            debug_assert_eq!(&cand_list[cid], cand);
+            let materialized = self.current.has_index(cand);
             let mut measured = 0.0;
-            let mut sampled = 0usize;
-            for &qi in queries {
-                if whatif_calls >= self.config.whatif_budget_per_epoch {
-                    break;
-                }
-                let q = &self.epoch_queries[qi];
-                let c_without = self.inum.cost(&design_without, q);
-                let c_with = self.inum.cost(&design_with, q);
+            for &qi in probed {
+                let dq = dense_of(qi);
+                let (c_without, c_with) = if materialized {
+                    (
+                        matrix.cost_minus(dq, &current_config, cid),
+                        current_costs[dq],
+                    )
+                } else {
+                    (
+                        current_costs[dq],
+                        matrix.cost_plus(dq, &current_config, cid),
+                    )
+                };
                 whatif_calls += 2;
-                sampled += 1;
                 measured += (c_without - c_with).max(0.0);
             }
-            let scale = if sampled > 0 {
-                queries.len() as f64 / sampled as f64
-            } else {
-                0.0
-            };
+            let scale = n_relevant as f64 / probed.len() as f64;
             epoch_benefit.insert(cand.clone(), measured * scale);
         }
 

@@ -4,7 +4,7 @@ use crate::atomic::{self, enumerate_atomic_configs};
 use crate::formulation::{build_ilp, decode_solution, warm_start_assignment};
 use crate::greedy::greedy_select;
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::maintenance::{index_maintenance_cost, WriteProfile};
 use pgdesign_query::Workload;
@@ -100,6 +100,11 @@ impl<'a> CophyAdvisor<'a> {
         let catalog = self.inum.catalog();
         let candidates = workload_candidates(catalog, workload, &self.config.candidates);
 
+        // One cost matrix serves atomic enumeration, the greedy warm
+        // start, and solution validation — every configuration cost below
+        // is a pure lookup.
+        let matrix = CostMatrix::build(self.inum, workload, &candidates.indexes);
+
         // Sizes, filtering out candidates that alone exceed the budget.
         let mut sizes: HashMap<usize, f64> = HashMap::new();
         for (id, idx) in candidates.indexes.iter().enumerate() {
@@ -109,12 +114,7 @@ impl<'a> CophyAdvisor<'a> {
             }
         }
 
-        let configs = enumerate_atomic_configs(
-            self.inum,
-            workload,
-            &candidates,
-            self.config.max_configs_per_query,
-        );
+        let configs = enumerate_atomic_configs(&matrix, self.config.max_configs_per_query);
         // Restrict configs to within-budget candidates.
         let configs: Vec<_> = configs
             .into_iter()
@@ -153,13 +153,8 @@ impl<'a> CophyAdvisor<'a> {
             self.config.storage_budget_bytes as f64,
         );
 
-        // Greedy warm start.
-        let warm_greedy = greedy_select(
-            self.inum,
-            workload,
-            &candidates,
-            self.config.storage_budget_bytes,
-        );
+        // Greedy warm start (delta evaluation on the shared matrix).
+        let warm_greedy = greedy_select(&matrix, self.config.storage_budget_bytes);
         let warm = warm_start_assignment(&model, &configs, &warm_greedy.chosen);
 
         let result = model
@@ -180,8 +175,8 @@ impl<'a> CophyAdvisor<'a> {
                 .map(|id| maintenance.get(id).copied().unwrap_or(0.0))
                 .sum()
         };
-        let ilp_design = atomic::design_from_ids(&candidates, &ilp_ids);
-        let ilp_cost = self.inum.workload_cost(&ilp_design, workload) + maint_of(&ilp_ids);
+        let ilp_cost =
+            matrix.workload_cost(&matrix.config_of(ilp_ids.iter().copied())) + maint_of(&ilp_ids);
         let greedy_total = warm_greedy.cost + maint_of(&warm_greedy.chosen);
         let chosen_ids = if ilp_cost <= greedy_total {
             ilp_ids
@@ -191,12 +186,17 @@ impl<'a> CophyAdvisor<'a> {
         let design = atomic::design_from_ids(&candidates, &chosen_ids);
         let indexes = atomic::indexes_from_ids(&candidates, &chosen_ids);
 
-        let empty = PhysicalDesign::empty();
-        let base_cost = self.inum.workload_cost(&empty, workload);
-        let cost = self.inum.workload_cost(&design, workload) + maint_of(&chosen_ids);
-        let per_query = workload
-            .iter()
-            .map(|(q, _)| (self.inum.cost(&empty, q), self.inum.cost(&design, q)))
+        let empty_config = matrix.empty_config();
+        let chosen_config = matrix.config_of(chosen_ids.iter().copied());
+        let base_cost = matrix.workload_cost(&empty_config);
+        let cost = matrix.workload_cost(&chosen_config) + maint_of(&chosen_ids);
+        let per_query = (0..matrix.n_queries())
+            .map(|qi| {
+                (
+                    matrix.cost(qi, &empty_config),
+                    matrix.cost(qi, &chosen_config),
+                )
+            })
             .collect();
         let total_index_bytes = design.index_bytes(&catalog.schema, &catalog.stats);
 
@@ -242,7 +242,8 @@ mod tests {
                 &w,
                 &CandidateConfig::default(),
             );
-            greedy_select(&inum, &w, &cands, budget).cost
+            let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+            greedy_select(&matrix, budget).cost
         };
         (rec, greedy)
     }

@@ -3,14 +3,18 @@
 //! An *atomic configuration* for a query is a set of candidate indexes a
 //! single plan can use simultaneously — at most one per table slot. The
 //! ILP's per-query decision is which atomic configuration to execute
-//! under; its cost is evaluated once, through INUM, and becomes a constant
-//! in the objective.
+//! under; its cost is evaluated once, through the INUM cost matrix, and
+//! becomes a constant in the objective.
+//!
+//! All costing here is pure matrix lookups: solo benefits use
+//! [`CostMatrix::cost_plus`] against the empty configuration, and each
+//! enumerated configuration is costed as a [`CandidateBitset`] — no
+//! per-candidate design cloning, no access-path re-enumeration.
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CandidateBitset, CostMatrix};
 use pgdesign_optimizer::candidates::CandidateSet;
 use pgdesign_query::ast::Query;
-use pgdesign_query::Workload;
 
 /// One atomic configuration: candidate ids (into the shared candidate
 /// list) with at most one index per slot, plus its INUM-estimated cost.
@@ -32,29 +36,31 @@ pub struct QueryConfigs {
 /// Per-slot shortlist size (top-k single-index winners per slot).
 const TOP_PER_SLOT: usize = 3;
 
-/// Enumerate and cost atomic configurations for every workload query.
+/// Enumerate and cost atomic configurations for every workload query of
+/// the matrix's workload.
 ///
 /// `max_configs_per_query` caps the cartesian product per query; the empty
 /// configuration is always present so the ILP remains feasible at budget 0.
 pub fn enumerate_atomic_configs(
-    inum: &Inum<'_>,
-    workload: &Workload,
-    candidates: &CandidateSet,
+    matrix: &CostMatrix<'_>,
     max_configs_per_query: usize,
 ) -> Vec<QueryConfigs> {
-    workload
+    matrix
+        .workload()
         .iter()
-        .map(|(q, _)| query_atomic_configs(inum, q, candidates, max_configs_per_query))
+        .enumerate()
+        .map(|(qi, (q, _))| query_atomic_configs(matrix, qi, q, max_configs_per_query))
         .collect()
 }
 
 fn query_atomic_configs(
-    inum: &Inum<'_>,
+    matrix: &CostMatrix<'_>,
+    query_id: usize,
     query: &Query,
-    candidates: &CandidateSet,
     max_configs: usize,
 ) -> QueryConfigs {
-    let empty_cost = inum.cost(&PhysicalDesign::empty(), query);
+    let empty = matrix.empty_config();
+    let empty_cost = matrix.cost(query_id, &empty);
 
     // Shortlist per slot: candidates on that slot's table whose solo
     // benefit is positive, best first.
@@ -62,11 +68,11 @@ fn query_atomic_configs(
     for slot in 0..query.slot_count() {
         let table = query.table_of(slot);
         let mut scored: Vec<(usize, f64)> = Vec::new();
-        for (id, idx) in candidates.indexes.iter().enumerate() {
+        for (id, idx) in matrix.indexes().iter().enumerate() {
             if idx.table != table {
                 continue;
             }
-            let solo = inum.cost(&PhysicalDesign::with_indexes([idx.clone()]), query);
+            let solo = matrix.cost_plus(query_id, &empty, id);
             let benefit = empty_cost - solo;
             if benefit > 1e-9 {
                 scored.push((id, benefit));
@@ -112,16 +118,18 @@ fn query_atomic_configs(
         raw.truncate(max_configs.max(1));
     }
 
+    let mut scratch = CandidateBitset::new(matrix.n_candidates());
     let configs = raw
         .into_iter()
         .map(|ids| {
             let cost = if ids.is_empty() {
                 empty_cost
             } else {
-                let design = PhysicalDesign::with_indexes(
-                    ids.iter().map(|&i| candidates.indexes[i].clone()),
-                );
-                inum.cost(&design, query)
+                scratch.clear();
+                for &id in &ids {
+                    scratch.insert(id);
+                }
+                matrix.cost(query_id, &scratch)
             };
             AtomicConfig {
                 candidate_ids: ids,
@@ -161,9 +169,15 @@ pub fn indexes_from_ids(candidates: &CandidateSet, ids: &[usize]) -> Vec<Index> 
 mod tests {
     use super::*;
     use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_inum::Inum;
     use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
     use pgdesign_optimizer::Optimizer;
     use pgdesign_query::generators::sdss_workload;
+    use pgdesign_query::Workload;
+
+    fn matrix_for<'a>(inum: &'a Inum<'a>, w: &'a Workload, cands: &CandidateSet) -> CostMatrix<'a> {
+        CostMatrix::build(inum, w, &cands.indexes)
+    }
 
     #[test]
     fn empty_config_is_always_first() {
@@ -172,7 +186,8 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 1);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        let configs = enumerate_atomic_configs(&inum, &w, &cands, 12);
+        let matrix = matrix_for(&inum, &w, &cands);
+        let configs = enumerate_atomic_configs(&matrix, 12);
         assert_eq!(configs.len(), w.len());
         for qc in &configs {
             assert!(qc.configs[0].candidate_ids.is_empty());
@@ -193,7 +208,8 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 2);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        let configs = enumerate_atomic_configs(&inum, &w, &cands, 12);
+        let matrix = matrix_for(&inum, &w, &cands);
+        let configs = enumerate_atomic_configs(&matrix, 12);
         for qc in &configs {
             let empty = qc.configs[0].cost;
             for cfg in &qc.configs[1..] {
@@ -210,13 +226,37 @@ mod tests {
     }
 
     #[test]
+    fn config_costs_match_the_slow_path_oracle() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 5);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = matrix_for(&inum, &w, &cands);
+        let configs = enumerate_atomic_configs(&matrix, 12);
+        for (qc, (q, _)) in configs.iter().zip(w.iter()) {
+            for cfg in &qc.configs {
+                let design = design_from_ids(&cands, &cfg.candidate_ids);
+                let oracle = inum.cost(&design, q);
+                assert!(
+                    (cfg.cost - oracle).abs() < 1e-9,
+                    "matrix {} vs oracle {oracle} for {:?}",
+                    cfg.cost,
+                    cfg.candidate_ids
+                );
+            }
+        }
+    }
+
+    #[test]
     fn used_candidates_are_a_subset() {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 3);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        let configs = enumerate_atomic_configs(&inum, &w, &cands, 12);
+        let matrix = matrix_for(&inum, &w, &cands);
+        let configs = enumerate_atomic_configs(&matrix, 12);
         let used = used_candidates(&configs);
         assert!(used.iter().all(|&id| id < cands.indexes.len()));
         assert!(!used.is_empty(), "some index should help some query");
@@ -229,7 +269,8 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 4);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        let configs = enumerate_atomic_configs(&inum, &w, &cands, 16);
+        let matrix = matrix_for(&inum, &w, &cands);
+        let configs = enumerate_atomic_configs(&matrix, 16);
         for (qc, (q, _)) in configs.iter().zip(w.iter()) {
             for cfg in &qc.configs {
                 // Count indexes per table; must not exceed the number of

@@ -2,52 +2,48 @@
 //! against ("greedy heuristics ... often suggest locally optimal solutions
 //! instead of the globally optimal one"), reproduced here both as the
 //! comparison point for experiments E2/E6 and as CoPhy's warm start.
+//!
+//! Selection runs entirely on the precomputed [`CostMatrix`]: every trial
+//! index is evaluated as a delta against the current configuration
+//! ([`CostMatrix::workload_cost_plus`]), so one greedy round is pure
+//! lookups — no design construction, no access-path re-enumeration.
 
-use pgdesign_catalog::design::PhysicalDesign;
-use pgdesign_inum::Inum;
-use pgdesign_optimizer::candidates::CandidateSet;
-use pgdesign_query::Workload;
+use pgdesign_inum::CostMatrix;
 
 /// Result of the greedy search.
 #[derive(Debug, Clone)]
 pub struct GreedyResult {
-    /// Chosen candidate ids (into the candidate set).
+    /// Chosen candidate ids (into the matrix's candidate list).
     pub chosen: Vec<usize>,
     /// Workload cost under the chosen design (INUM estimate).
     pub cost: f64,
-    /// Number of INUM cost evaluations performed.
+    /// Number of configuration cost evaluations performed.
     pub evaluations: usize,
 }
 
 /// Classic greedy: repeatedly add the candidate with the best
 /// benefit-per-byte until the budget is exhausted or nothing improves.
-pub fn greedy_select(
-    inum: &Inum<'_>,
-    workload: &Workload,
-    candidates: &CandidateSet,
-    storage_budget_bytes: u64,
-) -> GreedyResult {
-    let catalog = inum.catalog();
-    let sizes: Vec<u64> = candidates
-        .indexes
+pub fn greedy_select(matrix: &CostMatrix<'_>, storage_budget_bytes: u64) -> GreedyResult {
+    let catalog = matrix.inum().catalog();
+    let sizes: Vec<u64> = matrix
+        .indexes()
         .iter()
         .map(|i| i.size_bytes(&catalog.schema, catalog.table_stats(i.table)))
         .collect();
 
     let mut chosen: Vec<usize> = Vec::new();
-    let mut design = PhysicalDesign::empty();
-    let mut current = inum.workload_cost(&design, workload);
+    let mut config = matrix.empty_config();
+    let mut current = matrix.workload_cost(&config);
     let mut budget_left = storage_budget_bytes as i128;
     let mut evaluations = 1usize;
 
     loop {
         let mut best: Option<(usize, f64, f64)> = None; // (id, new_cost, score)
-        for (id, idx) in candidates.indexes.iter().enumerate() {
-            if chosen.contains(&id) || sizes[id] as i128 > budget_left {
+        for id in 0..matrix.n_candidates() {
+            if config.contains(id) || sizes[id] as i128 > budget_left {
                 continue;
             }
-            let trial = design.plus_index(idx);
-            let cost = inum.workload_cost(&trial, workload);
+            let cost = matrix.workload_cost_plus(&config, id);
             evaluations += 1;
             let benefit = current - cost;
             if benefit <= 1e-9 {
@@ -60,7 +56,7 @@ pub fn greedy_select(
         }
         match best {
             Some((id, cost, _)) => {
-                design.add_index(candidates.indexes[id].clone());
+                config.insert(id);
                 chosen.push(id);
                 budget_left -= sizes[id] as i128;
                 current = cost;
@@ -79,7 +75,9 @@ pub fn greedy_select(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgdesign_catalog::design::PhysicalDesign;
     use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_inum::Inum;
     use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
     use pgdesign_optimizer::Optimizer;
     use pgdesign_query::generators::sdss_workload;
@@ -91,11 +89,17 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 7);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
         let base = inum.workload_cost(&PhysicalDesign::empty(), &w);
-        let r = greedy_select(&inum, &w, &cands, c.data_bytes());
+        let r = greedy_select(&matrix, c.data_bytes());
         assert!(!r.chosen.is_empty());
         assert!(r.cost < base, "{} vs {}", r.cost, base);
         assert!(r.evaluations > cands.indexes.len());
+        // The matrix's estimate agrees with the slow-path oracle.
+        let design =
+            PhysicalDesign::with_indexes(r.chosen.iter().map(|&id| cands.indexes[id].clone()));
+        let oracle = inum.workload_cost(&design, &w);
+        assert!((r.cost - oracle).abs() < 1e-6, "{} vs {oracle}", r.cost);
     }
 
     #[test]
@@ -105,8 +109,9 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 8);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
         let budget = c.data_bytes() / 20;
-        let r = greedy_select(&inum, &w, &cands, budget);
+        let r = greedy_select(&matrix, budget);
         let used: u64 = r
             .chosen
             .iter()
@@ -125,7 +130,8 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 9);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        let r = greedy_select(&inum, &w, &cands, 0);
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let r = greedy_select(&matrix, 0);
         assert!(r.chosen.is_empty());
     }
 
@@ -136,8 +142,9 @@ mod tests {
         let inum = Inum::new(&c, &opt);
         let w = sdss_workload(&c, 9, 10);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        let small = greedy_select(&inum, &w, &cands, c.data_bytes() / 50);
-        let large = greedy_select(&inum, &w, &cands, c.data_bytes());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let small = greedy_select(&matrix, c.data_bytes() / 50);
+        let large = greedy_select(&matrix, c.data_bytes());
         assert!(large.cost <= small.cost + 1e-6);
     }
 }

@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn merged_candidate_can_replace_two_parents_under_tight_budget() {
         use crate::greedy_select;
-        use pgdesign_inum::Inum;
+        use pgdesign_inum::{CostMatrix, Inum};
         use pgdesign_optimizer::Optimizer;
 
         let c = sdss_catalog(0.01);
@@ -158,8 +158,8 @@ mod tests {
         let augmented = augment_with_merges(&c, &base, 4, 50);
         // A budget that fits ~one index: the merged pool can only help.
         let budget = c.data_bytes() / 40;
-        let plain = greedy_select(&inum, &w, &base, budget);
-        let merged = greedy_select(&inum, &w, &augmented, budget);
+        let plain = greedy_select(&CostMatrix::build(&inum, &w, &base.indexes), budget);
+        let merged = greedy_select(&CostMatrix::build(&inum, &w, &augmented.indexes), budget);
         assert!(
             merged.cost <= plain.cost + 1e-6,
             "merged pool must not lose: {} vs {}",

@@ -36,7 +36,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F]
+  pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F] [--stats]
   pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
   pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N]
   pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>
@@ -62,6 +62,8 @@ Common flags:
 
 Per-subcommand flags:
   recommend   --budget-frac F        Index budget as a fraction of data size
+              --stats                Print INUM/cost-matrix counters (matrix
+                                     builds, lookups, optimizer calls avoided)
   evaluate    --index table:c1,c2    Hypothetical index (repeatable)
   online      --queries N --epoch N  Stream length and COLT epoch length
   explain     --sql QUERY            Statement to explain";
@@ -157,10 +159,22 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing subcommand".into());
     };
-    // A bare `help` only counts in subcommand position — later args could
-    // be flag values that legitimately spell "help".
-    let help_flag = |a: &String| matches!(a.as_str(), "--help" | "-h");
-    if help_flag(cmd) || cmd == "help" || rest.iter().any(help_flag) {
+    // A bare `help` only counts in subcommand position, and `--help`/`-h`
+    // only in flag-key positions — later args could be flag *values* that
+    // legitimately spell "help" or "-h" (e.g. a workload file named -h).
+    let help_after_subcommand = || {
+        let mut i = 0;
+        while i < rest.len() {
+            match rest[i].as_str() {
+                "--help" | "-h" => return true,
+                "--stats" => i += 1,                // the one valueless flag
+                s if s.starts_with("--") => i += 2, // skip the flag's value
+                _ => return false,                  // malformed; let Flags::parse report it
+            }
+        }
+        false
+    };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") || help_after_subcommand() {
         println!("{HELP}");
         println!();
         println!("{USAGE}");
@@ -174,7 +188,17 @@ fn run(args: &[String]) -> Result<(), String> {
     ) {
         return Err(format!("unknown subcommand {cmd:?}"));
     }
-    let flags = Flags::parse(rest)?;
+    // `--stats` is the one valueless flag; extract it before the
+    // `--key value` pair parser sees the argument list. Only `recommend`
+    // honours it — elsewhere it would be silently ignored, so fail loudly.
+    let show_stats = rest.iter().any(|a| a == "--stats");
+    if show_stats && cmd != "recommend" {
+        return Err(format!(
+            "--stats is only supported by `recommend`, not `{cmd}`"
+        ));
+    }
+    let rest: Vec<String> = rest.iter().filter(|a| *a != "--stats").cloned().collect();
+    let flags = Flags::parse(&rest)?;
     let catalog = load_catalog(&flags)?;
     let designer = Designer::new(catalog);
 
@@ -195,6 +219,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     "  CREATE INDEX ON {};",
                     idx.display(&designer.catalog.schema)
                 );
+            }
+            if show_stats {
+                println!();
+                print!("{}", report.stats);
             }
             Ok(())
         }
@@ -315,6 +343,18 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         run(&args).unwrap();
+    }
+
+    #[test]
+    fn help_spelled_as_a_flag_value_is_not_help() {
+        // "-h" here is the *value* of --catalog, not a help request: the
+        // command must fail on the bad catalog instead of exiting 0.
+        let args: Vec<String> = ["explain", "--catalog", "-h", "--sql", "SELECT 1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(err.contains("unknown catalog"), "{err}");
     }
 
     #[test]

@@ -9,8 +9,7 @@ use pgdesign_catalog::Catalog;
 use pgdesign_colt::ColtConfig;
 use pgdesign_cophy::{CophyAdvisor, CophyConfig, Recommendation};
 use pgdesign_interaction::{
-    analyze, greedy_schedule, naive_schedule, InteractionAnalysis, InteractionConfig,
-    InteractionGraph, Schedule,
+    analyze, schedule_pair, InteractionAnalysis, InteractionConfig, InteractionGraph, Schedule,
 };
 use pgdesign_inum::Inum;
 use pgdesign_optimizer::{JoinControl, Optimizer};
@@ -144,8 +143,7 @@ impl Designer {
             &InteractionConfig::default(),
         );
         let graph = analysis.graph();
-        let schedule = greedy_schedule(&inum, workload, &indexes.indexes);
-        let naive = naive_schedule(&inum, workload, &indexes.indexes);
+        let (schedule, naive) = schedule_pair(&inum, workload, &indexes.indexes);
 
         let per_query = workload
             .iter()
@@ -162,6 +160,10 @@ impl Designer {
             .iter()
             .map(|i| i.display(&self.catalog.schema))
             .collect();
+        let stats = crate::report::TuningStats {
+            inum: inum.stats(),
+            matrix: inum.matrix_stats(),
+        };
         OfflineReport {
             indexes,
             partitions,
@@ -174,6 +176,7 @@ impl Designer {
             schedule,
             naive_schedule: naive,
             index_display,
+            stats,
         }
     }
 }
@@ -204,6 +207,9 @@ pub struct OfflineReport {
     pub naive_schedule: Schedule,
     /// Human-readable names of the suggested indexes (schema-resolved).
     pub index_display: Vec<String>,
+    /// INUM / cost-matrix counters captured at the end of the run (what
+    /// `pgdesign recommend --stats` prints).
+    pub stats: crate::report::TuningStats,
 }
 
 impl OfflineReport {

@@ -54,6 +54,7 @@ pub mod report;
 pub use designer::{Designer, OfflineReport};
 pub use interactive::{BenefitReport, InteractiveSession};
 pub use online::OnlineSession;
+pub use report::TuningStats;
 
 // Re-export the component crates under one roof.
 pub use pgdesign_autopart as autopart;

@@ -3,7 +3,43 @@
 //! benefit and the average workload benefit").
 
 use crate::designer::OfflineReport;
+use pgdesign_inum::{InumStats, MatrixStats};
 use std::fmt;
+
+/// Counters from both INUM cache levels, captured after a tuning run —
+/// what `pgdesign recommend --stats` prints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TuningStats {
+    /// First level: skeleton cache.
+    pub inum: InumStats,
+    /// Second level: precomputed cost matrices.
+    pub matrix: MatrixStats,
+}
+
+impl fmt::Display for TuningStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "-- INUM / cost-matrix statistics --")?;
+        writeln!(
+            f,
+            "   skeleton cache: {} cost calls ({} hits / {} misses, {} skeletons built)",
+            self.inum.cost_calls,
+            self.inum.cache_hits,
+            self.inum.cache_misses,
+            self.inum.skeletons_built
+        )?;
+        writeln!(
+            f,
+            "   cost matrices:  {} built ({} cells precomputed)",
+            self.matrix.builds, self.matrix.cells
+        )?;
+        writeln!(f, "   matrix lookups: {}", self.matrix.lookups)?;
+        writeln!(
+            f,
+            "   estimated what-if optimizer calls avoided: {}",
+            self.matrix.whatif_calls_avoided()
+        )
+    }
+}
 
 /// Render the scenario-2 report (called from `OfflineReport`'s `Display`).
 pub fn render_offline(r: &OfflineReport, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -68,6 +68,68 @@ fn missing_subcommand_fails_with_usage() {
 }
 
 #[test]
+fn recommend_stats_prints_inum_and_matrix_counters() {
+    let out = pgdesign(&[
+        "recommend",
+        "--scale",
+        "0.003",
+        "--workload",
+        "builtin:5",
+        "--budget-frac",
+        "0.3",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "recommend --stats should exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("Physical design recommendation"),
+        "the report itself must still print:\n{text}"
+    );
+    for needle in [
+        "INUM / cost-matrix statistics",
+        "skeleton cache:",
+        "cost matrices:",
+        "matrix lookups:",
+        "optimizer calls avoided",
+    ] {
+        assert!(
+            text.contains(needle),
+            "--stats must print {needle:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn stats_flag_is_rejected_outside_recommend() {
+    let out = pgdesign(&["explain", "--sql", "SELECT ra FROM photoobj", "--stats"]);
+    assert!(!out.status.success(), "--stats is recommend-only");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--stats is only supported by `recommend`"),
+        "{err}"
+    );
+}
+
+#[test]
+fn recommend_without_stats_omits_counters() {
+    let out = pgdesign(&[
+        "recommend",
+        "--scale",
+        "0.003",
+        "--workload",
+        "builtin:5",
+        "--budget-frac",
+        "0.3",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        !text.contains("INUM / cost-matrix statistics"),
+        "counters are opt-in:\n{text}"
+    );
+}
+
+#[test]
 fn explain_prints_a_plan() {
     let out = pgdesign(&[
         "explain",

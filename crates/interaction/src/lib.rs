@@ -37,10 +37,10 @@ pub mod graph;
 pub mod schedule;
 
 pub use graph::InteractionGraph;
-pub use schedule::{exact_schedule, greedy_schedule, naive_schedule, Schedule};
+pub use schedule::{exact_schedule, greedy_schedule, naive_schedule, schedule_pair, Schedule};
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_query::Workload;
 use std::collections::HashMap;
 
@@ -58,25 +58,27 @@ impl Default for InteractionConfig {
     }
 }
 
-/// Memoized workload costs per index-subset bitmask.
+/// Memoized workload costs per index-subset bitmask, served from a
+/// precomputed [`CostMatrix`]: each first-seen subset costs one matrix
+/// lookup per query (additions and `min`s over precomputed floats), never
+/// a design construction or an access-path enumeration. The `2^k` subset
+/// sweep of [`analyze`] runs entirely on this.
 pub struct ConfigCostCache<'a> {
-    inum: &'a Inum<'a>,
-    workload: &'a Workload,
-    indexes: &'a [Index],
+    matrix: CostMatrix<'a>,
+    weights: Vec<f64>,
     costs: HashMap<u32, Vec<f64>>,
 }
 
 impl<'a> ConfigCostCache<'a> {
     /// New cache over a candidate set.
-    pub fn new(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &'a [Index]) -> Self {
+    pub fn new(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &[Index]) -> Self {
         assert!(
             indexes.len() <= 20,
             "interaction analysis supports ≤ 20 indexes"
         );
         ConfigCostCache {
-            inum,
-            workload,
-            indexes,
+            matrix: CostMatrix::build(inum, workload, indexes),
+            weights: workload.iter().map(|(_, w)| w).collect(),
             costs: HashMap::new(),
         }
     }
@@ -84,11 +86,11 @@ impl<'a> ConfigCostCache<'a> {
     /// Per-query costs under the subset encoded by `mask`.
     pub fn query_costs(&mut self, mask: u32) -> &[f64] {
         if !self.costs.contains_key(&mask) {
-            let design = self.design_of(mask);
-            let costs: Vec<f64> = self
-                .workload
-                .iter()
-                .map(|(q, _)| self.inum.cost(&design, q))
+            let config = self
+                .matrix
+                .config_of((0..self.matrix.n_candidates()).filter(|i| mask & (1 << i) != 0));
+            let costs: Vec<f64> = (0..self.matrix.n_queries())
+                .map(|qi| self.matrix.cost(qi, &config))
                 .collect();
             self.costs.insert(mask, costs);
         }
@@ -97,18 +99,19 @@ impl<'a> ConfigCostCache<'a> {
 
     /// Weighted workload cost under the subset encoded by `mask`.
     pub fn workload_cost(&mut self, mask: u32) -> f64 {
-        let weights: Vec<f64> = self.workload.iter().map(|(_, w)| w).collect();
-        self.query_costs(mask)
+        self.query_costs(mask); // fill the memo
+        self.costs[&mask]
             .iter()
-            .zip(weights)
+            .zip(&self.weights)
             .map(|(c, w)| c * w)
             .sum()
     }
 
-    /// The design corresponding to a bitmask.
+    /// The design corresponding to a bitmask (slow-path bridge).
     pub fn design_of(&self, mask: u32) -> PhysicalDesign {
         PhysicalDesign::with_indexes(
-            self.indexes
+            self.matrix
+                .indexes()
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| mask & (1 << i) != 0)

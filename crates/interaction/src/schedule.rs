@@ -63,9 +63,27 @@ fn evaluate_order(
 pub fn naive_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -> Schedule {
     let times: Vec<f64> = indexes.iter().map(|i| build_time(inum, i)).collect();
     let mut cache = ConfigCostCache::new(inum, workload, indexes);
-    let order: Vec<usize> = (0..indexes.len()).collect();
-    let (area, curve) = evaluate_order(&mut cache, &times, &order);
+    naive_with(&mut cache, &times, indexes.len())
+}
+
+fn naive_with(cache: &mut ConfigCostCache<'_>, times: &[f64], n: usize) -> Schedule {
+    let order: Vec<usize> = (0..n).collect();
+    let (area, curve) = evaluate_order(cache, times, &order);
     Schedule { order, area, curve }
+}
+
+/// The greedy and naive schedules over one shared cost cache (one matrix
+/// build serves both — they memoize the same configuration costs).
+pub fn schedule_pair(
+    inum: &Inum<'_>,
+    workload: &Workload,
+    indexes: &[Index],
+) -> (Schedule, Schedule) {
+    let times: Vec<f64> = indexes.iter().map(|i| build_time(inum, i)).collect();
+    let mut cache = ConfigCostCache::new(inum, workload, indexes);
+    let greedy = greedy_with(&mut cache, &times, indexes.len());
+    let naive = naive_with(&mut cache, &times, indexes.len());
+    (greedy, naive)
 }
 
 /// Greedy interaction-aware schedule: at each step, build the index with
@@ -73,9 +91,12 @@ pub fn naive_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -
 /// already built. Interactions are honoured because marginal benefits are
 /// re-evaluated against the current set.
 pub fn greedy_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -> Schedule {
-    let n = indexes.len();
     let times: Vec<f64> = indexes.iter().map(|i| build_time(inum, i)).collect();
     let mut cache = ConfigCostCache::new(inum, workload, indexes);
+    greedy_with(&mut cache, &times, indexes.len())
+}
+
+fn greedy_with(cache: &mut ConfigCostCache<'_>, times: &[f64], n: usize) -> Schedule {
     let mut order = Vec::with_capacity(n);
     let mut mask = 0u32;
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -94,7 +115,7 @@ pub fn greedy_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) 
         order.push(best);
         mask |= 1 << best;
     }
-    let (area, curve) = evaluate_order(&mut cache, &times, &order);
+    let (area, curve) = evaluate_order(cache, times, &order);
     Schedule { order, area, curve }
 }
 

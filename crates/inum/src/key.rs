@@ -1,0 +1,90 @@
+//! Cache keys for the skeleton cache.
+
+use pgdesign_query::ast::Query;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hash key identifying a query (template *and* literals — selectivities
+/// feed the internal cost, so literals matter).
+pub(crate) fn query_key(query: &Query) -> u64 {
+    use pgdesign_catalog::types::Value;
+    use pgdesign_query::ast::{Aggregate, PredOp};
+
+    fn hash_value<H: Hasher>(v: &Value, h: &mut H) {
+        match v {
+            Value::Null => 0u8.hash(h),
+            Value::Int(i) => {
+                1u8.hash(h);
+                i.hash(h);
+            }
+            Value::Float(x) => {
+                2u8.hash(h);
+                x.to_bits().hash(h);
+            }
+            Value::Str(s) => {
+                3u8.hash(h);
+                s.hash(h);
+            }
+            Value::Bool(b) => {
+                4u8.hash(h);
+                b.hash(h);
+            }
+        }
+    }
+
+    let mut h = DefaultHasher::new();
+    for t in &query.tables {
+        t.table.0.hash(&mut h);
+    }
+    query.select_star.hash(&mut h);
+    for p in &query.projection {
+        p.hash(&mut h);
+    }
+    for a in &query.aggregates {
+        std::mem::discriminant(a).hash(&mut h);
+        if let Aggregate::Count(c)
+        | Aggregate::Sum(c)
+        | Aggregate::Avg(c)
+        | Aggregate::Min(c)
+        | Aggregate::Max(c) = a
+        {
+            c.hash(&mut h);
+        }
+    }
+    for f in &query.filters {
+        f.col.hash(&mut h);
+        match &f.op {
+            PredOp::Cmp(op, v) => {
+                0u8.hash(&mut h);
+                op.hash(&mut h);
+                hash_value(v, &mut h);
+            }
+            PredOp::Between(a, b) => {
+                1u8.hash(&mut h);
+                hash_value(a, &mut h);
+                hash_value(b, &mut h);
+            }
+            PredOp::InList(vs) => {
+                2u8.hash(&mut h);
+                for v in vs {
+                    hash_value(v, &mut h);
+                }
+            }
+            PredOp::IsNull => 3u8.hash(&mut h),
+            PredOp::IsNotNull => 4u8.hash(&mut h),
+        }
+    }
+    for j in &query.joins {
+        j.left.hash(&mut h);
+        j.right.hash(&mut h);
+    }
+    for g in &query.group_by {
+        g.hash(&mut h);
+    }
+    for o in &query.order_by {
+        o.col.hash(&mut h);
+        o.desc.hash(&mut h);
+    }
+    query.limit.hash(&mut h);
+    h.finish()
+}

@@ -1,0 +1,557 @@
+//! The precomputed access-cost matrix — the second level of INUM's
+//! two-level cache.
+//!
+//! [`crate::Inum::cost`] already amortizes the optimizer's join/sort
+//! planning across designs via the skeleton cache, but it still enumerates
+//! and costs access paths for *every* `(design, query)` call. The
+//! enumeration-heavy advisors (CoPhy's atomic configurations, greedy
+//! selection, COLT's epoch profiling, the `2^k`-subset
+//! degree-of-interaction sweep) issue thousands of such calls against
+//! configurations drawn from one fixed candidate set — so the per-slot,
+//! per-candidate access costs can be precomputed once and every
+//! configuration cost becomes additions and `min`s over floats:
+//!
+//! ```text
+//! cost(q, C) = min over skeletons k of
+//!              internal(k) + Σ_slots min( base(slot, order_k),
+//!                                         min_{c ∈ C on slot's table}
+//!                                             access(c, slot, order_k) )
+//! ```
+//!
+//! A configuration `C` is a [`CandidateBitset`] over candidate ids;
+//! [`CostMatrix::cost`] walks precomputed vectors with zero allocation, no
+//! [`PhysicalDesign`] construction and no access-path re-enumeration, and
+//! agrees with [`crate::Inum::cost`] exactly (the suite's invariant tests
+//! assert this within 1e-6). [`CostMatrix::delta_add`] /
+//! [`CostMatrix::delta_remove`] evaluate the cost change of toggling one
+//! candidate without materializing the toggled configuration.
+
+use crate::inum::Inum;
+use pgdesign_catalog::design::{Index, PhysicalDesign};
+use pgdesign_optimizer::access::{self, AccessContext, SlotProfile};
+use pgdesign_optimizer::plan::order_satisfies;
+use pgdesign_query::ast::QueryColumn;
+use pgdesign_query::Workload;
+
+/// Counters for the matrix layer, aggregated on the owning [`Inum`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixStats {
+    /// Matrices built.
+    pub builds: u64,
+    /// Precomputed cost cells (one per `(query, slot)` base entry and one
+    /// per `(query, slot, candidate)` entry) — the one-off build work,
+    /// each roughly one access-path costing.
+    pub cells: u64,
+    /// Configuration-cost lookups served from matrices.
+    pub lookups: u64,
+}
+
+impl MatrixStats {
+    /// Estimated what-if optimizer calls avoided: every lookup replaces a
+    /// per-design cost call, minus the one-off costing work spent filling
+    /// the matrix.
+    pub fn whatif_calls_avoided(&self) -> u64 {
+        self.lookups.saturating_sub(self.cells)
+    }
+}
+
+/// A set of candidate ids (positions into the candidate list a
+/// [`CostMatrix`] was built over), stored as a bitset so membership tests
+/// in the costing hot loop are a single shift-and-mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateBitset {
+    words: Vec<u64>,
+}
+
+impl CandidateBitset {
+    /// Empty set with capacity for `n_candidates` ids.
+    pub fn new(n_candidates: usize) -> Self {
+        CandidateBitset {
+            words: vec![0; n_candidates.div_ceil(64).max(1)],
+        }
+    }
+
+    /// Empty set with capacity for `n_candidates` ids, filled with `ids`.
+    pub fn from_ids<I: IntoIterator<Item = usize>>(n_candidates: usize, ids: I) -> Self {
+        let mut s = Self::new(n_candidates);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Add a candidate.
+    pub fn insert(&mut self, id: usize) {
+        self.words[id / 64] |= 1 << (id % 64);
+    }
+
+    /// Remove a candidate.
+    pub fn remove(&mut self, id: usize) {
+        self.words[id / 64] &= !(1 << (id % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        self.words
+            .get(id / 64)
+            .is_some_and(|w| w & (1 << (id % 64)) != 0)
+    }
+
+    /// Remove every candidate.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of candidates in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no candidate is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The contained candidate ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Sentinel for "no order required" in the flattened skeleton requirements.
+const NO_ORDER: u32 = u32::MAX;
+
+/// Precomputed access costs of one candidate index on one slot.
+struct CandCosts {
+    /// Candidate id (position in the matrix's candidate list).
+    id: usize,
+    /// Cheapest path cost ignoring order (∞ when the index contributes no
+    /// path for this slot).
+    unordered: f64,
+    /// Cheapest path cost delivering each distinct required order
+    /// (∞ when no path of this candidate satisfies it).
+    ordered: Vec<f64>,
+}
+
+/// Per-slot cost row: the empty-design base plus per-candidate columns.
+struct SlotCosts {
+    /// Sequential-scan (base) cost, the only path under the empty design.
+    base_unordered: f64,
+    /// Base cost per required order (∞ unless the order is trivially
+    /// satisfied, i.e. every required column is equality-bound).
+    base_ordered: Vec<f64>,
+    /// Candidates on this slot's table that contribute at least one path.
+    cands: Vec<CandCosts>,
+}
+
+/// Everything needed to cost one query against any candidate subset.
+struct QueryMatrix {
+    /// Workload weight.
+    weight: f64,
+    /// Internal (design-independent) cost per skeleton.
+    internal: Vec<f64>,
+    /// Per skeleton, per slot: required-order id or [`NO_ORDER`].
+    reqs: Vec<Vec<u32>>,
+    /// Per-slot cost rows.
+    slots: Vec<SlotCosts>,
+}
+
+/// The precomputed per-(query, candidate) access-cost matrix for one
+/// workload and one candidate list.
+pub struct CostMatrix<'a> {
+    inum: &'a Inum<'a>,
+    workload: &'a Workload,
+    indexes: Vec<Index>,
+    queries: Vec<QueryMatrix>,
+}
+
+impl<'a> CostMatrix<'a> {
+    /// Build the matrix: for every query, fetch (or build) its cached
+    /// skeletons, then cost the base access and each candidate index's
+    /// access once per slot and distinct required order.
+    pub fn build(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &[Index]) -> Self {
+        let catalog = inum.catalog();
+        let params = &inum.optimizer().params;
+        let empty = PhysicalDesign::empty();
+        let mut queries = Vec::with_capacity(workload.len());
+        let mut cells = 0u64;
+        for (q, weight) in workload.iter() {
+            let skeletons = inum.skeletons(q);
+            let ctx = AccessContext {
+                catalog,
+                design: &empty,
+                params,
+                query: q,
+            };
+            let n_slots = q.slot_count() as usize;
+
+            // Distinct required orders per slot across the skeleton set.
+            let mut slot_orders: Vec<Vec<&[u16]>> = vec![Vec::new(); n_slots];
+            for sk in skeletons.iter() {
+                for (s, req) in sk.slot_orders.iter().enumerate() {
+                    if let Some(o) = req {
+                        if !slot_orders[s].contains(&o.as_slice()) {
+                            slot_orders[s].push(o.as_slice());
+                        }
+                    }
+                }
+            }
+            let reqs: Vec<Vec<u32>> = skeletons
+                .iter()
+                .map(|sk| {
+                    sk.slot_orders
+                        .iter()
+                        .enumerate()
+                        .map(|(s, req)| match req {
+                            None => NO_ORDER,
+                            Some(o) => slot_orders[s]
+                                .iter()
+                                .position(|x| *x == o.as_slice())
+                                .expect("order collected above")
+                                as u32,
+                        })
+                        .collect()
+                })
+                .collect();
+            let internal: Vec<f64> = skeletons.iter().map(|sk| sk.internal_cost).collect();
+
+            let mut slots = Vec::with_capacity(n_slots);
+            for slot in 0..q.slot_count() {
+                let s = slot as usize;
+                let prof = SlotProfile::build(&ctx, slot, &[]);
+                let seq = access::seq_scan_path(&ctx, &prof);
+                cells += 1;
+                let required: Vec<Vec<QueryColumn>> = slot_orders[s]
+                    .iter()
+                    .map(|o| o.iter().map(|&c| QueryColumn::new(slot, c)).collect())
+                    .collect();
+                let base_ordered: Vec<f64> = required
+                    .iter()
+                    .map(|req| {
+                        if order_satisfies(&[], req, &prof.eq_bound) {
+                            seq.cost
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                    .collect();
+                let table = q.table_of(slot);
+                let mut cands = Vec::new();
+                for (id, idx) in indexes.iter().enumerate() {
+                    if idx.table != table {
+                        continue;
+                    }
+                    let paths = access::index_access_paths(&ctx, &prof, idx, false);
+                    cells += 1;
+                    if paths.is_empty() {
+                        continue; // contributes nothing on this slot
+                    }
+                    let unordered = paths.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min);
+                    let ordered: Vec<f64> = required
+                        .iter()
+                        .map(|req| {
+                            paths
+                                .iter()
+                                .filter(|p| order_satisfies(&p.order, req, &prof.eq_bound))
+                                .map(|p| p.cost)
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .collect();
+                    cands.push(CandCosts {
+                        id,
+                        unordered,
+                        ordered,
+                    });
+                }
+                slots.push(SlotCosts {
+                    base_unordered: seq.cost,
+                    base_ordered,
+                    cands,
+                });
+            }
+            queries.push(QueryMatrix {
+                weight,
+                internal,
+                reqs,
+                slots,
+            });
+        }
+        inum.note_matrix_build(cells);
+        CostMatrix {
+            inum,
+            workload,
+            indexes: indexes.to_vec(),
+            queries,
+        }
+    }
+
+    /// The owning INUM instance (the slow-path oracle).
+    pub fn inum(&self) -> &'a Inum<'a> {
+        self.inum
+    }
+
+    /// The workload the matrix was built for.
+    pub fn workload(&self) -> &'a Workload {
+        self.workload
+    }
+
+    /// The candidate indexes, id = position.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Number of workload queries.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of candidate indexes.
+    pub fn n_candidates(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// An empty configuration sized for this matrix.
+    pub fn empty_config(&self) -> CandidateBitset {
+        CandidateBitset::new(self.indexes.len())
+    }
+
+    /// A configuration holding exactly `ids`.
+    pub fn config_of<I: IntoIterator<Item = usize>>(&self, ids: I) -> CandidateBitset {
+        CandidateBitset::from_ids(self.indexes.len(), ids)
+    }
+
+    /// The [`PhysicalDesign`] a configuration denotes (slow-path bridge).
+    pub fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
+        PhysicalDesign::with_indexes(config.ids().map(|id| self.indexes[id].clone()))
+    }
+
+    /// Cost of `query_id` under the configuration — pure lookups.
+    pub fn cost(&self, query_id: usize, config: &CandidateBitset) -> f64 {
+        self.cost_toggled(query_id, config, usize::MAX, usize::MAX)
+    }
+
+    /// Cost under `config ∪ {extra}` without materializing the union.
+    pub fn cost_plus(&self, query_id: usize, config: &CandidateBitset, extra: usize) -> f64 {
+        self.cost_toggled(query_id, config, extra, usize::MAX)
+    }
+
+    /// Cost under `config ∖ {removed}` without materializing the
+    /// difference.
+    pub fn cost_minus(&self, query_id: usize, config: &CandidateBitset, removed: usize) -> f64 {
+        self.cost_toggled(query_id, config, usize::MAX, removed)
+    }
+
+    /// Cost change from adding `cand` to the configuration (negative =
+    /// improvement).
+    pub fn delta_add(&self, query_id: usize, config: &CandidateBitset, cand: usize) -> f64 {
+        self.cost_plus(query_id, config, cand) - self.cost(query_id, config)
+    }
+
+    /// Cost change from removing `cand` from the configuration (positive =
+    /// regression).
+    pub fn delta_remove(&self, query_id: usize, config: &CandidateBitset, cand: usize) -> f64 {
+        self.cost_minus(query_id, config, cand) - self.cost(query_id, config)
+    }
+
+    /// Weighted workload cost under the configuration.
+    pub fn workload_cost(&self, config: &CandidateBitset) -> f64 {
+        (0..self.queries.len())
+            .map(|qi| self.queries[qi].weight * self.cost(qi, config))
+            .sum()
+    }
+
+    /// Weighted workload cost under `config ∪ {extra}`.
+    pub fn workload_cost_plus(&self, config: &CandidateBitset, extra: usize) -> f64 {
+        (0..self.queries.len())
+            .map(|qi| self.queries[qi].weight * self.cost_plus(qi, config, extra))
+            .sum()
+    }
+
+    /// The shared hot path: cost with one candidate virtually added
+    /// (`add`) and/or removed (`remove`); `usize::MAX` disables a toggle.
+    /// Mirrors [`Inum::cost`]'s skeleton loop exactly so the two agree
+    /// bit-for-bit on configurations the matrix covers.
+    fn cost_toggled(
+        &self,
+        query_id: usize,
+        config: &CandidateBitset,
+        add: usize,
+        remove: usize,
+    ) -> f64 {
+        self.inum.note_matrix_lookup();
+        let qm = &self.queries[query_id];
+        let mut best = f64::INFINITY;
+        for (internal, reqs) in qm.internal.iter().zip(&qm.reqs) {
+            let mut total = *internal;
+            for (slot, &req) in qm.slots.iter().zip(reqs.iter()) {
+                let mut m = if req == NO_ORDER {
+                    slot.base_unordered
+                } else {
+                    slot.base_ordered[req as usize]
+                };
+                for cand in &slot.cands {
+                    if (!config.contains(cand.id) && cand.id != add) || cand.id == remove {
+                        continue;
+                    }
+                    let c = if req == NO_ORDER {
+                        cand.unordered
+                    } else {
+                        cand.ordered[req as usize]
+                    };
+                    if c < m {
+                        m = c;
+                    }
+                }
+                total += m;
+                if total >= best {
+                    total = f64::INFINITY;
+                    break; // early exit: already worse (or infeasible)
+                }
+            }
+            if total < best {
+                best = total;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_catalog::Catalog;
+    use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
+    use pgdesign_optimizer::Optimizer;
+    use pgdesign_query::generators::sdss_workload;
+
+    fn setup() -> (Catalog, Optimizer) {
+        (sdss_catalog(0.01), Optimizer::new())
+    }
+
+    #[test]
+    fn bitset_insert_remove_contains() {
+        let mut s = CandidateBitset::new(130);
+        assert!(s.is_empty());
+        for id in [0, 63, 64, 129] {
+            s.insert(id);
+            assert!(s.contains(id));
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.ids().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert!(!s.contains(500), "out-of-range ids are simply absent");
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn matrix_matches_inum_on_every_singleton_and_pair() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 101);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        for (qi, (q, _)) in w.iter().enumerate() {
+            let empty = matrix.empty_config();
+            assert_eq!(
+                matrix.cost(qi, &empty),
+                inum.cost(&PhysicalDesign::empty(), q),
+                "empty config must match Q{qi}"
+            );
+            for a in 0..cands.indexes.len().min(8) {
+                let solo = matrix.config_of([a]);
+                let d = PhysicalDesign::with_indexes([cands.indexes[a].clone()]);
+                assert_eq!(matrix.cost(qi, &solo), inum.cost(&d, q), "solo {a} Q{qi}");
+                for b in (a + 1)..cands.indexes.len().min(8) {
+                    let pair = matrix.config_of([a, b]);
+                    let d = PhysicalDesign::with_indexes([
+                        cands.indexes[a].clone(),
+                        cands.indexes[b].clone(),
+                    ]);
+                    assert_eq!(
+                        matrix.cost(qi, &pair),
+                        inum.cost(&d, q),
+                        "pair ({a},{b}) Q{qi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toggled_costs_match_materialized_configs() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 102);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let base_ids = [0usize, 2];
+        let base = matrix.config_of(base_ids);
+        for qi in 0..matrix.n_queries() {
+            // plus
+            let extra = 1usize;
+            let mut plus = base.clone();
+            plus.insert(extra);
+            assert_eq!(
+                matrix.cost_plus(qi, &base, extra),
+                matrix.cost(qi, &plus),
+                "cost_plus must equal materialized union (Q{qi})"
+            );
+            let delta = matrix.delta_add(qi, &base, extra);
+            assert!(
+                (delta - (matrix.cost(qi, &plus) - matrix.cost(qi, &base))).abs() < 1e-12,
+                "delta_add must equal full re-evaluation (Q{qi})"
+            );
+            // minus
+            let removed = 2usize;
+            let mut minus = base.clone();
+            minus.remove(removed);
+            assert_eq!(
+                matrix.cost_minus(qi, &base, removed),
+                matrix.cost(qi, &minus),
+                "cost_minus must equal materialized difference (Q{qi})"
+            );
+        }
+    }
+
+    #[test]
+    fn workload_cost_is_weighted_sum() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let mut w = pgdesign_query::Workload::new();
+        let q = pgdesign_query::parse_query(&c.schema, "SELECT ra FROM photoobj WHERE objid = 7")
+            .unwrap();
+        w.push(q.clone(), 2.0);
+        w.push(q, 3.0);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let cfg = matrix.config_of([0]);
+        let manual: f64 = 2.0 * matrix.cost(0, &cfg) + 3.0 * matrix.cost(1, &cfg);
+        assert!((matrix.workload_cost(&cfg) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_on_the_inum_instance() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 103);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let after_build = inum.matrix_stats();
+        assert_eq!(after_build.builds, 1);
+        assert!(after_build.cells > 0);
+        let empty = matrix.empty_config();
+        for qi in 0..matrix.n_queries() {
+            let _ = matrix.cost(qi, &empty);
+        }
+        let s = inum.matrix_stats();
+        assert_eq!(s.lookups, after_build.lookups + w.len() as u64);
+    }
+}

@@ -383,6 +383,39 @@ fn order_relevant(ctx: &AccessContext<'_>, slot: u16, index: &Index) -> bool {
             .any(|o| o.col.slot == slot && o.col.column == lead)
 }
 
+/// Access paths contributed by a single (possibly hypothetical) index on a
+/// slot. Each index's paths depend only on the slot profile and the
+/// design's partitionings — never on the *other* indexes present — which
+/// is what lets the INUM cost matrix precompute per-candidate access costs
+/// once and reuse them for every configuration containing the candidate.
+pub fn index_access_paths(
+    ctx: &AccessContext<'_>,
+    prof: &SlotProfile,
+    index: &Index,
+    parameterized: bool,
+) -> Vec<PlanExpr> {
+    let mut out = Vec::new();
+    let (matched, prefix_sel) = prof.match_index(index);
+    if matched > 0 {
+        out.push(index_scan_path(
+            ctx,
+            prof,
+            index,
+            matched,
+            prefix_sel,
+            parameterized,
+        ));
+        if !parameterized {
+            out.push(bitmap_path(ctx, prof, index, matched, prefix_sel));
+        }
+    } else if index.covers(&prof.needed_cols) || order_relevant(ctx, prof.slot, index) {
+        // Full index scan: no predicate match, but covering or
+        // order-providing.
+        out.push(index_scan_path(ctx, prof, index, 0, 1.0, parameterized));
+    }
+    out
+}
+
 /// Enumerate all candidate access paths for a slot (pruned to the useful
 /// ones). With `param_eq_cols` non-empty the paths are parameterized inner
 /// sides for a nested-loop join.
@@ -392,24 +425,7 @@ pub fn access_paths(ctx: &AccessContext<'_>, slot: u16, param_eq_cols: &[u16]) -
     let mut out = vec![seq_scan_path(ctx, &prof)];
     let table = ctx.query.table_of(slot);
     for index in ctx.design.indexes_on(table) {
-        let (matched, prefix_sel) = prof.match_index(index);
-        if matched > 0 {
-            out.push(index_scan_path(
-                ctx,
-                &prof,
-                index,
-                matched,
-                prefix_sel,
-                parameterized,
-            ));
-            if !parameterized {
-                out.push(bitmap_path(ctx, &prof, index, matched, prefix_sel));
-            }
-        } else if index.covers(&prof.needed_cols) || order_relevant(ctx, slot, index) {
-            // Full index scan: no predicate match, but covering or
-            // order-providing.
-            out.push(index_scan_path(ctx, &prof, index, 0, 1.0, parameterized));
-        }
+        out.extend(index_access_paths(ctx, &prof, index, parameterized));
     }
     out
 }

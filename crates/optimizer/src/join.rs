@@ -89,18 +89,42 @@ pub struct JoinPlanner<'a, L: LeafProvider> {
     edge_sel: Vec<f64>,
 }
 
+/// Design-independent cardinalities of a query: per-slot output rows and
+/// join-edge selectivities. Computing these involves selectivity
+/// estimation over the statistics, so callers that plan the same query
+/// repeatedly (INUM builds one skeleton per interesting-order combination)
+/// compute them once and hand them to
+/// [`JoinPlanner::with_cardinalities`].
+pub fn query_cardinalities(ctx: &AccessContext<'_>) -> (Vec<f64>, Vec<f64>) {
+    let q = ctx.query;
+    let slot_rows = (0..q.slot_count())
+        .map(|s| selectivity::slot_rows(ctx.catalog, q, s))
+        .collect();
+    let edge_sel = q
+        .joins
+        .iter()
+        .map(|j| selectivity::join_predicate_selectivity(ctx.catalog, q, j))
+        .collect();
+    (slot_rows, edge_sel)
+}
+
 impl<'a, L: LeafProvider> JoinPlanner<'a, L> {
     /// Create a planner for `ctx.query`.
     pub fn new(ctx: AccessContext<'a>, control: JoinControl, provider: &'a L) -> Self {
-        let q = ctx.query;
-        let slot_rows = (0..q.slot_count())
-            .map(|s| selectivity::slot_rows(ctx.catalog, q, s))
-            .collect();
-        let edge_sel = q
-            .joins
-            .iter()
-            .map(|j| selectivity::join_predicate_selectivity(ctx.catalog, q, j))
-            .collect();
+        let (slot_rows, edge_sel) = query_cardinalities(&ctx);
+        Self::with_cardinalities(ctx, control, provider, slot_rows, edge_sel)
+    }
+
+    /// Create a planner with precomputed [`query_cardinalities`] (they are
+    /// design-independent, so one computation serves every skeleton of a
+    /// query).
+    pub fn with_cardinalities(
+        ctx: AccessContext<'a>,
+        control: JoinControl,
+        provider: &'a L,
+        slot_rows: Vec<f64>,
+        edge_sel: Vec<f64>,
+    ) -> Self {
         JoinPlanner {
             ctx,
             control,

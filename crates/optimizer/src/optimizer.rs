@@ -120,6 +120,22 @@ impl Optimizer {
         query: &Query,
         slot_orders: Vec<Option<Vec<u16>>>,
     ) -> Skeleton {
+        self.optimize_skeletons(catalog, query, vec![slot_orders])
+            .pop()
+            .expect("one combination in, one skeleton out")
+    }
+
+    /// Extract skeletons for a whole batch of interesting-order
+    /// combinations of one query, computing the design-independent
+    /// cardinalities ([`crate::join::query_cardinalities`]) once instead of
+    /// once per combination. This is the path the `pgdesign-inum` skeleton
+    /// cache uses.
+    pub fn optimize_skeletons(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        combos: Vec<Vec<Option<Vec<u16>>>>,
+    ) -> Vec<Skeleton> {
         let design = PhysicalDesign::empty();
         let ctx = AccessContext {
             catalog,
@@ -127,20 +143,31 @@ impl Optimizer {
             params: &self.params,
             query,
         };
-        let provider = AbstractLeafProvider {
-            slot_orders: slot_orders.clone(),
-        };
+        let (slot_rows, edge_sel) = crate::join::query_cardinalities(&ctx);
         let control = JoinControl {
             nestloop: false,
             ..self.control
         };
-        let planner = JoinPlanner::new(ctx, control, &provider);
-        let variants = planner.plan();
-        let plan = self.finish(&ctx, variants);
-        Skeleton {
-            internal_cost: plan.cost,
-            slot_orders,
-        }
+        combos
+            .into_iter()
+            .map(|slot_orders| {
+                let provider = AbstractLeafProvider {
+                    slot_orders: slot_orders.clone(),
+                };
+                let planner = JoinPlanner::with_cardinalities(
+                    ctx,
+                    control,
+                    &provider,
+                    slot_rows.clone(),
+                    edge_sel.clone(),
+                );
+                let plan = self.finish(&ctx, planner.plan());
+                Skeleton {
+                    internal_cost: plan.cost,
+                    slot_orders,
+                }
+            })
+            .collect()
     }
 
     /// Best access path for one slot under a design, optionally required

@@ -5,7 +5,7 @@ use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_cophy::merging::augment_with_merges;
 use pgdesign_cophy::{greedy_select, CophyAdvisor, CophyConfig};
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::{CostParams, JoinControl, Optimizer};
 use pgdesign_query::compress::{compress, Representative};
@@ -27,7 +27,8 @@ fn random_page_cost_ratio_shifts_index_adoption() {
         });
         let inum = Inum::new(&c, &opt);
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        greedy_select(&inum, &w, &cands, budget).chosen.len()
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        greedy_select(&matrix, budget).chosen.len()
     };
     let ssd = count_for(1.1);
     let disk = count_for(40.0);
@@ -48,11 +49,11 @@ fn multicolumn_candidates_beat_single_column_pool() {
     let budget = c.data_bytes();
     let single = {
         let cands = workload_candidates(&c, &w, &CandidateConfig::single_column());
-        greedy_select(&inum, &w, &cands, budget).cost
+        greedy_select(&CostMatrix::build(&inum, &w, &cands.indexes), budget).cost
     };
     let multi = {
         let cands = workload_candidates(&c, &w, &CandidateConfig::default());
-        greedy_select(&inum, &w, &cands, budget).cost
+        greedy_select(&CostMatrix::build(&inum, &w, &cands.indexes), budget).cost
     };
     assert!(
         multi < single,
@@ -69,10 +70,14 @@ fn merge_augmentation_is_weakly_beneficial_across_budgets() {
     let inum = Inum::new(&c, &opt);
     let base = workload_candidates(&c, &w, &CandidateConfig::default());
     let augmented = augment_with_merges(&c, &base, 4, 64);
+    // The matrices are built once; the per-budget greedy runs below are
+    // pure lookups against them.
+    let base_matrix = CostMatrix::build(&inum, &w, &base.indexes);
+    let augmented_matrix = CostMatrix::build(&inum, &w, &augmented.indexes);
     for divisor in [4u64, 16, 64] {
         let budget = c.data_bytes() / divisor;
-        let plain = greedy_select(&inum, &w, &base, budget);
-        let merged = greedy_select(&inum, &w, &augmented, budget);
+        let plain = greedy_select(&base_matrix, budget);
+        let merged = greedy_select(&augmented_matrix, budget);
         assert!(
             merged.cost <= plain.cost + 1e-6,
             "budget 1/{divisor}: merged {} vs plain {}",

@@ -1,10 +1,15 @@
 //! Cross-crate property-based tests on system-level invariants.
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_catalog::samples::sdss_catalog;
+use pgdesign_catalog::samples::{sdss_catalog, tpch_catalog};
 use pgdesign_catalog::Catalog;
+use pgdesign_inum::{CostMatrix, Inum};
+use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::Optimizer;
-use pgdesign_query::generators::{sdss_template, SDSS_TEMPLATE_COUNT};
+use pgdesign_query::generators::{
+    sdss_template, sdss_workload, tpch_workload, SDSS_TEMPLATE_COUNT,
+};
+use pgdesign_query::Workload;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,6 +91,98 @@ proptest! {
         let direct = idx.size_bytes(&c.schema, c.table_stats(photo));
         prop_assert_eq!(via_design, direct);
         prop_assert!(direct > 0, "no zero-size what-if indexes");
+    }
+}
+
+/// The two INUM cache levels agree: for any subset of a candidate set,
+/// the precomputed [`CostMatrix`] returns the same cost as the per-design
+/// [`Inum::cost`] slow path, to within 1e-6 — on both sample catalogs.
+fn assert_matrix_matches_inum(catalog: &Catalog, workload: &Workload, subset_seed: u64) {
+    use rand::Rng;
+    let opt = optimizer();
+    let inum = Inum::new(catalog, &opt);
+    let cands = workload_candidates(catalog, workload, &CandidateConfig::default());
+    let matrix = CostMatrix::build(&inum, workload, &cands.indexes);
+    let mut rng = StdRng::seed_from_u64(subset_seed);
+    for _ in 0..12 {
+        let k = rng.random_range(0..5usize).min(cands.indexes.len());
+        let mut ids: Vec<usize> = (0..k)
+            .map(|_| rng.random_range(0..cands.indexes.len()))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let config = matrix.config_of(ids.iter().copied());
+        let design = PhysicalDesign::with_indexes(ids.iter().map(|&i| cands.indexes[i].clone()));
+        for (qi, (q, _)) in workload.iter().enumerate() {
+            let fast = matrix.cost(qi, &config);
+            let oracle = inum.cost(&design, q);
+            assert!(
+                (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
+                "matrix {fast} vs inum {oracle} for Q{qi} under {ids:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// SDSS: random candidate subsets cost identically through both levels.
+    #[test]
+    fn cost_matrix_matches_inum_on_sdss(seed in 0u64..1000, n_queries in 3usize..10) {
+        let c = catalog();
+        let w = sdss_workload(c, n_queries, seed);
+        assert_matrix_matches_inum(c, &w, seed ^ 0xACCE55);
+    }
+
+    /// TPC-H: the same invariant on the other sample catalog (the
+    /// portability claim — nothing in the matrix is SDSS-specific).
+    #[test]
+    fn cost_matrix_matches_inum_on_tpch(seed in 0u64..1000, n_queries in 3usize..8) {
+        use std::sync::OnceLock;
+        static TPCH: OnceLock<Catalog> = OnceLock::new();
+        let c = TPCH.get_or_init(|| tpch_catalog(0.01));
+        let w = tpch_workload(c, n_queries, seed);
+        assert_matrix_matches_inum(c, &w, seed ^ 0x7C0B);
+    }
+}
+
+/// Delta evaluation equals full re-evaluation: adding (removing) one
+/// candidate through [`CostMatrix::delta_add`] / [`CostMatrix::delta_remove`]
+/// matches the cost difference of the materialized configurations.
+#[test]
+fn matrix_delta_matches_full_reevaluation() {
+    let c = catalog();
+    let opt = optimizer();
+    let inum = Inum::new(c, &opt);
+    let w = sdss_workload(c, 9, 404);
+    let cands = workload_candidates(c, &w, &CandidateConfig::default());
+    let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+    let n = cands.indexes.len();
+    let base_ids: Vec<usize> = (0..n).step_by(3).collect();
+    let base = matrix.config_of(base_ids.iter().copied());
+    for qi in 0..matrix.n_queries() {
+        for cand in 0..n {
+            if !base.contains(cand) {
+                let mut plus = base.clone();
+                plus.insert(cand);
+                let full = matrix.cost(qi, &plus) - matrix.cost(qi, &base);
+                let delta = matrix.delta_add(qi, &base, cand);
+                assert!(
+                    (delta - full).abs() < 1e-9,
+                    "delta_add {delta} vs full {full} (Q{qi}, cand {cand})"
+                );
+            } else {
+                let mut minus = base.clone();
+                minus.remove(cand);
+                let full = matrix.cost(qi, &minus) - matrix.cost(qi, &base);
+                let delta = matrix.delta_remove(qi, &base, cand);
+                assert!(
+                    (delta - full).abs() < 1e-9,
+                    "delta_remove {delta} vs full {full} (Q{qi}, cand {cand})"
+                );
+            }
+        }
     }
 }
 

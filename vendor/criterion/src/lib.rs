@@ -12,8 +12,10 @@
 
 use std::time::Instant;
 
-/// Returns `true` when the binary was invoked by `cargo test`.
-fn test_mode() -> bool {
+/// Returns `true` when the binary was invoked by `cargo test` (which
+/// passes `--test` to `harness = false` bench targets). Public so bench
+/// bodies can shrink their own workloads in smoke-test mode.
+pub fn test_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
