@@ -28,5 +28,9 @@ bench:
 
 # E4 perf trajectory: run the matrix-vs-INUM-vs-reoptimization comparison
 # and record calls/sec + speedup factors in BENCH_e4.json at the repo root.
+# Besides the per-join-count index rows, the `partition` and
+# `joint-index+part` rows record partitioned-design costing through the
+# partition-aware matrix level (gate: ≥5x vs per-design Inum::cost,
+# agreement within 1e-6).
 bench-json:
 	BENCH_E4_JSON=$(CURDIR)/BENCH_e4.json $(CARGO) bench -p pgdesign-bench --bench e4_inum

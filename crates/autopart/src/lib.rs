@@ -20,11 +20,17 @@
 //!    the most sargable restrictions and keep it if it pays.
 //!
 //! Costing goes through INUM (the paper: "we have also extended the INUM
-//! cost model to include partitions").
+//! cost model to include partitions") — specifically through the
+//! *partition-aware cost matrix* ([`CostMatrix`]): atomic fragments are
+//! registered as fragment candidates once, every merge/replication trial
+//! of the greedy loop is a [`JointToggle`] delta evaluation, and the
+//! horizontal pass is a [`CostMatrix::delta_split`]. The search therefore
+//! issues **zero** per-trial [`Inum::cost`] calls and never constructs a
+//! `PhysicalDesign` inside the loop (the suite asserts both).
 
 use pgdesign_catalog::design::{HorizontalPartitioning, PhysicalDesign, VerticalPartitioning};
 use pgdesign_catalog::schema::TableId;
-use pgdesign_inum::Inum;
+use pgdesign_inum::{CostMatrix, Inum, JointConfig, JointToggle};
 use pgdesign_query::ast::PredOp;
 use pgdesign_query::Workload;
 use std::collections::BTreeMap;
@@ -32,11 +38,16 @@ use std::collections::BTreeMap;
 /// AutoPart knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct AutoPartConfig {
-    /// Extra bytes allowed for column replication across fragments.
+    /// Extra bytes allowed for column replication across fragments — one
+    /// shared pool for the whole search, drawn down by every table's
+    /// accepted replication (not a per-table allowance).
     pub replication_budget_bytes: u64,
-    /// Maximum greedy merge iterations per table.
+    /// Maximum greedy merge iterations per table. `0` disables the
+    /// vertical search entirely (a valid no-op recommendation).
     pub max_iterations: usize,
-    /// Number of horizontal partitions to propose.
+    /// Number of horizontal partitions to propose. Values below 2 cannot
+    /// describe a split, so they disable the horizontal pass (no-op)
+    /// rather than being silently rounded up.
     pub horizontal_partitions: usize,
     /// Whether to attempt horizontal partitioning at all.
     pub consider_horizontal: bool,
@@ -71,12 +82,16 @@ pub struct PartitionRecommendation {
 }
 
 impl PartitionRecommendation {
-    /// Average workload benefit as a fraction of base cost.
+    /// Average workload benefit as a *signed* fraction of base cost:
+    /// negative when the recommendation costs more than the unpartitioned
+    /// base. Clamping the value to zero here would silently mask a cost
+    /// regression from callers; a degenerate (non-positive) base cost
+    /// yields 0.0 since no meaningful fraction exists.
     pub fn average_benefit(&self) -> f64 {
         if self.base_cost <= 0.0 {
             return 0.0;
         }
-        ((self.base_cost - self.cost) / self.base_cost).max(0.0)
+        (self.base_cost - self.cost) / self.base_cost
     }
 }
 
@@ -121,104 +136,131 @@ impl<'a> AutoPartAdvisor<'a> {
         groups.into_values().collect()
     }
 
-    /// Run the greedy composite-fragment search for one table. Returns the
-    /// best partitioning found (if it beats no-partitioning) and the number
-    /// of merge steps taken.
-    fn partition_table(
+    /// Run the greedy composite-fragment search for one table, entirely on
+    /// matrix deltas: every merge/replication trial is a [`JointToggle`]
+    /// evaluation against the current configuration. `cfg` is edited in
+    /// place (the table's fragments stay selected only if the final
+    /// partitioning beats leaving the table whole). `replication_left` is
+    /// the *shared* replication budget: trials are checked against it and
+    /// an accepted partitioning's replicated bytes are deducted, so the
+    /// tables of one search draw from a single pool rather than each
+    /// getting the full budget. Returns the merge steps taken.
+    fn partition_table_on(
         &self,
-        workload: &Workload,
+        matrix: &mut CostMatrix<'_>,
+        cfg: &mut JointConfig,
         table: TableId,
-        base_design: &PhysicalDesign,
-    ) -> (Option<VerticalPartitioning>, usize) {
+        workload: &Workload,
+        replication_left: &mut u64,
+    ) -> usize {
+        if self.config.max_iterations == 0 {
+            return 0; // degenerate knob: no search, valid no-op
+        }
         let catalog = self.inum.catalog();
         let width = catalog.schema.table(table).width();
         let atomic = self.atomic_fragments(workload, table);
         if atomic.len() <= 1 {
-            return (None, 0);
+            return 0;
         }
 
-        let cost_of = |groups: &[Vec<u16>]| -> f64 {
-            let mut d = base_design.clone();
-            d.set_vertical(VerticalPartitioning::new(table, groups.to_vec()));
-            self.inum.workload_cost(&d, workload)
-        };
-        let unpartitioned = self.inum.workload_cost(base_design, workload);
+        let unpartitioned = matrix.joint_workload_cost(cfg);
 
+        // Select the atomic fragmentation. `groups` mirrors the selected
+        // fragment set as column lists (kept duplicate-free; a duplicate
+        // group never changes the cost model's answer) for replication
+        // budget checks.
+        let group_ids: Vec<usize> = atomic
+            .iter()
+            .map(|g| matrix.register_fragment(table, g))
+            .collect();
+        let mut group_ids = group_ids;
+        for &id in &group_ids {
+            cfg.fragments.insert(id);
+        }
         let mut groups = atomic;
-        let mut current = cost_of(&groups);
+        let mut current = matrix.joint_workload_cost(cfg);
         let mut iterations = 0usize;
 
-        while iterations < self.config.max_iterations && groups.len() > 1 {
+        while iterations < self.config.max_iterations && group_ids.len() > 1 {
             // Candidate merges: all fragment pairs. (The original filters
             // to co-accessed pairs; non-co-accessed merges simply won't
             // improve the cost, so the filter is an optimization only.)
-            let mut best: Option<(usize, usize, f64)> = None;
-            for i in 0..groups.len() {
-                for j in (i + 1)..groups.len() {
-                    let mut trial: Vec<Vec<u16>> = Vec::with_capacity(groups.len() - 1);
-                    for (k, g) in groups.iter().enumerate() {
-                        if k != i && k != j {
-                            trial.push(g.clone());
-                        }
-                    }
+            let mut best: Option<(usize, usize, usize, f64)> = None;
+            for i in 0..group_ids.len() {
+                for j in (i + 1)..group_ids.len() {
                     let mut merged = groups[i].clone();
                     merged.extend(groups[j].iter().copied());
-                    trial.push(merged);
-                    let c = cost_of(&trial);
-                    if c < current - 1e-9 && best.is_none_or(|(_, _, bc)| c < bc) {
-                        best = Some((i, j, c));
+                    let mid = matrix.register_fragment(table, &merged);
+                    let c = matrix.joint_workload_cost_with(
+                        cfg,
+                        &JointToggle::merge(group_ids[i], group_ids[j], mid),
+                    );
+                    if c < current - 1e-9 && best.is_none_or(|(_, _, _, bc)| c < bc) {
+                        best = Some((i, j, mid, c));
                     }
                 }
             }
             // Replication candidates: copy fragment i's columns into
             // fragment j, if the budget allows.
-            let mut best_repl: Option<(usize, usize, f64)> = None;
-            if self.config.replication_budget_bytes > 0 {
-                for i in 0..groups.len() {
-                    for j in 0..groups.len() {
+            let mut best_repl: Option<(usize, usize, usize, f64)> = None;
+            if *replication_left > 0 {
+                for i in 0..group_ids.len() {
+                    for j in 0..group_ids.len() {
                         if i == j {
                             continue;
                         }
-                        let mut trial = groups.clone();
-                        let mut extended = trial[j].clone();
+                        let mut extended = groups[j].clone();
                         extended.extend(groups[i].iter().copied());
-                        trial[j] = extended;
-                        let vp = VerticalPartitioning::new(table, trial.clone());
+                        let mut trial = groups.clone();
+                        trial[j] = extended.clone();
+                        let vp = VerticalPartitioning::new(table, trial);
                         if vp.replication_bytes(&catalog.schema, catalog.table_stats(table))
-                            > self.config.replication_budget_bytes
+                            > *replication_left
                         {
                             continue;
                         }
-                        let c = cost_of(&trial);
-                        if c < current - 1e-9 && best_repl.is_none_or(|(_, _, bc)| c < bc) {
-                            best_repl = Some((i, j, c));
+                        let eid = matrix.register_fragment(table, &extended);
+                        let c = matrix.joint_workload_cost_with(
+                            cfg,
+                            &JointToggle::replace(group_ids[j], eid),
+                        );
+                        if c < current - 1e-9 && best_repl.is_none_or(|(_, _, _, bc)| c < bc) {
+                            best_repl = Some((i, j, eid, c));
                         }
                     }
                 }
             }
 
             let take_merge = match (best, best_repl) {
-                (Some((_, _, mc)), Some((_, _, rc))) => mc <= rc,
+                (Some((.., mc)), Some((.., rc))) => mc <= rc,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => break,
             };
             if take_merge {
-                let (i, j, c) = best.expect("checked above");
-                let merged = {
-                    let mut m = groups[i].clone();
-                    m.extend(groups[j].iter().copied());
-                    m
-                };
+                let (i, j, mid, c) = best.expect("checked above");
+                cfg.fragments.remove(group_ids[j]);
+                cfg.fragments.remove(group_ids[i]);
                 groups.remove(j);
                 groups.remove(i);
-                groups.push(merged);
+                group_ids.remove(j);
+                group_ids.remove(i);
+                if !group_ids.contains(&mid) {
+                    cfg.fragments.insert(mid);
+                    group_ids.push(mid);
+                    groups.push(matrix.fragment_columns(mid).to_vec());
+                }
                 current = c;
             } else {
-                let (i, j, c) = best_repl.expect("checked above");
-                let mut extended = groups[j].clone();
-                extended.extend(groups[i].iter().copied());
-                groups[j] = extended;
+                let (_, j, eid, c) = best_repl.expect("checked above");
+                cfg.fragments.remove(group_ids[j]);
+                groups.remove(j);
+                group_ids.remove(j);
+                if !group_ids.contains(&eid) {
+                    cfg.fragments.insert(eid);
+                    group_ids.push(eid);
+                    groups.push(matrix.fragment_columns(eid).to_vec());
+                }
                 current = c;
             }
             iterations += 1;
@@ -227,19 +269,33 @@ impl<'a> AutoPartAdvisor<'a> {
         if current < unpartitioned - 1e-9 {
             let vp = VerticalPartitioning::new(table, groups);
             debug_assert!(vp.is_complete(width));
-            (Some(vp), iterations)
+            // Deduct the accepted partitioning's replicated bytes from the
+            // shared pool so later tables cannot overspend it.
+            *replication_left = replication_left
+                .saturating_sub(vp.replication_bytes(&catalog.schema, catalog.table_stats(table)));
         } else {
-            (None, iterations)
+            // Not worth it: leave the table whole.
+            for &id in &group_ids {
+                cfg.fragments.remove(id);
+            }
         }
+        iterations
     }
 
-    /// Propose a horizontal range partitioning for a table, if beneficial.
-    fn horizontal_for_table(
+    /// Propose a horizontal range partitioning for a table; returns the
+    /// registered split-candidate id if it pays under the current
+    /// configuration.
+    fn horizontal_for_table_on(
         &self,
-        workload: &Workload,
+        matrix: &mut CostMatrix<'_>,
+        cfg: &JointConfig,
         table: TableId,
-        design: &PhysicalDesign,
-    ) -> Option<HorizontalPartitioning> {
+        workload: &Workload,
+    ) -> Option<usize> {
+        let n = self.config.horizontal_partitions;
+        if n < 2 {
+            return None; // degenerate knob: <2 partitions is no split
+        }
         let catalog = self.inum.catalog();
         // Most-restricted sargable column.
         let mut restriction_count: BTreeMap<u16, usize> = BTreeMap::new();
@@ -262,7 +318,6 @@ impl<'a> AutoPartAdvisor<'a> {
             return None;
         }
         let stats = catalog.table_stats(table).column(col);
-        let n = self.config.horizontal_partitions.max(2);
         let bounds: Vec<f64> = match &stats.histogram {
             Some(h) => {
                 let b = h.bounds();
@@ -276,41 +331,58 @@ impl<'a> AutoPartAdvisor<'a> {
         if hp.partitions() < 2 {
             return None;
         }
-        let before = self.inum.workload_cost(design, workload);
-        let mut with = design.clone();
-        with.set_horizontal(hp.clone());
-        let after = self.inum.workload_cost(&with, workload);
-        (after < before - 1e-9).then_some(hp)
+        let sid = matrix.register_split(hp);
+        (matrix.delta_split(cfg, sid) < -1e-9).then_some(sid)
     }
 
-    /// Produce the full partitioning recommendation.
-    pub fn recommend(&self, workload: &Workload) -> PartitionRecommendation {
-        let catalog = self.inum.catalog();
-        let empty = PhysicalDesign::empty();
-        let base_cost = self.inum.workload_cost(&empty, workload);
-
-        let mut design = PhysicalDesign::empty();
+    /// Run the full greedy search (vertical merge passes, then the
+    /// horizontal pass) on an existing partition-aware matrix, editing
+    /// `cfg` in place. This is also the joint-mode entry: with candidate
+    /// indexes pre-selected in `cfg.indexes`, every trial sees the index
+    /// configuration it must coexist with. Returns the merge iterations
+    /// performed.
+    pub fn search_on(&self, matrix: &mut CostMatrix<'_>, cfg: &mut JointConfig) -> usize {
+        let workload = matrix.workload();
+        let tables: Vec<TableId> = self.inum.catalog().schema.tables().map(|t| t.id).collect();
         let mut iterations = 0usize;
-        let tables: Vec<TableId> = catalog.schema.tables().map(|t| t.id).collect();
+        // One replication pool for the whole search: every table's accepted
+        // replication draws it down.
+        let mut replication_left = self.config.replication_budget_bytes;
         for &t in &tables {
-            let (vp, iters) = self.partition_table(workload, t, &design);
-            iterations += iters;
-            if let Some(vp) = vp {
-                design.set_vertical(vp);
-            }
+            iterations += self.partition_table_on(matrix, cfg, t, workload, &mut replication_left);
         }
         if self.config.consider_horizontal {
             for &t in &tables {
-                if let Some(hp) = self.horizontal_for_table(workload, t, &design) {
-                    design.set_horizontal(hp);
+                if let Some(sid) = self.horizontal_for_table_on(matrix, cfg, t, workload) {
+                    cfg.splits.insert(sid);
                 }
             }
         }
+        iterations
+    }
 
-        let cost = self.inum.workload_cost(&design, workload);
-        let per_query = workload
-            .iter()
-            .map(|(q, _)| (self.inum.cost(&empty, q), self.inum.cost(&design, q)))
+    /// Produce the full partitioning recommendation. The search and all
+    /// reported costs run on the partition-aware cost matrix; no
+    /// [`Inum::cost`] call is issued anywhere in this method.
+    pub fn recommend(&self, workload: &Workload) -> PartitionRecommendation {
+        let catalog = self.inum.catalog();
+        let mut matrix = CostMatrix::build(self.inum, workload, &[]);
+        let empty = matrix.empty_joint();
+        let base_cost = matrix.joint_workload_cost(&empty);
+
+        let mut cfg = matrix.empty_joint();
+        let iterations = self.search_on(&mut matrix, &mut cfg);
+
+        let mut cost = matrix.joint_workload_cost(&cfg);
+        if cost > base_cost {
+            // Guard: the greedy accepts only improving steps per table, but
+            // never hand back a design costlier than the unpartitioned base.
+            cfg = matrix.empty_joint();
+            cost = base_cost;
+        }
+        let design = matrix.joint_design_of(&cfg);
+        let per_query = (0..matrix.n_queries())
+            .map(|qi| (matrix.joint_cost(qi, &empty), matrix.joint_cost(qi, &cfg)))
             .collect();
         let replication_bytes = design.replication_bytes(&catalog.schema, &catalog.stats);
         PartitionRecommendation {
@@ -457,5 +529,107 @@ mod tests {
             rec.cost,
             rec.base_cost
         );
+        for (base, tuned) in &rec.per_query {
+            assert!(base.is_finite() && tuned.is_finite());
+        }
+    }
+
+    #[test]
+    fn greedy_search_issues_zero_per_trial_inum_cost_calls() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let advisor = AutoPartAdvisor::new(&inum, AutoPartConfig::default());
+        let w = narrow_workload(&c);
+        let calls_before = inum.stats().cost_calls;
+        let lookups_before = inum.matrix_stats().partition_lookups;
+        let rec = advisor.recommend(&w);
+        assert!(
+            rec.design.verticals().next().is_some(),
+            "search must actually run (and partition something) for this check to mean anything"
+        );
+        assert_eq!(
+            inum.stats().cost_calls,
+            calls_before,
+            "every trial must be a matrix delta, not an Inum::cost call"
+        );
+        assert!(
+            inum.matrix_stats().partition_lookups > lookups_before,
+            "trials must register as partition-aware matrix lookups"
+        );
+    }
+
+    #[test]
+    fn average_benefit_is_signed_and_guards_degenerate_base() {
+        let rec = |base: f64, cost: f64| PartitionRecommendation {
+            design: PhysicalDesign::empty(),
+            base_cost: base,
+            cost,
+            per_query: vec![],
+            iterations: 0,
+            replication_bytes: 0,
+        };
+        assert!((rec(100.0, 80.0).average_benefit() - 0.2).abs() < 1e-12);
+        // A regression must show up negative, not be clamped to zero.
+        assert!((rec(100.0, 125.0).average_benefit() - (-0.25)).abs() < 1e-12);
+        // Non-positive base cost: no meaningful fraction; explicitly 0.
+        assert_eq!(rec(0.0, 10.0).average_benefit(), 0.0);
+        assert_eq!(rec(-5.0, 10.0).average_benefit(), 0.0);
+    }
+
+    #[test]
+    fn zero_max_iterations_yields_valid_noop() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let advisor = AutoPartAdvisor::new(
+            &inum,
+            AutoPartConfig {
+                max_iterations: 0,
+                consider_horizontal: false,
+                ..Default::default()
+            },
+        );
+        let w = narrow_workload(&c);
+        let rec = advisor.recommend(&w);
+        assert!(
+            rec.design.verticals().next().is_none(),
+            "no iterations allowed: no vertical partitioning may be proposed"
+        );
+        assert_eq!(rec.iterations, 0);
+        assert!(
+            (rec.cost - rec.base_cost).abs() < 1e-9,
+            "no-op recommendation must cost exactly the base: {} vs {}",
+            rec.cost,
+            rec.base_cost
+        );
+    }
+
+    #[test]
+    fn zero_horizontal_partitions_yields_valid_noop() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = narrow_workload(&c);
+        for degenerate in [0usize, 1] {
+            let advisor = AutoPartAdvisor::new(
+                &inum,
+                AutoPartConfig {
+                    horizontal_partitions: degenerate,
+                    ..Default::default()
+                },
+            );
+            let rec = advisor.recommend(&w);
+            assert!(
+                rec.design.horizontals().next().is_none(),
+                "{degenerate} horizontal partitions cannot describe a split"
+            );
+            // The vertical search is unaffected and still valid.
+            let photo = c.schema.table_by_name("photoobj").unwrap().id;
+            if let Some(vp) = rec.design.vertical(photo) {
+                assert!(vp.is_complete(16));
+            }
+            assert!(rec.cost <= rec.base_cost + 1e-6);
+        }
     }
 }

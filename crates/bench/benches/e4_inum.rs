@@ -11,18 +11,23 @@
 //! The speedup of (b) over (a) grows with the plan space the skeleton
 //! cache short-circuits, so the report breaks the comparison down by join
 //! count; (c) over (b) is the second INUM level: configuration costing
-//! with no access-path re-enumeration at all. The final row measures the
-//! E2 offline-design workload, the perf-trajectory number recorded in
-//! `BENCH_e4.json` (set `BENCH_E4_JSON` to a path, or use
-//! `make bench-json`). (The paper's own baseline is the PostgreSQL
-//! planner, whose per-call overhead is far larger than this simulator's —
-//! absolute ratios here are a lower bound on the effect.)
+//! with no access-path re-enumeration at all. The `e2-offline` row
+//! measures the E2 offline-design workload; the trailing `partition` and
+//! `joint-index+part` rows run the same three-way comparison over
+//! *partitioned* configurations through the partition-aware matrix level
+//! (`CostMatrix::joint_workload_cost`), which is what AutoPart's greedy
+//! merge search runs on. All rows are recorded in `BENCH_e4.json` (set
+//! `BENCH_E4_JSON` to a path, or use `make bench-json`). (The paper's own
+//! baseline is the PostgreSQL planner, whose per-call overhead is far
+//! larger than this simulator's — absolute ratios here are a lower bound
+//! on the effect.)
 
 use criterion::{criterion_group, criterion_main, test_mode, Criterion};
 use pgdesign_bench::SCALE;
+use pgdesign_catalog::design::HorizontalPartitioning;
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_catalog::Catalog;
-use pgdesign_inum::{CandidateBitset, CostMatrix, Inum};
+use pgdesign_inum::{CandidateBitset, CostMatrix, Inum, JointConfig};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::{JoinControl, Optimizer};
 use pgdesign_query::generators::{sdss_template, sdss_workload};
@@ -169,6 +174,103 @@ fn measure(
     }
 }
 
+/// Random joint (index + partition) configurations: a random disjoint
+/// vertical grouping of photoobj's columns, an optional horizontal split,
+/// and 0–2 candidate indexes. Fragments/splits are registered on the
+/// matrix as a side effect.
+fn random_joint_configs(
+    matrix: &mut CostMatrix<'_>,
+    catalog: &Catalog,
+    n: usize,
+    with_indexes: bool,
+    seed: u64,
+) -> Vec<JointConfig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let photo = catalog.schema.table_by_name("photoobj").unwrap().id;
+    let width = catalog.schema.table(photo).width();
+    let ra_stats = catalog.table_stats(photo).column(1);
+    let n_cands = matrix.n_candidates();
+    (0..n)
+        .map(|_| {
+            let mut cfg = matrix.empty_joint();
+            // Disjoint grouping: assign every column to one of k groups.
+            let k = rng.random_range(2..5usize);
+            let mut groups: Vec<Vec<u16>> = vec![Vec::new(); k];
+            for c in 0..width {
+                groups[rng.random_range(0..k)].push(c);
+            }
+            for g in groups.iter().filter(|g| !g.is_empty()) {
+                let id = matrix.register_fragment(photo, g);
+                cfg.fragments.insert(id);
+            }
+            if rng.random_range(0..2) == 1 {
+                let parts = rng.random_range(4..17usize);
+                let bounds: Vec<f64> = (1..parts)
+                    .map(|i| ra_stats.min + (ra_stats.max - ra_stats.min) * i as f64 / parts as f64)
+                    .collect();
+                let sid = matrix.register_split(HorizontalPartitioning::new(photo, 1, bounds));
+                cfg.splits.insert(sid);
+            }
+            if with_indexes && n_cands > 0 {
+                for _ in 0..rng.random_range(0..3usize) {
+                    cfg.indexes.insert(rng.random_range(0..n_cands));
+                }
+            }
+            cfg
+        })
+        .collect()
+}
+
+/// Three-way measurement of joint (partitioned) configurations: exact
+/// re-optimization vs per-design `Inum::cost` vs partition-aware matrix
+/// lookups. The acceptance gate reads these rows from `BENCH_e4.json`
+/// (matrix ≥ 5x the per-design INUM path, agreement within 1e-6).
+fn measure_joint(
+    inum: &Inum<'_>,
+    matrix: &CostMatrix<'_>,
+    workload: &Workload,
+    configs: &[JointConfig],
+    exact_configs: usize,
+    name: &str,
+) -> Row {
+    let designs: Vec<_> = configs.iter().map(|c| matrix.joint_design_of(c)).collect();
+
+    let t0 = Instant::now();
+    let mut exact_calls = 0usize;
+    for design in designs.iter().take(exact_configs) {
+        for (q, _) in workload.iter() {
+            std::hint::black_box(inum.exact_cost(design, q));
+            exact_calls += 1;
+        }
+    }
+    let exact = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let mut inum_total = 0.0;
+    for design in &designs {
+        for (q, w) in workload.iter() {
+            inum_total += w * inum.cost(design, q);
+        }
+    }
+    let fast = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let mut matrix_total = 0.0;
+    for cfg in configs {
+        matrix_total += matrix.joint_workload_cost(cfg);
+    }
+    let lookup = t2.elapsed().as_secs_f64();
+
+    let calls = (configs.len() * workload.len()) as f64;
+    Row {
+        name: name.to_string(),
+        exact_us: exact * 1e6 / exact_calls.max(1) as f64,
+        inum_us: fast * 1e6 / calls,
+        matrix_us: lookup * 1e6 / calls,
+        agreement_err: (matrix_total - inum_total).abs() / inum_total.abs().max(1e-9),
+    }
+}
+
 fn print_report() {
     let catalog = sdss_catalog(SCALE);
     let optimizer = Optimizer::new().with_control(JoinControl {
@@ -221,6 +323,40 @@ fn print_report() {
         );
         rows.push(row);
     }
+
+    // Partition-costing rows: the same three-way comparison over joint
+    // (vertically + horizontally partitioned, optionally indexed)
+    // configurations — the second half of the paper's "extended the INUM
+    // cost model to include partitions" claim.
+    let part_workload = sdss_workload(&catalog, 18, 0xA127);
+    inum.prepare_workload(&part_workload);
+    let part_cands = workload_candidates(&catalog, &part_workload, &CandidateConfig::default());
+    for (name, with_indexes) in [("partition", false), ("joint-index+part", true)] {
+        let mut matrix = CostMatrix::build(&inum, &part_workload, &part_cands.indexes);
+        let configs = random_joint_configs(&mut matrix, &catalog, n_configs, with_indexes, 3);
+        // Warm once (fair caches), then measure.
+        let _ = measure_joint(
+            &inum,
+            &matrix,
+            &part_workload,
+            &configs[..5.min(configs.len())],
+            1,
+            name,
+        );
+        let row = measure_joint(&inum, &matrix, &part_workload, &configs, n_exact, name);
+        println!(
+            "{:<10} {:>13.2} {:>13.2} {:>14.3} {:>8.1}x {:>8.1}x {:>9.2e}",
+            row.name,
+            row.exact_us,
+            row.inum_us,
+            row.matrix_us,
+            row.exact_us / row.inum_us.max(1e-9),
+            row.inum_us / row.matrix_us.max(1e-9),
+            row.agreement_err,
+        );
+        rows.push(row);
+    }
+
     let stats = inum.stats();
     let mstats = inum.matrix_stats();
     println!(

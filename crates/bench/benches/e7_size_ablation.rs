@@ -7,9 +7,10 @@
 //! prints the storage-budget violation and the benefit mis-estimate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pgdesign_autopart::AutoPartConfig;
 use pgdesign_bench::{mib, setup};
 use pgdesign_catalog::design::PhysicalDesign;
-use pgdesign_cophy::greedy_select;
+use pgdesign_cophy::{greedy_select, CophyAdvisor, CophyConfig};
 use pgdesign_inum::{CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 
@@ -56,6 +57,32 @@ fn print_report() {
         zero.cost,
         0.0,
         mib(zero_bytes)
+    );
+
+    // Joint index + partition advisor under the same budget: replicated
+    // fragment bytes are size-accounted exactly like index bytes (the
+    // partition half of the what-if size model), so the joint design
+    // stays buildable where the zero-size advisor's is not.
+    let joint = CophyAdvisor::new(
+        &inum,
+        CophyConfig {
+            storage_budget_bytes: budget,
+            ..Default::default()
+        },
+    )
+    .recommend_joint(&bench.workload, AutoPartConfig::default());
+    let joint_bytes = joint.total_index_bytes + joint.replication_bytes;
+    println!(
+        "{:<22} {:>10} {:>12.0} {:>14.1} {:>14.1}",
+        "joint (idx+partitions)",
+        joint.indexes.len(),
+        joint.cost,
+        mib(joint_bytes),
+        mib(joint_bytes)
+    );
+    assert!(
+        joint_bytes <= budget,
+        "joint advisor must stay within the shared budget"
     );
     println!(
         "base workload cost: {base:.0}; storage budget: {:.1} MiB",

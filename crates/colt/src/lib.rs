@@ -292,7 +292,15 @@ impl<'a> ColtTuner<'a> {
                 whatif_calls += 2;
                 measured += (c_without - c_with).max(0.0);
             }
-            let scale = n_relevant as f64 / probed.len() as f64;
+            // A zero (or rounded-to-zero) what-if budget admits zero
+            // probes; the empty-probe branch above catches that today, but
+            // the extrapolation must never be able to divide by zero if
+            // the plan's shape changes.
+            let scale = if probed.is_empty() {
+                0.0
+            } else {
+                n_relevant as f64 / probed.len() as f64
+            };
             epoch_benefit.insert(cand.clone(), measured * scale);
         }
 
@@ -462,6 +470,34 @@ mod tests {
             .indexes()
             .iter()
             .all(|i| i.columns.len() == 1));
+    }
+
+    #[test]
+    fn zero_whatif_budget_epoch_is_safe() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let mut colt = ColtTuner::new(
+            &inum,
+            ColtConfig {
+                epoch_length: 10,
+                whatif_budget_per_epoch: 0,
+                ..Default::default()
+            },
+        );
+        let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 20);
+        let reports = colt.process_stream(stream);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.whatif_calls, 0, "a zero budget admits zero probes");
+            assert!(r.untuned_cost.is_finite() && r.tuned_cost.is_finite());
+            assert!(
+                r.materialized.is_empty(),
+                "no probes → no evidence → no builds"
+            );
+        }
+        // No benefit estimate may be poisoned by a 0/0 extrapolation.
+        assert!(colt.tracked_candidates() == 0 || reports.iter().all(|r| r.events.is_empty()));
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F] [--stats]
+  pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F] [--joint] [--stats]
   pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
   pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N]
   pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>
@@ -62,6 +62,9 @@ Common flags:
 
 Per-subcommand flags:
   recommend   --budget-frac F        Index budget as a fraction of data size
+              --joint                Joint index + partition mode: one
+                                     partition-aware cost matrix serves both
+                                     searches under the single budget
               --stats                Print INUM/cost-matrix counters (matrix
                                      builds, lookups, optimizer calls avoided)
   evaluate    --index table:c1,c2    Hypothetical index (repeatable)
@@ -167,9 +170,9 @@ fn run(args: &[String]) -> Result<(), String> {
         while i < rest.len() {
             match rest[i].as_str() {
                 "--help" | "-h" => return true,
-                "--stats" => i += 1,                // the one valueless flag
+                "--stats" | "--joint" => i += 1, // the valueless flags
                 s if s.starts_with("--") => i += 2, // skip the flag's value
-                _ => return false,                  // malformed; let Flags::parse report it
+                _ => return false,               // malformed; let Flags::parse report it
             }
         }
         false
@@ -188,16 +191,27 @@ fn run(args: &[String]) -> Result<(), String> {
     ) {
         return Err(format!("unknown subcommand {cmd:?}"));
     }
-    // `--stats` is the one valueless flag; extract it before the
-    // `--key value` pair parser sees the argument list. Only `recommend`
-    // honours it — elsewhere it would be silently ignored, so fail loudly.
+    // `--stats` and `--joint` are the valueless flags; extract them before
+    // the `--key value` pair parser sees the argument list. Only
+    // `recommend` honours them — elsewhere they would be silently ignored,
+    // so fail loudly.
     let show_stats = rest.iter().any(|a| a == "--stats");
+    let joint = rest.iter().any(|a| a == "--joint");
     if show_stats && cmd != "recommend" {
         return Err(format!(
             "--stats is only supported by `recommend`, not `{cmd}`"
         ));
     }
-    let rest: Vec<String> = rest.iter().filter(|a| *a != "--stats").cloned().collect();
+    if joint && cmd != "recommend" {
+        return Err(format!(
+            "--joint is only supported by `recommend`, not `{cmd}`"
+        ));
+    }
+    let rest: Vec<String> = rest
+        .iter()
+        .filter(|a| *a != "--stats" && *a != "--joint")
+        .cloned()
+        .collect();
     let flags = Flags::parse(&rest)?;
     let catalog = load_catalog(&flags)?;
     let designer = Designer::new(catalog);
@@ -211,6 +225,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 .transpose()?
                 .unwrap_or(0.5);
             let budget = (designer.catalog.data_bytes() as f64 * frac) as u64;
+            if joint {
+                let report = designer.recommend_joint(&workload, budget);
+                println!("{report}");
+                println!("Index definitions:");
+                for idx in &report.joint.indexes {
+                    println!(
+                        "  CREATE INDEX ON {};",
+                        idx.display(&designer.catalog.schema)
+                    );
+                }
+                if show_stats {
+                    println!();
+                    print!("{}", report.stats);
+                }
+                return Ok(());
+            }
             let report = designer.recommend(&workload, budget);
             println!("{report}");
             println!("Index definitions:");

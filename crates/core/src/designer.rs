@@ -7,7 +7,7 @@ use pgdesign_autopart::{AutoPartAdvisor, AutoPartConfig, PartitionRecommendation
 use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_catalog::Catalog;
 use pgdesign_colt::ColtConfig;
-use pgdesign_cophy::{CophyAdvisor, CophyConfig, Recommendation};
+use pgdesign_cophy::{CophyAdvisor, CophyConfig, JointRecommendation, Recommendation};
 use pgdesign_interaction::{
     analyze, schedule_pair, InteractionAnalysis, InteractionConfig, InteractionGraph, Schedule,
 };
@@ -96,6 +96,42 @@ impl Designer {
         self.optimizer.cost(&self.catalog, design, query)
     }
 
+    /// The joint index + partition mode: one partition-aware cost matrix
+    /// serves the greedy index selection and AutoPart's merge search under
+    /// a single storage budget (`pgdesign recommend --joint`).
+    pub fn recommend_joint(&self, workload: &Workload, storage_budget_bytes: u64) -> JointReport {
+        let inum = Inum::new(&self.catalog, &self.optimizer);
+        inum.prepare_workload(workload);
+        let advisor = CophyAdvisor::new(
+            &inum,
+            CophyConfig {
+                storage_budget_bytes,
+                ..Default::default()
+            },
+        );
+        let joint = advisor.recommend_joint(
+            workload,
+            AutoPartConfig {
+                replication_budget_bytes: storage_budget_bytes / 10,
+                ..Default::default()
+            },
+        );
+        let index_display = joint
+            .indexes
+            .iter()
+            .map(|i| i.display(&self.catalog.schema))
+            .collect();
+        let stats = crate::report::TuningStats {
+            inum: inum.stats(),
+            matrix: inum.matrix_stats(),
+        };
+        JointReport {
+            joint,
+            index_display,
+            stats,
+        }
+    }
+
     /// The full offline pipeline (demo scenario 2): CoPhy indexes +
     /// AutoPart partitions under a shared storage budget, the interaction
     /// graph over the suggested indexes, and an interaction-aware
@@ -178,6 +214,23 @@ impl Designer {
             index_display,
             stats,
         }
+    }
+}
+
+/// What the joint index + partition mode shows the user.
+#[derive(Debug, Clone)]
+pub struct JointReport {
+    /// The joint recommendation.
+    pub joint: JointRecommendation,
+    /// Human-readable names of the suggested indexes (schema-resolved).
+    pub index_display: Vec<String>,
+    /// INUM / cost-matrix counters captured at the end of the run.
+    pub stats: crate::report::TuningStats,
+}
+
+impl fmt::Display for JointReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        report::render_joint(self, f)
     }
 }
 

@@ -51,7 +51,7 @@ pub mod interactive;
 pub mod online;
 pub mod report;
 
-pub use designer::{Designer, OfflineReport};
+pub use designer::{Designer, JointReport, OfflineReport};
 pub use interactive::{BenefitReport, InteractiveSession};
 pub use online::OnlineSession;
 pub use report::TuningStats;

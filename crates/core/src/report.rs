@@ -2,7 +2,7 @@
 //! panels (Figure 3's "list of suggested partitions ... individual query
 //! benefit and the average workload benefit").
 
-use crate::designer::OfflineReport;
+use crate::designer::{JointReport, OfflineReport};
 use pgdesign_inum::{InumStats, MatrixStats};
 use std::fmt;
 
@@ -29,16 +29,94 @@ impl fmt::Display for TuningStats {
         )?;
         writeln!(
             f,
-            "   cost matrices:  {} built ({} cells precomputed)",
-            self.matrix.builds, self.matrix.cells
+            "   cost matrices:  {} built ({} cells precomputed, {} partition cells)",
+            self.matrix.builds, self.matrix.cells, self.matrix.partition_cells
         )?;
-        writeln!(f, "   matrix lookups: {}", self.matrix.lookups)?;
+        writeln!(
+            f,
+            "   matrix lookups: {} ({} partition-aware)",
+            self.matrix.lookups, self.matrix.partition_lookups
+        )?;
         writeln!(
             f,
             "   estimated what-if optimizer calls avoided: {}",
             self.matrix.whatif_calls_avoided()
         )
     }
+}
+
+/// Render the joint index + partition report (called from `JointReport`'s
+/// `Display`).
+pub fn render_joint(r: &JointReport, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let j = &r.joint;
+    writeln!(
+        f,
+        "================ Joint index + partition recommendation ================"
+    )?;
+    writeln!(
+        f,
+        "Workload cost: {:.1} -> {:.1} (indexes alone {:.1})   Average workload benefit: {:.1}%",
+        j.base_cost,
+        j.cost,
+        j.index_cost,
+        100.0 * j.average_benefit()
+    )?;
+    writeln!(f)?;
+    writeln!(f, "-- Suggested indexes ({}) --", j.indexes.len())?;
+    writeln!(
+        f,
+        "   (storage: {:.1} MiB indexes + {:.1} MiB replicated fragments)",
+        j.total_index_bytes as f64 / (1024.0 * 1024.0),
+        j.replication_bytes as f64 / (1024.0 * 1024.0)
+    )?;
+    for (i, name) in r.index_display.iter().enumerate() {
+        writeln!(f, "   [{}] {}", i + 1, name)?;
+    }
+    writeln!(f)?;
+    writeln!(
+        f,
+        "-- Suggested partitions ({} merge iterations) --",
+        j.partition_iterations
+    )?;
+    let verticals: Vec<_> = j.design.verticals().collect();
+    let horizontals: Vec<_> = j.design.horizontals().collect();
+    if verticals.is_empty() && horizontals.is_empty() {
+        writeln!(f, "   (none beneficial)")?;
+    }
+    for vp in verticals {
+        writeln!(
+            f,
+            "   table {:?}: {} vertical fragment(s)",
+            vp.table,
+            vp.groups.len()
+        )?;
+    }
+    for hp in horizontals {
+        writeln!(
+            f,
+            "   table {:?}: {} range partition(s) on column {}",
+            hp.table,
+            hp.partitions(),
+            hp.column
+        )?;
+    }
+    writeln!(f)?;
+    writeln!(f, "-- Benefit per query --")?;
+    for (i, (base, tuned)) in j.per_query.iter().enumerate() {
+        let pct = if *base > 0.0 {
+            100.0 * (base - tuned).max(0.0) / base
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "   Q{:<3} {:>12.1} -> {:>12.1}   ({pct:>5.1}%)",
+            i + 1,
+            base,
+            tuned
+        )?;
+    }
+    Ok(())
 }
 
 /// Render the scenario-2 report (called from `OfflineReport`'s `Display`).

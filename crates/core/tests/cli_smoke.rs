@@ -100,6 +100,46 @@ fn recommend_stats_prints_inum_and_matrix_counters() {
 }
 
 #[test]
+fn recommend_joint_prints_the_joint_report() {
+    let out = pgdesign(&[
+        "recommend",
+        "--scale",
+        "0.003",
+        "--workload",
+        "builtin:5",
+        "--budget-frac",
+        "0.3",
+        "--joint",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "recommend --joint should exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "Joint index + partition recommendation",
+        "Suggested partitions",
+        "Benefit per query",
+        "partition-aware",
+        "partition cells",
+    ] {
+        assert!(
+            text.contains(needle),
+            "--joint must print {needle:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn joint_flag_is_rejected_outside_recommend() {
+    let out = pgdesign(&["explain", "--sql", "SELECT ra FROM photoobj", "--joint"]);
+    assert!(!out.status.success(), "--joint is recommend-only");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--joint is only supported by `recommend`"),
+        "{err}"
+    );
+}
+
+#[test]
 fn stats_flag_is_rejected_outside_recommend() {
     let out = pgdesign(&["explain", "--sql", "SELECT ra FROM photoobj", "--stats"]);
     assert!(!out.status.success(), "--stats is recommend-only");

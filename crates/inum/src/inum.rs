@@ -42,6 +42,8 @@ pub struct Inum<'a> {
     matrix_builds: AtomicU64,
     matrix_cells: AtomicU64,
     matrix_lookups: AtomicU64,
+    matrix_partition_cells: AtomicU64,
+    matrix_partition_lookups: AtomicU64,
 }
 
 impl<'a> Inum<'a> {
@@ -58,6 +60,8 @@ impl<'a> Inum<'a> {
             matrix_builds: AtomicU64::new(0),
             matrix_cells: AtomicU64::new(0),
             matrix_lookups: AtomicU64::new(0),
+            matrix_partition_cells: AtomicU64::new(0),
+            matrix_partition_lookups: AtomicU64::new(0),
         }
     }
 
@@ -88,6 +92,8 @@ impl<'a> Inum<'a> {
             builds: self.matrix_builds.load(Ordering::Relaxed),
             cells: self.matrix_cells.load(Ordering::Relaxed),
             lookups: self.matrix_lookups.load(Ordering::Relaxed),
+            partition_cells: self.matrix_partition_cells.load(Ordering::Relaxed),
+            partition_lookups: self.matrix_partition_lookups.load(Ordering::Relaxed),
         }
     }
 
@@ -98,6 +104,16 @@ impl<'a> Inum<'a> {
 
     pub(crate) fn note_matrix_lookup(&self) {
         self.matrix_lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_partition_cells(&self, cells: u64) {
+        self.matrix_partition_cells
+            .fetch_add(cells, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_partition_lookup(&self) {
+        self.matrix_partition_lookups
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Warm the cache for every query of a workload.

@@ -51,11 +51,22 @@
 //!    analysis) run on this level; both levels agree exactly on index-only
 //!    configurations, which the suite's invariant tests assert.
 //!
-//! The *partition extension* mentioned by the paper comes for free at the
-//! first level: access costing consults the design's vertical/horizontal
-//! partitionings, so cached skeletons serve partitioned configurations
-//! too (partitioned designs take the slow path; the matrix covers index
-//! subsets, where the enumeration pressure actually is).
+//! The *partition extension* mentioned by the paper lives at **both**
+//! levels. At the first level, access costing consults the design's
+//! vertical/horizontal partitionings, so cached skeletons serve
+//! partitioned configurations through [`Inum::cost`]. At the second
+//! level, a [`CostMatrix`] additionally accepts *partition candidates*:
+//! vertical fragments ([`CostMatrix::register_fragment`], selected via a
+//! [`FragmentBitset`]) carry a precomputed page count, horizontal splits
+//! ([`CostMatrix::register_split`], a [`SplitBitset`]) carry precomputed
+//! per-(query, slot) surviving fractions, and every candidate index's
+//! access paths are kept in target-parameterized form
+//! ([`pgdesign_optimizer::access::IndexPathProfile`]). Costing a
+//! [`JointConfig`] (indexes + fragments + splits) then needs only
+//! per-slot arithmetic — no path re-enumeration, no design construction —
+//! and [`JointToggle`]-based trial evaluation
+//! ([`CostMatrix::delta_merge`] / [`CostMatrix::delta_split`]) is what
+//! AutoPart's greedy merge search runs on.
 //!
 //! Nested-loop joins are excluded from the INUM space (their inner cost is
 //! design-dependent), as in the original paper; [`Inum::cost`] is therefore
@@ -68,4 +79,6 @@ mod key;
 mod matrix;
 
 pub use inum::{interesting_orders_per_slot, order_combinations, Inum, InumStats};
-pub use matrix::{CandidateBitset, CostMatrix, MatrixStats};
+pub use matrix::{
+    CandidateBitset, CostMatrix, FragmentBitset, JointConfig, JointToggle, MatrixStats, SplitBitset,
+};

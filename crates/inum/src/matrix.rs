@@ -27,8 +27,12 @@
 //! candidate without materializing the toggled configuration.
 
 use crate::inum::Inum;
-use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_optimizer::access::{self, AccessContext, SlotProfile};
+use pgdesign_catalog::design::{
+    HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning,
+};
+use pgdesign_catalog::schema::TableId;
+use pgdesign_catalog::sizing;
+use pgdesign_optimizer::access::{self, AccessContext, FetchTarget, IndexPathProfile, SlotProfile};
 use pgdesign_optimizer::plan::order_satisfies;
 use pgdesign_query::ast::QueryColumn;
 use pgdesign_query::Workload;
@@ -42,8 +46,16 @@ pub struct MatrixStats {
     /// per `(query, slot, candidate)` entry) — the one-off build work,
     /// each roughly one access-path costing.
     pub cells: u64,
-    /// Configuration-cost lookups served from matrices.
+    /// Configuration-cost lookups served from matrices (joint
+    /// index+partition lookups included).
     pub lookups: u64,
+    /// Precomputed partition cells: per-fragment page counts and
+    /// per-`(query, slot, split)` surviving fractions registered on
+    /// matrices.
+    pub partition_cells: u64,
+    /// The subset of `lookups` that costed a configuration with at least
+    /// one partition candidate active (the partition-aware cache level).
+    pub partition_lookups: u64,
 }
 
 impl MatrixStats {
@@ -51,7 +63,8 @@ impl MatrixStats {
     /// per-design cost call, minus the one-off costing work spent filling
     /// the matrix.
     pub fn whatif_calls_avoided(&self) -> u64 {
-        self.lookups.saturating_sub(self.cells)
+        self.lookups
+            .saturating_sub(self.cells.saturating_add(self.partition_cells))
     }
 }
 
@@ -80,14 +93,21 @@ impl CandidateBitset {
         s
     }
 
-    /// Add a candidate.
+    /// Add a candidate (the set grows as needed, so ids allocated after
+    /// the set was created — e.g. fragments registered mid-search — can be
+    /// inserted too).
     pub fn insert(&mut self, id: usize) {
+        if id / 64 >= self.words.len() {
+            self.words.resize(id / 64 + 1, 0);
+        }
         self.words[id / 64] |= 1 << (id % 64);
     }
 
-    /// Remove a candidate.
+    /// Remove a candidate (out-of-range ids are simply absent).
     pub fn remove(&mut self, id: usize) {
-        self.words[id / 64] &= !(1 << (id % 64));
+        if let Some(w) = self.words.get_mut(id / 64) {
+            *w &= !(1 << (id % 64));
+        }
     }
 
     /// Membership test.
@@ -113,33 +133,239 @@ impl CandidateBitset {
         self.words.iter().all(|&w| w == 0)
     }
 
-    /// The contained candidate ids, ascending.
+    /// The contained candidate ids, ascending (O(set bits), not O(capacity)).
     pub fn ids(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64)
-                .filter(move |b| w & (1 << b) != 0)
-                .map(move |b| wi * 64 + b)
+            let mut rem = w;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let b = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(wi * 64 + b)
+                }
+            })
         })
     }
 }
 
+/// Generate a distinct bitset newtype per candidate-id space, so fragment
+/// ids, split ids and index-candidate ids cannot be mixed up in advisor
+/// code.
+macro_rules! id_bitset {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name(CandidateBitset);
+
+        impl $name {
+            /// Empty set with capacity for `n` ids (grows on demand).
+            pub fn new(n: usize) -> Self {
+                $name(CandidateBitset::new(n))
+            }
+
+            /// Empty set filled with `ids`.
+            pub fn from_ids<I: IntoIterator<Item = usize>>(n: usize, ids: I) -> Self {
+                $name(CandidateBitset::from_ids(n, ids))
+            }
+
+            /// Add an id.
+            pub fn insert(&mut self, id: usize) {
+                self.0.insert(id);
+            }
+
+            /// Remove an id.
+            pub fn remove(&mut self, id: usize) {
+                self.0.remove(id);
+            }
+
+            /// Membership test.
+            #[inline]
+            pub fn contains(&self, id: usize) -> bool {
+                self.0.contains(id)
+            }
+
+            /// Remove every id.
+            pub fn clear(&mut self) {
+                self.0.clear();
+            }
+
+            /// Number of ids in the set.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when no id is set.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// The contained ids, ascending.
+            pub fn ids(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.ids()
+            }
+        }
+    };
+}
+
+id_bitset! {
+    /// A set of vertical-fragment candidate ids (positions into the
+    /// fragment registry of the [`CostMatrix`] they belong to). Per table,
+    /// the selected fragments *are* that table's vertical partitioning.
+    FragmentBitset
+}
+
+id_bitset! {
+    /// A set of horizontal-split candidate ids (positions into the split
+    /// registry of the owning [`CostMatrix`]); at most one split per table
+    /// may be selected.
+    SplitBitset
+}
+
 /// Sentinel for "no order required" in the flattened skeleton requirements.
 const NO_ORDER: u32 = u32::MAX;
+
+/// Cap on distinct required orders per slot (asserted at build time; real
+/// queries have a handful — one per join/grouping/ordering column).
+const MAX_SLOT_ORDERS: usize = 16;
+
+/// Stack capacity for per-slot partition state in a joint lookup (spills
+/// to a heap Vec for queries joining more tables).
+const MAX_STACK_SLOTS: usize = 8;
+
+/// Partition-adjusted per-slot access minima — one joint lookup's scratch.
+#[derive(Clone, Copy)]
+struct PartSlotMins {
+    /// Cheapest access ignoring order.
+    unordered: f64,
+    /// Cheapest access per required order.
+    ordered: [f64; MAX_SLOT_ORDERS],
+}
+
+/// `[None; N]` seed for the stack buffer.
+const NO_PART_STATE: Option<PartSlotMins> = None;
+
+/// Column-ordinal membership mask (tables are capped at 128 columns).
+fn column_mask(cols: &[u16]) -> u128 {
+    cols.iter().fold(0u128, |m, &c| {
+        debug_assert!(c < 128, "column masks support up to 128 columns");
+        m | (1u128 << c)
+    })
+}
+
+/// A joint index + partition configuration over one matrix: selected
+/// candidate indexes, selected vertical fragments (per table, the selected
+/// fragments *are* that table's partitioning; no selection = table
+/// unpartitioned), and at most one selected horizontal split per table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointConfig {
+    /// Selected candidate indexes.
+    pub indexes: CandidateBitset,
+    /// Selected vertical fragments.
+    pub fragments: FragmentBitset,
+    /// Selected horizontal splits (≤ 1 per table).
+    pub splits: SplitBitset,
+}
+
+impl JointConfig {
+    /// True when no partition candidate is selected (pure index config).
+    pub fn partitions_empty(&self) -> bool {
+        self.fragments.is_empty() && self.splits.is_empty()
+    }
+}
+
+/// Virtual edits applied on top of a [`JointConfig`] for one costing — the
+/// joint analogue of [`CostMatrix::cost_plus`]/[`CostMatrix::cost_minus`].
+/// AutoPart's merge and split trials cost out through these without ever
+/// materializing the edited configuration (or any `PhysicalDesign`). The
+/// trial set is `(cfg ∖ removes) ∪ adds`: adding an id wins over removing
+/// the same id, so a merge whose result equals one of its inputs (possible
+/// once replication has made one group a subset of another) keeps that
+/// fragment selected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JointToggle {
+    /// Fragment to treat as selected.
+    pub add_fragment: Option<usize>,
+    /// Up to two fragments to treat as deselected (a merge removes two).
+    pub remove_fragments: [Option<usize>; 2],
+    /// Split to treat as selected.
+    pub add_split: Option<usize>,
+    /// Split to treat as deselected.
+    pub remove_split: Option<usize>,
+}
+
+impl JointToggle {
+    /// The merge trial: fragments `a` and `b` replaced by `merged`.
+    pub fn merge(a: usize, b: usize, merged: usize) -> Self {
+        JointToggle {
+            add_fragment: Some(merged),
+            remove_fragments: [Some(a), Some(b)],
+            ..Default::default()
+        }
+    }
+
+    /// The replacement trial: fragment `old` swapped for `new` (AutoPart's
+    /// replication step extends one fragment in place).
+    pub fn replace(old: usize, new: usize) -> Self {
+        JointToggle {
+            add_fragment: Some(new),
+            remove_fragments: [Some(old), None],
+            ..Default::default()
+        }
+    }
+
+    /// The split trial: horizontal split `id` applied.
+    pub fn split(id: usize) -> Self {
+        JointToggle {
+            add_split: Some(id),
+            ..Default::default()
+        }
+    }
+
+    fn is_noop(&self) -> bool {
+        *self == JointToggle::default()
+    }
+}
+
+/// One access path of a candidate index on a slot, kept in its
+/// target-parameterized form so partitioned configurations can re-cost it
+/// against any fetch target.
+struct CandPath {
+    /// The partition-independent path skeleton.
+    profile: IndexPathProfile,
+    /// Bit `o` set when the path's native order satisfies required order
+    /// `o` of the slot.
+    order_ok: u64,
+}
 
 /// Precomputed access costs of one candidate index on one slot.
 struct CandCosts {
     /// Candidate id (position in the matrix's candidate list).
     id: usize,
     /// Cheapest path cost ignoring order (∞ when the index contributes no
-    /// path for this slot).
+    /// path for this slot) — under the *unpartitioned* fetch target.
     unordered: f64,
     /// Cheapest path cost delivering each distinct required order
-    /// (∞ when no path of this candidate satisfies it).
+    /// (∞ when no path of this candidate satisfies it) — under the
+    /// unpartitioned fetch target.
     ordered: Vec<f64>,
+    /// The paths behind the minima above, for partitioned re-costing.
+    paths: Vec<CandPath>,
 }
 
 /// Per-slot cost row: the empty-design base plus per-candidate columns.
 struct SlotCosts {
+    /// The slot's table.
+    table: TableId,
+    /// Needed-column membership mask (fragment touch tests).
+    needed_mask: u128,
+    /// Base-table rows (seq-scan re-costing input).
+    base_rows: f64,
+    /// Filter predicates on the slot (seq-scan re-costing input).
+    n_filters: usize,
+    /// Fetch target of the unpartitioned table.
+    base_target: FetchTarget,
     /// Sequential-scan (base) cost, the only path under the empty design.
     base_unordered: f64,
     /// Base cost per required order (∞ unless the order is trivially
@@ -161,13 +387,43 @@ struct QueryMatrix {
     slots: Vec<SlotCosts>,
 }
 
+/// A registered vertical-fragment candidate.
+struct Fragment {
+    /// Fragmented table.
+    table: TableId,
+    /// Normalised (sorted, deduped) column group.
+    columns: Vec<u16>,
+    /// Column membership mask.
+    mask: u128,
+    /// Heap pages of the fragment (8-byte stored row id included), exactly
+    /// as the optimizer's fetch-target computation counts them.
+    pages: u64,
+}
+
+/// A registered horizontal-split candidate.
+struct Split {
+    /// The partitioning.
+    hp: HorizontalPartitioning,
+    /// Surviving fraction per `(query, slot)` (1.0 off-table).
+    frac: Vec<Vec<f64>>,
+}
+
 /// The precomputed per-(query, candidate) access-cost matrix for one
-/// workload and one candidate list.
+/// workload and one candidate list, extensible with partition candidates
+/// (vertical fragments and horizontal splits) for joint index+partition
+/// costing.
 pub struct CostMatrix<'a> {
     inum: &'a Inum<'a>,
     workload: &'a Workload,
     indexes: Vec<Index>,
     queries: Vec<QueryMatrix>,
+    /// Registered vertical-fragment candidates (id = position).
+    fragments: Vec<Fragment>,
+    /// Registered horizontal-split candidates (id = position).
+    splits: Vec<Split>,
+    /// Fragment ids per table (indexed by `TableId.0`), for the
+    /// replication set-cover path and `joint_design_of`.
+    frags_by_table: Vec<Vec<usize>>,
 }
 
 impl<'a> CostMatrix<'a> {
@@ -224,41 +480,69 @@ impl<'a> CostMatrix<'a> {
             for slot in 0..q.slot_count() {
                 let s = slot as usize;
                 let prof = SlotProfile::build(&ctx, slot, &[]);
-                let seq = access::seq_scan_path(&ctx, &prof);
+                let base_target = access::fetch_target(&ctx, slot, &prof.needed_cols);
+                let seq_cost = access::seq_scan_cost(
+                    params,
+                    prof.base_rows,
+                    prof.n_filters,
+                    base_target,
+                    prof.h_frac,
+                );
                 cells += 1;
                 let required: Vec<Vec<QueryColumn>> = slot_orders[s]
                     .iter()
                     .map(|o| o.iter().map(|&c| QueryColumn::new(slot, c)).collect())
                     .collect();
+                assert!(
+                    required.len() <= MAX_SLOT_ORDERS,
+                    "order-satisfaction masks support {MAX_SLOT_ORDERS} required orders per slot"
+                );
                 let base_ordered: Vec<f64> = required
                     .iter()
                     .map(|req| {
                         if order_satisfies(&[], req, &prof.eq_bound) {
-                            seq.cost
+                            seq_cost
                         } else {
                             f64::INFINITY
                         }
                     })
                     .collect();
                 let table = q.table_of(slot);
+                let needed_mask = column_mask(&prof.needed_cols);
                 let mut cands = Vec::new();
                 for (id, idx) in indexes.iter().enumerate() {
                     if idx.table != table {
                         continue;
                     }
-                    let paths = access::index_access_paths(&ctx, &prof, idx, false);
+                    let profiles = access::index_path_profiles(&ctx, &prof, idx, false);
                     cells += 1;
-                    if paths.is_empty() {
+                    if profiles.is_empty() {
                         continue; // contributes nothing on this slot
                     }
-                    let unordered = paths.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min);
-                    let ordered: Vec<f64> = required
+                    let paths: Vec<CandPath> = profiles
+                        .into_iter()
+                        .map(|profile| {
+                            let mut order_ok = 0u64;
+                            for (o, req) in required.iter().enumerate() {
+                                if order_satisfies(&profile.order, req, &prof.eq_bound) {
+                                    order_ok |= 1 << o;
+                                }
+                            }
+                            CandPath { profile, order_ok }
+                        })
+                        .collect();
+                    let costs: Vec<f64> = paths
                         .iter()
-                        .map(|req| {
+                        .map(|p| p.profile.cost(params, base_target))
+                        .collect();
+                    let unordered = costs.iter().copied().fold(f64::INFINITY, f64::min);
+                    let ordered: Vec<f64> = (0..required.len())
+                        .map(|o| {
                             paths
                                 .iter()
-                                .filter(|p| order_satisfies(&p.order, req, &prof.eq_bound))
-                                .map(|p| p.cost)
+                                .zip(&costs)
+                                .filter(|(p, _)| p.order_ok & (1 << o) != 0)
+                                .map(|(_, &c)| c)
                                 .fold(f64::INFINITY, f64::min)
                         })
                         .collect();
@@ -266,10 +550,16 @@ impl<'a> CostMatrix<'a> {
                         id,
                         unordered,
                         ordered,
+                        paths,
                     });
                 }
                 slots.push(SlotCosts {
-                    base_unordered: seq.cost,
+                    table,
+                    needed_mask,
+                    base_rows: prof.base_rows,
+                    n_filters: prof.n_filters,
+                    base_target,
+                    base_unordered: seq_cost,
                     base_ordered,
                     cands,
                 });
@@ -282,11 +572,15 @@ impl<'a> CostMatrix<'a> {
             });
         }
         inum.note_matrix_build(cells);
+        let n_tables = catalog.schema.tables().count();
         CostMatrix {
             inum,
             workload,
             indexes: indexes.to_vec(),
             queries,
+            fragments: Vec::new(),
+            splits: Vec::new(),
+            frags_by_table: vec![Vec::new(); n_tables],
         }
     }
 
@@ -370,6 +664,412 @@ impl<'a> CostMatrix<'a> {
         (0..self.queries.len())
             .map(|qi| self.queries[qi].weight * self.cost_plus(qi, config, extra))
             .sum()
+    }
+
+    // ---- Partition candidates (the partition-aware cache level) ----
+
+    /// Register (or find) a vertical-fragment candidate for `table`.
+    /// Columns are normalised (sorted, deduped); registering the same
+    /// group twice returns the existing id. The fragment's heap pages are
+    /// precomputed here — the one-off cell work of this cache level.
+    pub fn register_fragment(&mut self, table: TableId, columns: &[u16]) -> usize {
+        let mut cols: Vec<u16> = columns.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        if let Some(id) = self
+            .fragments
+            .iter()
+            .position(|f| f.table == table && f.columns == cols)
+        {
+            return id;
+        }
+        let catalog = self.inum.catalog();
+        let tdef = catalog.schema.table(table);
+        assert!(tdef.width() <= 128, "fragment masks support 128 columns");
+        let mask = column_mask(&cols);
+        let pages = sizing::heap_pages(catalog.row_count(table), tdef.byte_width_of(&cols) + 8);
+        let id = self.fragments.len();
+        self.fragments.push(Fragment {
+            table,
+            columns: cols,
+            mask,
+            pages,
+        });
+        self.frags_by_table[table.0 as usize].push(id);
+        self.inum.note_partition_cells(1);
+        id
+    }
+
+    /// Register (or find) a horizontal-split candidate. The per-(query,
+    /// slot) surviving fractions are precomputed once here, so applying
+    /// the split in a configuration is a pure lookup.
+    pub fn register_split(&mut self, hp: HorizontalPartitioning) -> usize {
+        if let Some(id) = self.splits.iter().position(|s| s.hp == hp) {
+            return id;
+        }
+        let mut frac = Vec::with_capacity(self.queries.len());
+        let mut cells = 0u64;
+        for (q, _) in self.workload.iter() {
+            let mut per_slot = Vec::with_capacity(q.slot_count() as usize);
+            for slot in 0..q.slot_count() {
+                per_slot.push(if q.table_of(slot) == hp.table {
+                    cells += 1;
+                    let (lo, hi) = access::column_range_restriction(q, slot, hp.column);
+                    hp.surviving_fraction(lo, hi)
+                } else {
+                    1.0
+                });
+            }
+            frac.push(per_slot);
+        }
+        let id = self.splits.len();
+        self.splits.push(Split { hp, frac });
+        self.inum.note_partition_cells(cells);
+        id
+    }
+
+    /// Number of registered fragment candidates.
+    pub fn n_fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Number of registered split candidates.
+    pub fn n_splits(&self) -> usize {
+        self.splits.len()
+    }
+
+    /// The (normalised) column group of a registered fragment.
+    pub fn fragment_columns(&self, id: usize) -> &[u16] {
+        &self.fragments[id].columns
+    }
+
+    /// The table a registered fragment belongs to.
+    pub fn fragment_table(&self, id: usize) -> TableId {
+        self.fragments[id].table
+    }
+
+    /// The partitioning of a registered split candidate.
+    pub fn split(&self, id: usize) -> &HorizontalPartitioning {
+        &self.splits[id].hp
+    }
+
+    /// An empty joint configuration sized for this matrix.
+    pub fn empty_joint(&self) -> JointConfig {
+        JointConfig {
+            indexes: self.empty_config(),
+            fragments: FragmentBitset::new(self.fragments.len()),
+            splits: SplitBitset::new(self.splits.len()),
+        }
+    }
+
+    /// The [`PhysicalDesign`] a joint configuration denotes (slow-path
+    /// bridge, for validation and for materializing a finished search).
+    pub fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign {
+        let mut d = self.design_of(&cfg.indexes);
+        for (ti, frag_ids) in self.frags_by_table.iter().enumerate() {
+            let groups: Vec<Vec<u16>> = frag_ids
+                .iter()
+                .filter(|&&f| cfg.fragments.contains(f))
+                .map(|&f| self.fragments[f].columns.clone())
+                .collect();
+            if !groups.is_empty() {
+                d.set_vertical(VerticalPartitioning::new(TableId(ti as u32), groups));
+            }
+        }
+        for (sid, s) in self.splits.iter().enumerate() {
+            if cfg.splits.contains(sid) {
+                d.set_horizontal(s.hp.clone());
+            }
+        }
+        d
+    }
+
+    /// Cost of `query_id` under a joint configuration — pure lookups plus
+    /// per-slot arithmetic re-costing for partition-touched tables.
+    pub fn joint_cost(&self, query_id: usize, cfg: &JointConfig) -> f64 {
+        self.joint_cost_with(query_id, cfg, &JointToggle::default())
+    }
+
+    /// Weighted workload cost under a joint configuration.
+    pub fn joint_workload_cost(&self, cfg: &JointConfig) -> f64 {
+        (0..self.queries.len())
+            .map(|qi| self.queries[qi].weight * self.joint_cost(qi, cfg))
+            .sum()
+    }
+
+    /// Weighted workload cost under `cfg` with `toggle`'s virtual edits
+    /// applied — the merge/split trial hot path.
+    pub fn joint_workload_cost_with(&self, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
+        (0..self.queries.len())
+            .map(|qi| self.queries[qi].weight * self.joint_cost_with(qi, cfg, toggle))
+            .sum()
+    }
+
+    /// Workload-cost change from replacing fragments `a` and `b` with
+    /// their (pre-registered) merge `merged` — AutoPart's merge-trial
+    /// entry point (negative = improvement).
+    pub fn delta_merge(&self, cfg: &JointConfig, a: usize, b: usize, merged: usize) -> f64 {
+        self.joint_workload_cost_with(cfg, &JointToggle::merge(a, b, merged))
+            - self.joint_workload_cost(cfg)
+    }
+
+    /// Workload-cost change from applying horizontal split `split` —
+    /// the horizontal-pass trial entry point (negative = improvement).
+    pub fn delta_split(&self, cfg: &JointConfig, split: usize) -> f64 {
+        self.joint_workload_cost_with(cfg, &JointToggle::split(split))
+            - self.joint_workload_cost(cfg)
+    }
+
+    /// Cost of `query_id` under `cfg` with `toggle` applied. Mirrors
+    /// [`Inum::cost`] on the design [`Self::joint_design_of`] would build,
+    /// so the two agree on any joint configuration (the suite's invariant
+    /// tests assert this within 1e-6).
+    pub fn joint_cost_with(&self, query_id: usize, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
+        self.inum.note_matrix_lookup();
+        let qm = &self.queries[query_id];
+
+        // Per-slot partition-adjusted minima, resolved once per query —
+        // they do not vary across skeletons, so the skeleton loop below
+        // stays as cheap as the index-only fast path. Slot counts are tiny
+        // (one per table in the query), so the state lives on the stack.
+        let partitions_active = !cfg.partitions_empty() || !toggle.is_noop();
+        let mut state_buf = [NO_PART_STATE; MAX_STACK_SLOTS];
+        let state_spill: Vec<Option<PartSlotMins>>;
+        let slot_state: &[Option<PartSlotMins>] = if !partitions_active {
+            &state_buf[..qm.slots.len().min(MAX_STACK_SLOTS)]
+        } else {
+            self.inum.note_partition_lookup();
+            if qm.slots.len() <= MAX_STACK_SLOTS {
+                for (s, slot) in qm.slots.iter().enumerate() {
+                    state_buf[s] = self.slot_partition_state(query_id, s, slot, cfg, toggle);
+                }
+                &state_buf[..qm.slots.len()]
+            } else {
+                state_spill = qm
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .map(|(s, slot)| self.slot_partition_state(query_id, s, slot, cfg, toggle))
+                    .collect();
+                &state_spill
+            }
+        };
+        let use_fast = |s: usize| slot_state.get(s).is_none_or(|st| st.is_none());
+
+        let mut best = f64::INFINITY;
+        for (internal, reqs) in qm.internal.iter().zip(&qm.reqs) {
+            let mut total = *internal;
+            for (s, (slot, &req)) in qm.slots.iter().zip(reqs.iter()).enumerate() {
+                let m = if use_fast(s) {
+                    // Unpartitioned slot: the precomputed fast path.
+                    let mut m = if req == NO_ORDER {
+                        slot.base_unordered
+                    } else {
+                        slot.base_ordered[req as usize]
+                    };
+                    for cand in &slot.cands {
+                        if !cfg.indexes.contains(cand.id) {
+                            continue;
+                        }
+                        let c = if req == NO_ORDER {
+                            cand.unordered
+                        } else {
+                            cand.ordered[req as usize]
+                        };
+                        if c < m {
+                            m = c;
+                        }
+                    }
+                    m
+                } else {
+                    // Partition-touched slot: the minima were re-derived
+                    // against the configuration's fetch target above.
+                    let mins = slot_state[s].as_ref().expect("checked by use_fast");
+                    if req == NO_ORDER {
+                        mins.unordered
+                    } else {
+                        mins.ordered[req as usize]
+                    }
+                };
+                total += m;
+                if total >= best {
+                    total = f64::INFINITY;
+                    break; // early exit: already worse (or infeasible)
+                }
+            }
+            if total < best {
+                best = total;
+            }
+        }
+        best
+    }
+
+    /// Resolve one slot's partition-adjusted access minima under the
+    /// configuration (+ toggle): the fetch target from the selected
+    /// fragments, the surviving fraction from the selected split, then one
+    /// arithmetic re-costing per cached path. `None` = the slot's table
+    /// carries no partition candidate, use the precomputed unpartitioned
+    /// numbers.
+    fn slot_partition_state(
+        &self,
+        query_id: usize,
+        slot_idx: usize,
+        slot: &SlotCosts,
+        cfg: &JointConfig,
+        toggle: &JointToggle,
+    ) -> Option<PartSlotMins> {
+        // In every toggle resolution below, an add wins over a remove of
+        // the same id: the trial set is (cfg ∖ removes) ∪ adds, so
+        // `merge(a, b, merged)` with `merged == b` (a merge that swallows a
+        // subset fragment, which replication can produce) correctly keeps
+        // `b` selected instead of dropping its columns from the cover.
+        let mut h_frac = 1.0f64;
+        let mut has_split = false;
+        let split_on = |sid: usize| {
+            self.splits[sid].hp.table == slot.table
+                && (toggle.add_split == Some(sid) || toggle.remove_split != Some(sid))
+        };
+        for sid in cfg.splits.ids().filter(|&sid| split_on(sid)).chain(
+            toggle
+                .add_split
+                .filter(|&sid| split_on(sid) && !cfg.splits.contains(sid)),
+        ) {
+            debug_assert!(!has_split, "at most one split per table");
+            h_frac = self.splits[sid].frac[query_id][slot_idx];
+            has_split = true;
+        }
+
+        let frag_on = |fid: usize| {
+            self.fragments[fid].table == slot.table
+                && (toggle.add_fragment == Some(fid)
+                    || (toggle.remove_fragments[0] != Some(fid)
+                        && toggle.remove_fragments[1] != Some(fid)))
+        };
+        let mut any = false;
+        let mut disjoint_pages = 0u64;
+        let mut touched = 0usize;
+        let mut union_mask = 0u128;
+        let mut popcount_sum = 0u32;
+        for fid in cfg.fragments.ids().filter(|&fid| frag_on(fid)).chain(
+            toggle
+                .add_fragment
+                .filter(|&fid| frag_on(fid) && !cfg.fragments.contains(fid)),
+        ) {
+            any = true;
+            let fr = &self.fragments[fid];
+            union_mask |= fr.mask;
+            popcount_sum += fr.mask.count_ones();
+            if fr.mask & slot.needed_mask != 0 {
+                disjoint_pages += fr.pages;
+                touched += 1;
+            }
+        }
+        if !any && !has_split {
+            return None;
+        }
+        let target = if !any {
+            slot.base_target
+        } else if popcount_sum == union_mask.count_ones() {
+            // Disjoint fragments: the greedy set cover reduces to "every
+            // fragment intersecting the needed columns".
+            FetchTarget {
+                pages: disjoint_pages.max(1) as f64,
+                fragments: touched.max(1),
+            }
+        } else {
+            let selected = |fid: usize| {
+                toggle.add_fragment == Some(fid)
+                    || (cfg.fragments.contains(fid)
+                        && toggle.remove_fragments[0] != Some(fid)
+                        && toggle.remove_fragments[1] != Some(fid))
+            };
+            self.cover_target(slot.table.0 as usize, slot, &selected)
+        };
+
+        // Re-derive the per-order minima against the new target: base scan
+        // first, then every cached path of every selected candidate, each
+        // costed exactly once.
+        let params = &self.inum.optimizer().params;
+        let base = access::seq_scan_cost(params, slot.base_rows, slot.n_filters, target, h_frac);
+        let mut mins = PartSlotMins {
+            unordered: base,
+            ordered: [f64::INFINITY; MAX_SLOT_ORDERS],
+        };
+        for (o, c) in slot.base_ordered.iter().enumerate() {
+            if c.is_finite() {
+                mins.ordered[o] = base;
+            }
+        }
+        for cand in &slot.cands {
+            if !cfg.indexes.contains(cand.id) {
+                continue;
+            }
+            for path in &cand.paths {
+                let c = path.profile.cost(params, target);
+                if c < mins.unordered {
+                    mins.unordered = c;
+                }
+                let mut order_bits = path.order_ok;
+                while order_bits != 0 {
+                    let o = order_bits.trailing_zeros() as usize;
+                    order_bits &= order_bits - 1;
+                    if c < mins.ordered[o] {
+                        mins.ordered[o] = c;
+                    }
+                }
+            }
+        }
+        Some(mins)
+    }
+
+    /// Replication-aware fetch target: reproduce
+    /// [`VerticalPartitioning::fragments_for`]'s greedy set cover —
+    /// including its group ordering and tie-breaking — over the selected
+    /// (overlapping) fragments, so costs agree with the slow path exactly.
+    fn cover_target(
+        &self,
+        table_idx: usize,
+        slot: &SlotCosts,
+        selected: &dyn Fn(usize) -> bool,
+    ) -> FetchTarget {
+        let mut groups: Vec<&Fragment> = self.frags_by_table[table_idx]
+            .iter()
+            .filter(|&&fid| selected(fid))
+            .map(|&fid| &self.fragments[fid])
+            .collect();
+        // `VerticalPartitioning::new` sorts groups by column list; the
+        // greedy cover's tie-breaking depends on that order.
+        groups.sort_by(|a, b| a.columns.cmp(&b.columns));
+        let mut remaining = slot.needed_mask;
+        let mut picked = vec![false; groups.len()];
+        let mut pages = 0u64;
+        let mut count = 0usize;
+        while remaining != 0 {
+            // Last maximal coverage wins, as `Iterator::max_by_key` does.
+            let mut best: Option<(usize, u32)> = None;
+            for (i, g) in groups.iter().enumerate() {
+                if picked[i] {
+                    continue;
+                }
+                let cov = (g.mask & remaining).count_ones();
+                if best.is_none_or(|(_, c)| cov >= c) {
+                    best = Some((i, cov));
+                }
+            }
+            match best {
+                Some((i, cov)) if cov > 0 => {
+                    remaining &= !groups[i].mask;
+                    picked[i] = true;
+                    pages += groups[i].pages;
+                    count += 1;
+                }
+                _ => break, // column not covered anywhere: malformed, stop
+            }
+        }
+        FetchTarget {
+            pages: pages.max(1) as f64,
+            fragments: count.max(1),
+        }
     }
 
     /// The shared hot path: cost with one candidate virtually added
@@ -535,6 +1235,206 @@ mod tests {
         let cfg = matrix.config_of([0]);
         let manual: f64 = 2.0 * matrix.cost(0, &cfg) + 3.0 * matrix.cost(1, &cfg);
         assert!((matrix.workload_cost(&cfg) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joint_cost_matches_inum_on_partitioned_designs() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 104);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let mut matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+
+        // Disjoint vertical fragments + a horizontal split + two indexes.
+        let f1 = matrix.register_fragment(photo, &[0, 1, 2]);
+        let f2 = matrix.register_fragment(photo, &(3..16).collect::<Vec<u16>>());
+        let split = matrix.register_split(pgdesign_catalog::design::HorizontalPartitioning::new(
+            photo,
+            1,
+            (1..10).map(|i| i as f64 * 36.0).collect(),
+        ));
+        let mut cfg = matrix.empty_joint();
+        cfg.indexes.insert(0);
+        if cands.indexes.len() > 1 {
+            cfg.indexes.insert(1);
+        }
+        cfg.fragments.insert(f1);
+        cfg.fragments.insert(f2);
+        cfg.splits.insert(split);
+
+        let design = matrix.joint_design_of(&cfg);
+        assert!(design.vertical(photo).is_some());
+        assert!(design.horizontal(photo).is_some());
+        for (qi, (q, _)) in w.iter().enumerate() {
+            let fast = matrix.joint_cost(qi, &cfg);
+            let oracle = inum.cost(&design, q);
+            assert!(
+                (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
+                "joint {fast} vs inum {oracle} (Q{qi})"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_cost_matches_inum_with_replicated_fragments() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 105);
+        let mut matrix = CostMatrix::build(&inum, &w, &[]);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        // Overlapping groups: column 0 replicated into both fragments —
+        // exercises the greedy set-cover reproduction.
+        let f1 = matrix.register_fragment(photo, &[0, 1, 2]);
+        let f2 = matrix.register_fragment(photo, &(0..16).skip(3).chain([0]).collect::<Vec<u16>>());
+        let mut cfg = matrix.empty_joint();
+        cfg.fragments.insert(f1);
+        cfg.fragments.insert(f2);
+        let design = matrix.joint_design_of(&cfg);
+        for (qi, (q, _)) in w.iter().enumerate() {
+            let fast = matrix.joint_cost(qi, &cfg);
+            let oracle = inum.cost(&design, q);
+            assert!(
+                (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
+                "replicated joint {fast} vs inum {oracle} (Q{qi})"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_cost_with_empty_partitions_equals_index_path() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 106);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let mut cfg = matrix.empty_joint();
+        for id in (0..cands.indexes.len()).step_by(2) {
+            cfg.indexes.insert(id);
+        }
+        for qi in 0..matrix.n_queries() {
+            assert_eq!(
+                matrix.joint_cost(qi, &cfg),
+                matrix.cost(qi, &cfg.indexes),
+                "no partitions selected: joint must equal the index-only path (Q{qi})"
+            );
+        }
+    }
+
+    #[test]
+    fn toggled_joint_costs_match_materialized_configs() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 107);
+        let mut matrix = CostMatrix::build(&inum, &w, &[]);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let a = matrix.register_fragment(photo, &[0, 1, 2]);
+        let b = matrix.register_fragment(photo, &[3, 4, 5]);
+        let rest = matrix.register_fragment(photo, &(6..16).collect::<Vec<u16>>());
+        let merged = matrix.register_fragment(photo, &[0, 1, 2, 3, 4, 5]);
+        let split = matrix.register_split(pgdesign_catalog::design::HorizontalPartitioning::new(
+            photo,
+            1,
+            vec![90.0, 180.0, 270.0],
+        ));
+
+        let mut cfg = matrix.empty_joint();
+        for f in [a, b, rest] {
+            cfg.fragments.insert(f);
+        }
+
+        // delta_merge against materialized re-evaluation.
+        let mut merged_cfg = matrix.empty_joint();
+        merged_cfg.fragments.insert(rest);
+        merged_cfg.fragments.insert(merged);
+        let full = matrix.joint_workload_cost(&merged_cfg) - matrix.joint_workload_cost(&cfg);
+        let delta = matrix.delta_merge(&cfg, a, b, merged);
+        assert!(
+            (delta - full).abs() < 1e-9,
+            "delta_merge {delta} vs full {full}"
+        );
+
+        // delta_split against materialized re-evaluation.
+        let mut split_cfg = cfg.clone();
+        split_cfg.splits.insert(split);
+        let full = matrix.joint_workload_cost(&split_cfg) - matrix.joint_workload_cost(&cfg);
+        let delta = matrix.delta_split(&cfg, split);
+        assert!(
+            (delta - full).abs() < 1e-9,
+            "delta_split {delta} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn merge_toggle_whose_result_equals_an_input_keeps_it_selected() {
+        // After replication, one group can be a subset of another; a merge
+        // of (subset, superset) registers to the superset's own id. The
+        // trial must then cost `cfg ∖ {subset}` — the add wins over the
+        // remove of the same id — not a configuration missing both.
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 110);
+        let mut matrix = CostMatrix::build(&inum, &w, &[]);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let a = matrix.register_fragment(photo, &[0, 1, 2]);
+        let b = matrix.register_fragment(photo, &[0, 1, 2, 3, 4, 5]);
+        let rest = matrix.register_fragment(photo, &(6..16).collect::<Vec<u16>>());
+        let mut cfg = matrix.empty_joint();
+        for f in [a, b, rest] {
+            cfg.fragments.insert(f);
+        }
+        let trial = matrix.joint_workload_cost_with(&cfg, &JointToggle::merge(a, b, b));
+        let mut expect_cfg = matrix.empty_joint();
+        expect_cfg.fragments.insert(b);
+        expect_cfg.fragments.insert(rest);
+        let expect = matrix.joint_workload_cost(&expect_cfg);
+        assert!(
+            (trial - expect).abs() < 1e-9,
+            "merge(a, b, b) must cost cfg ∖ {{a}}: {trial} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn registration_is_deduplicated() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 3, 108);
+        let mut matrix = CostMatrix::build(&inum, &w, &[]);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let a = matrix.register_fragment(photo, &[2, 1, 0]);
+        let b = matrix.register_fragment(photo, &[0, 1, 2, 2]);
+        assert_eq!(a, b, "normalised duplicates collapse to one id");
+        assert_eq!(matrix.n_fragments(), 1);
+        assert_eq!(matrix.fragment_columns(a), &[0, 1, 2]);
+        let hp = pgdesign_catalog::design::HorizontalPartitioning::new(photo, 1, vec![100.0]);
+        let s1 = matrix.register_split(hp.clone());
+        let s2 = matrix.register_split(hp);
+        assert_eq!(s1, s2);
+        assert_eq!(matrix.n_splits(), 1);
+    }
+
+    #[test]
+    fn partition_counters_accumulate() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 3, 109);
+        let mut matrix = CostMatrix::build(&inum, &w, &[]);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let before = inum.matrix_stats();
+        let f = matrix.register_fragment(photo, &[0, 1]);
+        let rest = matrix.register_fragment(photo, &(2..16).collect::<Vec<u16>>());
+        let after_reg = inum.matrix_stats();
+        assert!(after_reg.partition_cells >= before.partition_cells + 2);
+        let mut cfg = matrix.empty_joint();
+        cfg.fragments.insert(f);
+        cfg.fragments.insert(rest);
+        let _ = matrix.joint_workload_cost(&cfg);
+        let s = inum.matrix_stats();
+        assert_eq!(
+            s.partition_lookups,
+            after_reg.partition_lookups + w.len() as u64
+        );
+        assert_eq!(s.lookups, after_reg.lookups + w.len() as u64);
     }
 
     #[test]

@@ -117,35 +117,7 @@ impl SlotProfile {
         // Horizontal partition pruning fraction.
         let h_frac = match ctx.design.horizontal(table) {
             Some(hp) => {
-                let (mut lo, mut hi) = (None, None);
-                for f in ctx.query.filters_on(slot) {
-                    if f.col.column != hp.column {
-                        continue;
-                    }
-                    match &f.op {
-                        PredOp::Cmp(op, v) => {
-                            if let Some(x) = v.numeric_image() {
-                                use pgdesign_query::ast::CmpOp::*;
-                                match op {
-                                    Eq => {
-                                        lo = Some(x);
-                                        hi = Some(x);
-                                    }
-                                    Lt | Le => hi = Some(hi.map_or(x, |h: f64| h.min(x))),
-                                    Gt | Ge => lo = Some(lo.map_or(x, |l: f64| l.max(x))),
-                                    Ne => {}
-                                }
-                            }
-                        }
-                        PredOp::Between(a, b) => {
-                            if let (Some(a), Some(b)) = (a.numeric_image(), b.numeric_image()) {
-                                lo = Some(lo.map_or(a, |l: f64| l.max(a)));
-                                hi = Some(hi.map_or(b, |h: f64| h.min(b)));
-                            }
-                        }
-                        _ => {}
-                    }
-                }
+                let (lo, hi) = column_range_restriction(ctx.query, slot, hp.column);
                 hp.surviving_fraction(lo, hi)
             }
             None => 1.0,
@@ -200,10 +172,66 @@ pub fn pages_fetched(rows: f64, pages: f64) -> f64 {
     (p * (1.0 - frac)).clamp(1.0_f64.min(rows), p)
 }
 
-/// Heap pages of the storage a row fetch must touch for `needed` columns:
+/// The `[lo, hi]` numeric range a query's filters impose on one column of
+/// a slot (either side open). Drives horizontal partition pruning; shared
+/// between [`SlotProfile::build`] and the cost matrix's split candidates
+/// so both compute identical surviving fractions.
+pub fn column_range_restriction(
+    query: &Query,
+    slot: u16,
+    column: u16,
+) -> (Option<f64>, Option<f64>) {
+    let (mut lo, mut hi) = (None, None);
+    for f in query.filters_on(slot) {
+        if f.col.column != column {
+            continue;
+        }
+        match &f.op {
+            PredOp::Cmp(op, v) => {
+                if let Some(x) = v.numeric_image() {
+                    use pgdesign_query::ast::CmpOp::*;
+                    match op {
+                        Eq => {
+                            lo = Some(x);
+                            hi = Some(x);
+                        }
+                        Lt | Le => hi = Some(hi.map_or(x, |h: f64| h.min(x))),
+                        Gt | Ge => lo = Some(lo.map_or(x, |l: f64| l.max(x))),
+                        Ne => {}
+                    }
+                }
+            }
+            PredOp::Between(a, b) => {
+                if let (Some(a), Some(b)) = (a.numeric_image(), b.numeric_image()) {
+                    lo = Some(lo.map_or(a, |l: f64| l.max(a)));
+                    hi = Some(hi.map_or(b, |h: f64| h.min(b)));
+                }
+            }
+            _ => {}
+        }
+    }
+    (lo, hi)
+}
+
+/// The heap storage a slot's row fetches must touch under a design:
+/// summed pages of the vertical fragments holding the needed columns (the
+/// whole table when unpartitioned) and how many fragments get stitched
+/// per row. The one partition-dependent input of every access-path cost
+/// formula — computing it from precomputed per-fragment page counts is
+/// what lets the INUM cost matrix re-cost a slot under hypothetical
+/// partitionings without touching the design at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchTarget {
+    /// Total heap pages of the fetch target (≥ 1).
+    pub pages: f64,
+    /// Vertical fragments stitched per fetched row (1 = no stitching).
+    pub fragments: usize,
+}
+
+/// Fetch target for `needed` columns of a slot under the context's design:
 /// the whole table, or the needed vertical fragments (plus their 8-byte
-/// row-id overhead). Returns `(pages, fragment_count)`.
-fn fetch_target_pages(ctx: &AccessContext<'_>, slot: u16, needed: &[u16]) -> (f64, usize) {
+/// row-id overhead).
+pub fn fetch_target(ctx: &AccessContext<'_>, slot: u16, needed: &[u16]) -> FetchTarget {
     let table = ctx.query.table_of(slot);
     let tdef = ctx.catalog.schema.table(table);
     let rows = ctx.catalog.row_count(table);
@@ -217,27 +245,52 @@ fn fetch_target_pages(ctx: &AccessContext<'_>, slot: u16, needed: &[u16]) -> (f6
                     sizing::heap_pages(rows, w)
                 })
                 .sum();
-            (pages.max(1) as f64, frags.len().max(1))
+            FetchTarget {
+                pages: pages.max(1) as f64,
+                fragments: frags.len().max(1),
+            }
         }
-        None => (sizing::heap_pages(rows, tdef.row_byte_width()) as f64, 1),
+        None => FetchTarget {
+            pages: sizing::heap_pages(rows, tdef.row_byte_width()) as f64,
+            fragments: 1,
+        },
     }
+}
+
+/// Cost of the sequential (or stitched-fragment) scan of a slot against an
+/// explicit fetch target and horizontal-pruning fraction — the
+/// target-parameterized form [`seq_scan_path`] and the cost matrix share.
+pub fn seq_scan_cost(
+    p: &CostParams,
+    base_rows: f64,
+    n_filters: usize,
+    target: FetchTarget,
+    h_frac: f64,
+) -> f64 {
+    let scanned_rows = base_rows * h_frac;
+    let io = target.pages * h_frac * p.seq_page_cost;
+    let mut cpu = scanned_rows * (p.cpu_tuple_cost + n_filters as f64 * p.cpu_operator_cost);
+    if target.fragments > 1 {
+        // Row-id stitch between fragments.
+        cpu += scanned_rows * (target.fragments as f64 - 1.0) * p.cpu_operator_cost;
+    }
+    io + cpu
 }
 
 /// The sequential (or fragment) scan path.
 pub fn seq_scan_path(ctx: &AccessContext<'_>, prof: &SlotProfile) -> PlanExpr {
-    let p = ctx.params;
-    let (pages, frags) = fetch_target_pages(ctx, prof.slot, &prof.needed_cols);
-    let scanned_rows = prof.base_rows * prof.h_frac;
-    let io = pages * prof.h_frac * p.seq_page_cost;
-    let mut cpu = scanned_rows * (p.cpu_tuple_cost + prof.n_filters as f64 * p.cpu_operator_cost);
-    if frags > 1 {
-        // Row-id stitch between fragments.
-        cpu += scanned_rows * (frags as f64 - 1.0) * p.cpu_operator_cost;
-    }
-    let node = if frags > 1 {
+    let target = fetch_target(ctx, prof.slot, &prof.needed_cols);
+    let cost = seq_scan_cost(
+        ctx.params,
+        prof.base_rows,
+        prof.n_filters,
+        target,
+        prof.h_frac,
+    );
+    let node = if target.fragments > 1 {
         PlanNode::FragmentScan {
             slot: prof.slot,
-            fragments: frags,
+            fragments: target.fragments,
             filters: prof.n_filters,
         }
     } else {
@@ -248,22 +301,77 @@ pub fn seq_scan_path(ctx: &AccessContext<'_>, prof: &SlotProfile) -> PlanExpr {
     };
     PlanExpr {
         node,
-        cost: io + cpu,
+        cost,
         rows: prof.rows_out,
         order: vec![],
         width: prof.out_width,
     }
 }
 
-/// Cost an index scan (plain or index-only) with `matched` prefix columns.
-fn index_scan_path(
+/// Partition-independent skeleton of one index-based access path (plain,
+/// index-only, or bitmap). Everything that does not depend on the design's
+/// partitionings is folded into `pre`/`post`; [`IndexPathProfile::cost`]
+/// reproduces the full path formula — in the same floating-point order —
+/// for any [`FetchTarget`], so the cost matrix can re-cost candidate
+/// indexes under hypothetical partitionings without re-enumeration.
+#[derive(Debug, Clone)]
+pub struct IndexPathProfile {
+    /// Bitmap index + heap scan (vs plain/index-only B-tree scan).
+    pub bitmap: bool,
+    /// Matched key-prefix columns.
+    pub matched: usize,
+    /// Covering (index-only) scan.
+    pub index_only: bool,
+    /// Parameterized inner side of a nested loop.
+    pub parameterized: bool,
+    /// Native output order delivered by the path (empty for bitmap).
+    pub order: Vec<QueryColumn>,
+    /// Cost added before the heap-I/O term (descent + leaf I/O + index CPU).
+    pre: f64,
+    /// Cost added after the heap-I/O term (residual filter/tuple CPU).
+    post: f64,
+    /// Rows that reach the heap (index-only discount already applied; for
+    /// bitmap paths, the matched entry count).
+    heap_rows: f64,
+    /// Squared leading-column correlation (plain scans only).
+    corr2: f64,
+    /// Table row count (min-I/O clamp for correlated scans).
+    row_count: f64,
+}
+
+impl IndexPathProfile {
+    /// The path's full cost against a fetch target.
+    pub fn cost(&self, p: &CostParams, target: FetchTarget) -> f64 {
+        let fetched = pages_fetched(self.heap_rows * target.fragments as f64, target.pages);
+        let heap_io = if self.bitmap {
+            // After tid sorting fetches approach sequential as the fraction
+            // of the relation touched grows (PostgreSQL's bitmap cost
+            // interpolation).
+            let frac = (fetched / target.pages.max(1.0)).clamp(0.0, 1.0).sqrt();
+            let per_page = p.random_page_cost - (p.random_page_cost - p.seq_page_cost) * frac;
+            fetched * per_page
+        } else {
+            let max_io = p.cached_random_page_cost(fetched, target.pages);
+            let min_io = (self.heap_rows / (self.row_count / target.pages).max(1.0))
+                .ceil()
+                .max(if self.heap_rows > 0.0 { 1.0 } else { 0.0 })
+                * p.seq_page_cost;
+            self.corr2 * min_io.min(max_io) + (1.0 - self.corr2) * max_io
+        };
+        self.pre + heap_io + self.post
+    }
+}
+
+/// Profile an index scan (plain or index-only) with `matched` prefix
+/// columns.
+fn index_scan_profile(
     ctx: &AccessContext<'_>,
     prof: &SlotProfile,
     index: &Index,
     matched: usize,
     prefix_sel: f64,
     parameterized: bool,
-) -> PlanExpr {
+) -> IndexPathProfile {
     let p = ctx.params;
     let table = ctx.query.table_of(prof.slot);
     let tstats = ctx.catalog.table_stats(table);
@@ -282,54 +390,42 @@ fn index_scan_path(
     } else {
         entries
     };
-    let (target_pages, frags) = fetch_target_pages(ctx, prof.slot, &prof.needed_cols);
-    let fetched = pages_fetched(heap_fetch_rows * frags as f64, target_pages);
     let corr = tstats
         .column(index.leading_column())
         .correlation
         .abs()
         .clamp(0.0, 1.0);
-    let max_io = p.cached_random_page_cost(fetched, target_pages);
-    let min_io = (heap_fetch_rows / (tstats.row_count as f64 / target_pages).max(1.0))
-        .ceil()
-        .max(if heap_fetch_rows > 0.0 { 1.0 } else { 0.0 })
-        * p.seq_page_cost;
-    let c2 = corr * corr;
-    let heap_io = c2 * min_io.min(max_io) + (1.0 - c2) * max_io;
 
     let remaining = prof.n_filters.saturating_sub(matched);
     let filter_cpu = heap_fetch_rows.max(entries) * remaining as f64 * p.cpu_operator_cost
         + prof.rows_out * p.cpu_tuple_cost;
 
-    let order: Vec<QueryColumn> = index
-        .columns
-        .iter()
-        .map(|&c| QueryColumn::new(prof.slot, c))
-        .collect();
-
-    PlanExpr {
-        node: PlanNode::IndexScan {
-            slot: prof.slot,
-            index: index.clone(),
-            matched_cols: matched,
-            index_only: covers,
-            parameterized,
-        },
-        cost: descent + leaf_io + index_cpu + heap_io + filter_cpu,
-        rows: prof.rows_out,
-        order,
-        width: prof.out_width,
+    IndexPathProfile {
+        bitmap: false,
+        matched,
+        index_only: covers,
+        parameterized,
+        order: index
+            .columns
+            .iter()
+            .map(|&c| QueryColumn::new(prof.slot, c))
+            .collect(),
+        pre: descent + leaf_io + index_cpu,
+        post: filter_cpu,
+        heap_rows: heap_fetch_rows,
+        corr2: corr * corr,
+        row_count: tstats.row_count as f64,
     }
 }
 
-/// Cost a bitmap index + heap scan with `matched` prefix columns.
-fn bitmap_path(
+/// Profile a bitmap index + heap scan with `matched` prefix columns.
+fn bitmap_profile(
     ctx: &AccessContext<'_>,
     prof: &SlotProfile,
     index: &Index,
     matched: usize,
     prefix_sel: f64,
-) -> PlanExpr {
+) -> IndexPathProfile {
     let p = ctx.params;
     let table = ctx.query.table_of(prof.slot);
     let tstats = ctx.catalog.table_stats(table);
@@ -344,28 +440,52 @@ fn bitmap_path(
     let leaf_io = (prefix_sel * leaf_pages).ceil() * p.seq_page_cost;
     let index_cpu = entries * (p.cpu_index_tuple_cost + p.cpu_operator_cost); // + tid sort
 
-    let (target_pages, frags) = fetch_target_pages(ctx, prof.slot, &prof.needed_cols);
-    let fetched = pages_fetched(entries * frags as f64, target_pages);
-    // After tid sorting fetches approach sequential as the fraction of the
-    // relation touched grows (PostgreSQL's bitmap cost interpolation).
-    let frac = (fetched / target_pages.max(1.0)).clamp(0.0, 1.0).sqrt();
-    let per_page = p.random_page_cost - (p.random_page_cost - p.seq_page_cost) * frac;
-    let heap_io = fetched * per_page;
-
     let remaining = prof.n_filters.saturating_sub(matched);
     let cpu = entries * (p.cpu_tuple_cost + remaining as f64 * p.cpu_operator_cost);
 
-    PlanExpr {
-        node: PlanNode::BitmapHeapScan {
-            slot: prof.slot,
-            index: index.clone(),
-            matched_cols: matched,
-        },
-        cost: descent + leaf_io + index_cpu + heap_io + cpu,
-        rows: prof.rows_out,
+    IndexPathProfile {
+        bitmap: true,
+        matched,
+        index_only: false,
+        parameterized: false,
         order: vec![],
-        width: prof.out_width,
+        pre: descent + leaf_io + index_cpu,
+        post: cpu,
+        heap_rows: entries,
+        corr2: 0.0,
+        row_count: tstats.row_count as f64,
     }
+}
+
+/// Path profiles contributed by a single index on a slot — the
+/// target-independent half of [`index_access_paths`], usable against any
+/// [`FetchTarget`].
+pub fn index_path_profiles(
+    ctx: &AccessContext<'_>,
+    prof: &SlotProfile,
+    index: &Index,
+    parameterized: bool,
+) -> Vec<IndexPathProfile> {
+    let mut out = Vec::new();
+    let (matched, prefix_sel) = prof.match_index(index);
+    if matched > 0 {
+        out.push(index_scan_profile(
+            ctx,
+            prof,
+            index,
+            matched,
+            prefix_sel,
+            parameterized,
+        ));
+        if !parameterized {
+            out.push(bitmap_profile(ctx, prof, index, matched, prefix_sel));
+        }
+    } else if index.covers(&prof.needed_cols) || order_relevant(ctx, prof.slot, index) {
+        // Full index scan: no predicate match, but covering or
+        // order-providing.
+        out.push(index_scan_profile(ctx, prof, index, 0, 1.0, parameterized));
+    }
+    out
 }
 
 /// True when the index's leading column is "interesting" to the query
@@ -394,26 +514,35 @@ pub fn index_access_paths(
     index: &Index,
     parameterized: bool,
 ) -> Vec<PlanExpr> {
-    let mut out = Vec::new();
-    let (matched, prefix_sel) = prof.match_index(index);
-    if matched > 0 {
-        out.push(index_scan_path(
-            ctx,
-            prof,
-            index,
-            matched,
-            prefix_sel,
-            parameterized,
-        ));
-        if !parameterized {
-            out.push(bitmap_path(ctx, prof, index, matched, prefix_sel));
-        }
-    } else if index.covers(&prof.needed_cols) || order_relevant(ctx, prof.slot, index) {
-        // Full index scan: no predicate match, but covering or
-        // order-providing.
-        out.push(index_scan_path(ctx, prof, index, 0, 1.0, parameterized));
-    }
-    out
+    let target = fetch_target(ctx, prof.slot, &prof.needed_cols);
+    index_path_profiles(ctx, prof, index, parameterized)
+        .into_iter()
+        .map(|pp| {
+            let cost = pp.cost(ctx.params, target);
+            let node = if pp.bitmap {
+                PlanNode::BitmapHeapScan {
+                    slot: prof.slot,
+                    index: index.clone(),
+                    matched_cols: pp.matched,
+                }
+            } else {
+                PlanNode::IndexScan {
+                    slot: prof.slot,
+                    index: index.clone(),
+                    matched_cols: pp.matched,
+                    index_only: pp.index_only,
+                    parameterized: pp.parameterized,
+                }
+            };
+            PlanExpr {
+                node,
+                cost,
+                rows: prof.rows_out,
+                order: pp.order,
+                width: prof.out_width,
+            }
+        })
+        .collect()
 }
 
 /// Enumerate all candidate access paths for a slot (pruned to the useful

@@ -186,6 +186,153 @@ fn matrix_delta_matches_full_reevaluation() {
     }
 }
 
+/// The partition-aware matrix level agrees with [`Inum::cost`]: random
+/// joint configurations — vertical fragmentations (occasionally with a
+/// replicated column), horizontal range splits, and index subsets — cost
+/// identically through pure matrix lookups and the per-design slow path,
+/// to within 1e-6.
+fn assert_joint_matrix_matches_inum(catalog: &Catalog, workload: &Workload, seed: u64) {
+    use pgdesign_catalog::design::HorizontalPartitioning;
+    use rand::Rng;
+    let opt = optimizer();
+    let inum = Inum::new(catalog, &opt);
+    let cands = workload_candidates(catalog, workload, &CandidateConfig::default());
+    let mut matrix = CostMatrix::build(&inum, workload, &cands.indexes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tables: Vec<(pgdesign_catalog::schema::TableId, u16)> =
+        catalog.schema.tables().map(|t| (t.id, t.width())).collect();
+    for _ in 0..4 {
+        let mut cfg = matrix.empty_joint();
+        if !cands.indexes.is_empty() {
+            for _ in 0..rng.random_range(0..4usize) {
+                cfg.indexes.insert(rng.random_range(0..cands.indexes.len()));
+            }
+        }
+        for &(t, width) in &tables {
+            if width < 2 || rng.random_range(0..2usize) == 0 {
+                continue;
+            }
+            let n_groups = rng.random_range(2..5usize).min(width as usize);
+            let mut groups: Vec<Vec<u16>> = vec![Vec::new(); n_groups];
+            for c in 0..width {
+                groups[rng.random_range(0..n_groups)].push(c);
+            }
+            if rng.random_range(0..3usize) == 0 {
+                // Replicate one column into another group: exercises the
+                // overlapping-fragment set-cover path.
+                groups[rng.random_range(0..n_groups)].push(rng.random_range(0..width));
+            }
+            for g in groups.iter().filter(|g| !g.is_empty()) {
+                let id = matrix.register_fragment(t, g);
+                cfg.fragments.insert(id);
+            }
+            if rng.random_range(0..2usize) == 0 {
+                let col = rng.random_range(0..width);
+                let stats = catalog.table_stats(t).column(col);
+                if stats.max > stats.min {
+                    let parts = rng.random_range(2..9usize);
+                    let bounds: Vec<f64> = (1..parts)
+                        .map(|i| stats.min + (stats.max - stats.min) * i as f64 / parts as f64)
+                        .collect();
+                    let hp = HorizontalPartitioning::new(t, col, bounds);
+                    if hp.partitions() >= 2 {
+                        let sid = matrix.register_split(hp);
+                        cfg.splits.insert(sid);
+                    }
+                }
+            }
+        }
+        let design = matrix.joint_design_of(&cfg);
+        for (qi, (q, _)) in workload.iter().enumerate() {
+            let fast = matrix.joint_cost(qi, &cfg);
+            let oracle = inum.cost(&design, q);
+            assert!(
+                (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
+                "joint matrix {fast} vs inum {oracle} for Q{qi} (design {design:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// SDSS: random vertical+horizontal designs cost identically through
+    /// the partition-aware matrix and the per-design slow path.
+    #[test]
+    fn partition_matrix_matches_inum_on_sdss(seed in 0u64..1000, n_queries in 3usize..9) {
+        let c = catalog();
+        let w = sdss_workload(c, n_queries, seed);
+        assert_joint_matrix_matches_inum(c, &w, seed ^ 0xF2A6);
+    }
+
+    /// TPC-H: the same partition invariant on the other sample catalog.
+    #[test]
+    fn partition_matrix_matches_inum_on_tpch(seed in 0u64..1000, n_queries in 3usize..7) {
+        use std::sync::OnceLock;
+        static TPCH: OnceLock<Catalog> = OnceLock::new();
+        let c = TPCH.get_or_init(|| tpch_catalog(0.01));
+        let w = tpch_workload(c, n_queries, seed);
+        assert_joint_matrix_matches_inum(c, &w, seed ^ 0x5B117);
+    }
+}
+
+/// Delta evaluation equals full re-evaluation on the partition level:
+/// [`CostMatrix::delta_merge`] / [`CostMatrix::delta_split`] match the
+/// workload-cost difference of the materialized edited configurations.
+#[test]
+fn joint_delta_matches_full_reevaluation() {
+    let c = catalog();
+    let opt = optimizer();
+    let inum = Inum::new(c, &opt);
+    let w = sdss_workload(c, 9, 505);
+    let mut matrix = CostMatrix::build(&inum, &w, &[]);
+    let photo = c.schema.table_by_name("photoobj").unwrap().id;
+    let frag_ids: Vec<usize> = [
+        vec![0u16, 1, 2],
+        vec![3, 4, 5, 6],
+        (7..16).collect::<Vec<u16>>(),
+    ]
+    .iter()
+    .map(|g| matrix.register_fragment(photo, g))
+    .collect();
+    let merged = matrix.register_fragment(photo, &[0, 1, 2, 3, 4, 5, 6]);
+    let split = matrix.register_split(pgdesign_catalog::design::HorizontalPartitioning::new(
+        photo,
+        1,
+        (1..12).map(|i| i as f64 * 30.0).collect(),
+    ));
+
+    let mut cfg = matrix.empty_joint();
+    for &f in &frag_ids {
+        cfg.fragments.insert(f);
+    }
+
+    let mut merged_cfg = matrix.empty_joint();
+    merged_cfg.fragments.insert(frag_ids[2]);
+    merged_cfg.fragments.insert(merged);
+    let full = matrix.joint_workload_cost(&merged_cfg) - matrix.joint_workload_cost(&cfg);
+    let delta = matrix.delta_merge(&cfg, frag_ids[0], frag_ids[1], merged);
+    assert!(
+        (delta - full).abs() < 1e-9,
+        "delta_merge {delta} vs full {full}"
+    );
+    // The merged configuration still agrees with the slow-path oracle.
+    let design = matrix.joint_design_of(&merged_cfg);
+    let oracle = inum.workload_cost(&design, &w);
+    let direct = matrix.joint_workload_cost(&merged_cfg);
+    assert!((direct - oracle).abs() <= 1e-6 * oracle.abs().max(1.0));
+
+    let mut split_cfg = cfg.clone();
+    split_cfg.splits.insert(split);
+    let full = matrix.joint_workload_cost(&split_cfg) - matrix.joint_workload_cost(&cfg);
+    let delta = matrix.delta_split(&cfg, split);
+    assert!(
+        (delta - full).abs() < 1e-9,
+        "delta_split {delta} vs full {full}"
+    );
+}
+
 /// Workload cost decomposes linearly over queries and weights.
 #[test]
 fn workload_cost_is_linear() {
