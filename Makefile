@@ -26,11 +26,18 @@ doc:
 bench:
 	$(CARGO) bench -p pgdesign-bench
 
-# E4 perf trajectory: run the matrix-vs-INUM-vs-reoptimization comparison
-# and record calls/sec + speedup factors in BENCH_e4.json at the repo root.
-# Besides the per-join-count index rows, the `partition` and
-# `joint-index+part` rows record partitioned-design costing through the
-# partition-aware matrix level (gate: ≥5x vs per-design Inum::cost,
-# agreement within 1e-6).
+# Perf trajectories, recorded as JSON at the repo root.
+#
+# E4 (BENCH_e4.json): the matrix-vs-INUM-vs-reoptimization comparison
+# (calls/sec + speedup factors). Besides the per-join-count index rows,
+# the `partition` and `joint-index+part` rows record partitioned-design
+# costing through the partition-aware matrix level (gate: ≥5x vs
+# per-design Inum::cost, agreement within 1e-6).
+#
+# E-build (BENCH_build.json): matrix *construction* — incremental epoch
+# update vs fresh per-epoch build on the scenario-3 drift workload
+# (gate: ≥5x, agreement ≤1e-12) and serial vs 4-thread cold build
+# (gate: ≥2x on a ≥4-core machine; available_parallelism is recorded).
 bench-json:
 	BENCH_E4_JSON=$(CURDIR)/BENCH_e4.json $(CARGO) bench -p pgdesign-bench --bench e4_inum
+	BENCH_BUILD_JSON=$(CURDIR)/BENCH_build.json $(CARGO) bench -p pgdesign-bench --bench e_build

@@ -342,7 +342,10 @@ impl<'a> AutoPartAdvisor<'a> {
     /// configuration it must coexist with. Returns the merge iterations
     /// performed.
     pub fn search_on(&self, matrix: &mut CostMatrix<'_>, cfg: &mut JointConfig) -> usize {
-        let workload = matrix.workload();
+        // The matrix owns its queries, so snapshot them for the candidate
+        // analyses below while the search mutates the matrix.
+        let workload = matrix.workload().clone();
+        let workload = &workload;
         let tables: Vec<TableId> = self.inum.catalog().schema.tables().map(|t| t.id).collect();
         let mut iterations = 0usize;
         // One replication pool for the whole search: every table's accepted

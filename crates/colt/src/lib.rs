@@ -98,6 +98,11 @@ pub struct EpochReport {
     pub events: Vec<ColtEvent>,
     /// What-if calls spent profiling this epoch.
     pub whatif_calls: usize,
+    /// Harvested candidates the what-if budget dropped from the probe plan
+    /// entirely (zero probes admitted). They received no benefit evidence
+    /// this epoch — a persistently high number means the budget is too
+    /// tight for the candidate churn.
+    pub candidates_dropped: usize,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -117,6 +122,12 @@ pub struct ColtTuner<'a> {
     epoch_queries: Vec<Query>,
     epoch_untuned: f64,
     epoch_tuned: f64,
+    /// The persistent cost matrix: one instance across every epoch.
+    /// Harvested candidates are added, stale ones removed, and epoch
+    /// queries rotated in/out, so per-epoch (re)build work scales with
+    /// *workload drift* — a query recurring across epochs keeps its
+    /// resident cells — rather than with the epoch size.
+    matrix: CostMatrix<'a>,
 }
 
 impl<'a> ColtTuner<'a> {
@@ -131,6 +142,7 @@ impl<'a> ColtTuner<'a> {
             epoch_queries: Vec::new(),
             epoch_untuned: 0.0,
             epoch_tuned: 0.0,
+            matrix: CostMatrix::build(inum, &Workload::new(), &[]),
         }
     }
 
@@ -220,72 +232,119 @@ impl<'a> ColtTuner<'a> {
             })
             .collect();
 
-        // Per-epoch cost matrix over the planned candidates plus the
-        // currently materialized set, restricted to the queries the plan
-        // probes: every with/without probe below is a pure lookup (delta
-        // evaluation against the current configuration) instead of a
-        // per-design INUM call, and the build work is bounded by the
-        // what-if budget — not by the epoch length.
-        let mut cand_list: Vec<Index> = plan
+        // Rotate the *persistent* cost matrix instead of building a fresh
+        // one: candidates the plan probes (plus the materialized set) are
+        // added — already-registered ones keep their cells — and stale
+        // candidates are removed; the epoch's probed queries are added
+        // *before* last epoch's leftovers are retired, so a query
+        // recurring across epochs reuses its resident cells. Every
+        // with/without probe below is then a pure lookup (delta evaluation
+        // against the current configuration) instead of a per-design INUM
+        // call, and the per-epoch cell work is bounded by the what-if
+        // budget *and* the workload drift — not by the epoch length.
+        let mut desired: Vec<Index> = plan
             .iter()
             .filter(|(_, probed, _)| !probed.is_empty())
             .map(|(c, _, _)| (*c).clone())
             .collect();
         for idx in self.current.indexes() {
-            if !cand_list.contains(idx) {
-                cand_list.push(idx.clone());
+            if !desired.contains(idx) {
+                desired.push(idx.clone());
             }
         }
+        // Rotation order matters for avoiding wasted cell work: stale
+        // candidates go first (so new queries aren't costed against them),
+        // then the epoch's queries (recurring ones dedupe against their
+        // still-active slots), then last epoch's leftovers retire, and
+        // only *then* are new candidates registered — their cells are
+        // computed for exactly this epoch's active slots.
+        let stale: Vec<usize> = self
+            .matrix
+            .candidates()
+            .filter(|(_, idx)| !desired.contains(idx))
+            .map(|(id, _)| id)
+            .collect();
+        for id in stale {
+            self.matrix.remove_candidate(id);
+        }
+
         let mut probed_queries: Vec<usize> = plan
             .iter()
             .flat_map(|(_, probed, _)| probed.iter().copied())
             .collect();
         probed_queries.sort_unstable();
         probed_queries.dedup();
-        let dense_of = |qi: usize| probed_queries.binary_search(&qi).expect("probed");
-        let epoch_workload = Workload::from_queries(
-            probed_queries
-                .iter()
-                .map(|&qi| self.epoch_queries[qi].clone()),
-        );
-        let matrix = CostMatrix::build(self.inum, &epoch_workload, &cand_list);
-        let current_config = matrix.config_of(
-            self.current
-                .indexes()
-                .iter()
-                .map(|idx| cand_list.iter().position(|c| c == idx).expect("in list")),
-        );
+        let entries: Vec<(&Query, f64)> = probed_queries
+            .iter()
+            .map(|&qi| (&self.epoch_queries[qi], 1.0))
+            .collect();
+        let qids = self.matrix.add_queries(entries);
+        let keep: std::collections::HashSet<usize> = qids.iter().copied().collect();
+        let to_retire: Vec<usize> = self
+            .matrix
+            .active_query_ids()
+            .filter(|id| !keep.contains(id))
+            .collect();
+        for id in to_retire {
+            self.matrix.retire_query(id);
+        }
+        // `add_queries` accumulates weights on reuse; reset each kept slot
+        // to its occurrence count in *this* epoch so the matrix's workload
+        // view stays an epoch snapshot, not a cumulative history.
+        let mut occurrences: HashMap<usize, f64> = HashMap::new();
+        for &qid in &qids {
+            *occurrences.entry(qid).or_insert(0.0) += 1.0;
+        }
+        for (&qid, &w) in &occurrences {
+            self.matrix.set_query_weight(qid, w);
+        }
+
+        let cid_of: HashMap<Index, usize> = desired
+            .iter()
+            .map(|idx| (idx.clone(), self.matrix.add_candidate(idx)))
+            .collect();
+        let qid_of = |qi: usize| qids[probed_queries.binary_search(&qi).expect("probed")];
+
+        let matrix = &self.matrix;
+        let current_config = matrix.config_of(self.current.indexes().iter().map(|idx| {
+            *cid_of
+                .get(idx)
+                .expect("materialized indexes are kept in the matrix")
+        }));
 
         // The current configuration's per-query costs depend only on the
         // query, so they are computed once and shared by every candidate
         // probe (each probe still charges two what-if calls — one side is
         // served from this prefix, the other is the toggled lookup).
-        let current_costs: Vec<f64> = (0..epoch_workload.len())
-            .map(|qi| matrix.cost(qi, &current_config))
+        let current_costs: HashMap<usize, f64> = keep
+            .iter()
+            .map(|&qid| (qid, matrix.cost(qid, &current_config)))
             .collect();
         let mut whatif_calls = 0usize;
+        let mut candidates_dropped = 0usize;
         let mut epoch_benefit: HashMap<Index, f64> = HashMap::new();
-        for (i, (cand, probed, n_relevant)) in plan.into_iter().enumerate() {
+        for (cand, probed, n_relevant) in plan.into_iter() {
             if probed.is_empty() {
+                // The budget truncated this candidate out of the plan
+                // entirely: no evidence this epoch, recorded in the report
+                // rather than silently skipped.
+                candidates_dropped += 1;
                 epoch_benefit.insert(cand.clone(), 0.0);
                 continue;
             }
-            // The non-empty plan prefix mirrors cand_list's head, so the
-            // id is just the position.
-            let cid = i;
-            debug_assert_eq!(&cand_list[cid], cand);
+            let cid = cid_of[cand];
             let materialized = self.current.has_index(cand);
             let mut measured = 0.0;
             for &qi in probed {
-                let dq = dense_of(qi);
+                let dq = qid_of(qi);
                 let (c_without, c_with) = if materialized {
                     (
                         matrix.cost_minus(dq, &current_config, cid),
-                        current_costs[dq],
+                        current_costs[&dq],
                     )
                 } else {
                     (
-                        current_costs[dq],
+                        current_costs[&dq],
                         matrix.cost_plus(dq, &current_config, cid),
                     )
                 };
@@ -396,6 +455,7 @@ impl<'a> ColtTuner<'a> {
             materialized: self.current.indexes().to_vec(),
             events,
             whatif_calls,
+            candidates_dropped,
         };
         self.epoch += 1;
         self.epoch_queries.clear();
@@ -605,6 +665,67 @@ mod tests {
         assert!(charged > 0.0, "materialization must be paid for");
         let built_epoch = reports.iter().find(|r| r.build_cost > 0.0).unwrap();
         assert!(built_epoch.tuned_cost >= built_epoch.build_cost);
+    }
+
+    #[test]
+    fn epochs_share_one_persistent_matrix_and_reuse_cells() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let builds_before = inum.matrix_stats().builds;
+        let mut colt = ColtTuner::new(
+            &inum,
+            ColtConfig {
+                epoch_length: 10,
+                ..Default::default()
+            },
+        );
+        // A steady stream: every epoch repeats the same query, so after
+        // epoch 0 its cells are resident and each later epoch's profiling
+        // reuses them instead of recomputing.
+        let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 40);
+        let reports = colt.process_stream(stream);
+        assert_eq!(reports.len(), 4);
+        let s = inum.matrix_stats();
+        assert_eq!(
+            s.builds,
+            builds_before + 1,
+            "one persistent matrix across all epochs (built once, at tuner construction)"
+        );
+        assert!(
+            s.cells_reused > 0,
+            "recurring queries must reuse resident cells: {s:?}"
+        );
+    }
+
+    #[test]
+    fn budget_truncation_is_recorded_not_silent() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let mut colt = ColtTuner::new(
+            &inum,
+            ColtConfig {
+                epoch_length: 10,
+                // Two calls = one (candidate, query) pair: every epoch
+                // harvests more candidates than the plan can probe.
+                whatif_budget_per_epoch: 2,
+                ..Default::default()
+            },
+        );
+        let stream = repeat_query(
+            &c,
+            "SELECT objid FROM photoobj WHERE type = 3 AND r < 15 AND run = 2000",
+            10,
+        );
+        let reports = colt.process_stream(stream);
+        assert!(
+            reports.iter().any(|r| r.candidates_dropped > 0),
+            "the truncated plan must surface dropped candidates in the report"
+        );
+        for r in &reports {
+            assert!(r.whatif_calls <= 2);
+        }
     }
 
     #[test]

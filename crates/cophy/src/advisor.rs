@@ -22,6 +22,13 @@ pub struct CophyConfig {
     pub max_configs_per_query: usize,
     /// Candidate enumeration knobs.
     pub candidates: CandidateConfig,
+    /// Cap on `merging`-generated candidates added to the pool (0 disables
+    /// merging). Merged candidates are fed into the already-built cost
+    /// matrix via [`CostMatrix::add_candidate`] — only their own cells are
+    /// computed, no rebuild.
+    pub merged_candidates: usize,
+    /// Key-width cap for merged candidates (wide B-tree keys stop paying).
+    pub merge_max_width: usize,
     /// Write activity per workload period; indexes pay their upkeep in the
     /// objective. `None` means read-only.
     pub write_profile: Option<WriteProfile>,
@@ -35,6 +42,8 @@ impl Default for CophyConfig {
             storage_budget_bytes: u64::MAX / 2,
             max_configs_per_query: 12,
             candidates: CandidateConfig::default(),
+            merged_candidates: 16,
+            merge_max_width: 4,
             write_profile: None,
             solver: MilpOptions {
                 time_limit: Duration::from_secs(5),
@@ -133,12 +142,38 @@ impl<'a> CophyAdvisor<'a> {
     /// Produce an index recommendation for the workload.
     pub fn recommend(&self, workload: &Workload) -> Recommendation {
         let catalog = self.inum.catalog();
-        let candidates = workload_candidates(catalog, workload, &self.config.candidates);
+        let base = workload_candidates(catalog, workload, &self.config.candidates);
 
         // One cost matrix serves atomic enumeration, the greedy warm
         // start, and solution validation — every configuration cost below
         // is a pure lookup.
-        let matrix = CostMatrix::build(self.inum, workload, &candidates.indexes);
+        let mut matrix = CostMatrix::build(self.inum, workload, &base.indexes);
+
+        // Merged candidates ride on the *same* matrix: each is registered
+        // incrementally (only its own cells are computed), and since fresh
+        // ids are handed out in registration order they line up with the
+        // augmented candidate list's positions.
+        let candidates = if self.config.merged_candidates > 0 {
+            let augmented = crate::merging::augment_with_merges(
+                catalog,
+                &base,
+                self.config.merge_max_width,
+                self.config.merged_candidates,
+            );
+            for (pos, idx) in augmented
+                .indexes
+                .iter()
+                .enumerate()
+                .skip(base.indexes.len())
+            {
+                let id = matrix.add_candidate(idx);
+                debug_assert_eq!(id, pos, "merged ids mirror the augmented list");
+            }
+            augmented
+        } else {
+            base
+        };
+        let matrix = matrix;
 
         // Sizes, filtering out candidates that alone exceed the budget.
         let mut sizes: HashMap<usize, f64> = HashMap::new();
@@ -526,6 +561,32 @@ mod tests {
         );
         assert!(rec.cost < rec.base_cost);
         assert!(rec.average_benefit() > 0.3, "{}", rec.average_benefit());
+    }
+
+    #[test]
+    fn merged_candidates_extend_the_matrix_without_a_rebuild() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 27);
+        let builds_before = inum.matrix_stats().builds;
+        let rec = CophyAdvisor::new(
+            &inum,
+            CophyConfig {
+                merged_candidates: 24,
+                ..Default::default()
+            },
+        )
+        .recommend(&w);
+        assert_eq!(
+            inum.matrix_stats().builds,
+            builds_before + 1,
+            "merging must feed candidates into the existing matrix, not rebuild it"
+        );
+        // The pool actually grew beyond the base enumeration.
+        let base = workload_candidates(&c, &w, &CandidateConfig::default());
+        assert!(rec.candidates_considered > base.indexes.len());
+        assert!(rec.cost <= rec.base_cost);
     }
 
     #[test]

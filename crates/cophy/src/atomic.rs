@@ -68,7 +68,7 @@ fn query_atomic_configs(
     for slot in 0..query.slot_count() {
         let table = query.table_of(slot);
         let mut scored: Vec<(usize, f64)> = Vec::new();
-        for (id, idx) in matrix.indexes().iter().enumerate() {
+        for (id, idx) in matrix.candidates() {
             if idx.table != table {
                 continue;
             }

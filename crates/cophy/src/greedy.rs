@@ -25,10 +25,14 @@ pub struct GreedyResult {
 /// benefit-per-byte until the budget is exhausted or nothing improves.
 pub fn greedy_select(matrix: &CostMatrix<'_>, storage_budget_bytes: u64) -> GreedyResult {
     let catalog = matrix.inum().catalog();
-    let sizes: Vec<u64> = matrix
-        .indexes()
-        .iter()
-        .map(|i| i.size_bytes(&catalog.schema, catalog.table_stats(i.table)))
+    // Sizes per candidate id; removed ids get `u64::MAX` so the budget
+    // check below skips them.
+    let sizes: Vec<u64> = (0..matrix.n_candidates())
+        .map(|id| {
+            matrix.candidate(id).map_or(u64::MAX, |i| {
+                i.size_bytes(&catalog.schema, catalog.table_stats(i.table))
+            })
+        })
         .collect();
 
     let mut chosen: Vec<usize> = Vec::new();

@@ -298,6 +298,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 "cumulative: untuned {untuned:.0}, tuned {tuned:.0} ({:.1}% saved)",
                 100.0 * (untuned - tuned).max(0.0) / untuned.max(1e-9)
             );
+            println!();
+            print!("{}", session.tuning_stats());
             Ok(())
         }
         "explain" => {

@@ -70,21 +70,35 @@ impl<'a> OnlineSession<'a> {
         })
     }
 
-    /// A per-epoch text table of the tuning trajectory.
+    /// A per-epoch text table of the tuning trajectory. The `dropped`
+    /// column counts candidates the what-if budget truncated out of the
+    /// epoch's probe plan (no benefit evidence gathered).
     pub fn trajectory(&self) -> String {
-        let mut s = String::from("epoch  untuned      tuned        builds  indexes\n");
+        let mut s = String::from("epoch  untuned      tuned        builds  indexes  dropped\n");
         for r in &self.reports {
             let _ = writeln!(
                 s,
-                "{:>5}  {:>11.1}  {:>11.1}  {:>6.1}  {}",
+                "{:>5}  {:>11.1}  {:>11.1}  {:>6.1}  {:>7}  {:>7}",
                 r.epoch,
                 r.untuned_cost,
                 r.tuned_cost,
                 r.build_cost,
-                r.materialized.len()
+                r.materialized.len(),
+                r.candidates_dropped
             );
         }
         s
+    }
+
+    /// INUM / cost-matrix counters of the session — what `pgdesign online`
+    /// prints after the trajectory (the on-line analogue of
+    /// `recommend --stats`). Shows the persistent-matrix economics: one
+    /// build, per-epoch cells computed vs reused, and total build time.
+    pub fn tuning_stats(&self) -> crate::report::TuningStats {
+        crate::report::TuningStats {
+            inum: self._inum.stats(),
+            matrix: self._inum.matrix_stats(),
+        }
     }
 }
 

@@ -29,8 +29,16 @@ impl fmt::Display for TuningStats {
         )?;
         writeln!(
             f,
-            "   cost matrices:  {} built ({} cells precomputed, {} partition cells)",
-            self.matrix.builds, self.matrix.cells, self.matrix.partition_cells
+            "   cost matrices:  {} built ({} cells computed, {} cells reused, {} partition cells)",
+            self.matrix.builds,
+            self.matrix.cells,
+            self.matrix.cells_reused,
+            self.matrix.partition_cells
+        )?;
+        writeln!(
+            f,
+            "   matrix build time: {:.1} ms (cold builds + incremental updates)",
+            self.matrix.build_nanos as f64 / 1e6
         )?;
         writeln!(
             f,

@@ -170,6 +170,34 @@ fn recommend_without_stats_omits_counters() {
 }
 
 #[test]
+fn online_prints_trajectory_and_matrix_counters() {
+    let out = pgdesign(&[
+        "online",
+        "--scale",
+        "0.003",
+        "--queries",
+        "30",
+        "--epoch",
+        "10",
+    ]);
+    assert!(out.status.success(), "online should exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "epoch",
+        "dropped",
+        "cumulative:",
+        "INUM / cost-matrix statistics",
+        "cells reused",
+        "matrix build time",
+    ] {
+        assert!(
+            text.contains(needle),
+            "online must print {needle:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
 fn explain_prints_a_plan() {
     let out = pgdesign(&[
         "explain",

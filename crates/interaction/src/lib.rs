@@ -111,9 +111,7 @@ impl<'a> ConfigCostCache<'a> {
     pub fn design_of(&self, mask: u32) -> PhysicalDesign {
         PhysicalDesign::with_indexes(
             self.matrix
-                .indexes()
-                .iter()
-                .enumerate()
+                .candidates()
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, idx)| idx.clone()),
         )

@@ -29,11 +29,36 @@ pub struct InumStats {
     pub skeletons_built: u64,
 }
 
+/// One skeleton-cache entry: the skeleton set plus the tables the query
+/// touches (a bitmask over `TableId.0`, [`ALL_TABLES`] when any id
+/// overflows the mask), so a statistics refresh on one table can evict
+/// only the entries it stales.
+struct CacheEntry {
+    skeletons: std::sync::Arc<Vec<Skeleton>>,
+    table_mask: u64,
+}
+
+/// Conservative "touches every table" mask for queries whose table ids
+/// don't fit the 64-bit mask.
+const ALL_TABLES: u64 = u64::MAX;
+
+/// The tables-touched mask of a query.
+fn table_mask(query: &Query) -> u64 {
+    let mut mask = 0u64;
+    for t in &query.tables {
+        if t.table.0 >= 64 {
+            return ALL_TABLES;
+        }
+        mask |= 1 << t.table.0;
+    }
+    mask
+}
+
 /// The INUM cost model over a catalog and optimizer.
 pub struct Inum<'a> {
     catalog: &'a Catalog,
     optimizer: &'a Optimizer,
-    cache: RwLock<HashMap<u64, std::sync::Arc<Vec<Skeleton>>>>,
+    cache: RwLock<HashMap<u64, CacheEntry>>,
     cost_calls: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -41,6 +66,8 @@ pub struct Inum<'a> {
     // Second-level (cost matrix) counters; bumped by `crate::matrix`.
     matrix_builds: AtomicU64,
     matrix_cells: AtomicU64,
+    matrix_cells_reused: AtomicU64,
+    matrix_build_nanos: AtomicU64,
     matrix_lookups: AtomicU64,
     matrix_partition_cells: AtomicU64,
     matrix_partition_lookups: AtomicU64,
@@ -59,6 +86,8 @@ impl<'a> Inum<'a> {
             skeletons_built: AtomicU64::new(0),
             matrix_builds: AtomicU64::new(0),
             matrix_cells: AtomicU64::new(0),
+            matrix_cells_reused: AtomicU64::new(0),
+            matrix_build_nanos: AtomicU64::new(0),
             matrix_lookups: AtomicU64::new(0),
             matrix_partition_cells: AtomicU64::new(0),
             matrix_partition_lookups: AtomicU64::new(0),
@@ -91,15 +120,25 @@ impl<'a> Inum<'a> {
         MatrixStats {
             builds: self.matrix_builds.load(Ordering::Relaxed),
             cells: self.matrix_cells.load(Ordering::Relaxed),
+            cells_reused: self.matrix_cells_reused.load(Ordering::Relaxed),
+            build_nanos: self.matrix_build_nanos.load(Ordering::Relaxed),
             lookups: self.matrix_lookups.load(Ordering::Relaxed),
             partition_cells: self.matrix_partition_cells.load(Ordering::Relaxed),
             partition_lookups: self.matrix_partition_lookups.load(Ordering::Relaxed),
         }
     }
 
-    pub(crate) fn note_matrix_build(&self, cells: u64) {
+    pub(crate) fn note_matrix_build(&self, cells: u64, nanos: u64) {
         self.matrix_builds.fetch_add(1, Ordering::Relaxed);
         self.matrix_cells.fetch_add(cells, Ordering::Relaxed);
+        self.matrix_build_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_matrix_incremental(&self, computed: u64, reused: u64, nanos: u64) {
+        self.matrix_cells.fetch_add(computed, Ordering::Relaxed);
+        self.matrix_cells_reused
+            .fetch_add(reused, Ordering::Relaxed);
+        self.matrix_build_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     pub(crate) fn note_matrix_lookup(&self) {
@@ -242,7 +281,7 @@ impl<'a> Inum<'a> {
         let key = query_key(query);
         if let Some(found) = self.cache.read().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return found.clone();
+            return found.skeletons.clone();
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let per_slot = interesting_orders_per_slot(query);
@@ -253,7 +292,13 @@ impl<'a> Inum<'a> {
         self.skeletons_built
             .fetch_add(skeletons.len() as u64, Ordering::Relaxed);
         let arc = std::sync::Arc::new(skeletons);
-        self.cache.write().insert(key, arc.clone());
+        self.cache.write().insert(
+            key,
+            CacheEntry {
+                skeletons: arc.clone(),
+                table_mask: table_mask(query),
+            },
+        );
         arc
     }
 
@@ -262,9 +307,26 @@ impl<'a> Inum<'a> {
         self.cache.read().len()
     }
 
-    /// Drop all cached skeletons (e.g. after a statistics refresh).
+    /// Drop all cached skeletons (e.g. after a full statistics refresh).
     pub fn invalidate(&self) {
         self.cache.write().clear();
+    }
+
+    /// Drop only the cached skeletons of queries touching `table` — the
+    /// common "one table's statistics changed" case. Queries over other
+    /// tables keep their skeletons (their cardinalities are unaffected).
+    /// Entries whose table set overflowed the tracking mask are evicted
+    /// conservatively; for a multi-table refresh, call this per table or
+    /// fall back to [`Self::invalidate`].
+    pub fn invalidate_table(&self, table: pgdesign_catalog::schema::TableId) {
+        if table.0 >= 64 {
+            // Outside the tracked id range: only the conservative entries
+            // (ALL_TABLES) could involve it.
+            self.cache.write().retain(|_, e| e.table_mask != ALL_TABLES);
+            return;
+        }
+        let bit = 1u64 << table.0;
+        self.cache.write().retain(|_, e| e.table_mask & bit == 0);
     }
 }
 
@@ -438,6 +500,47 @@ mod tests {
         let _ = inum.cost(&PhysicalDesign::empty(), &q);
         inum.invalidate();
         assert_eq!(inum.cached_queries(), 0);
+    }
+
+    #[test]
+    fn invalidate_table_evicts_only_touching_queries() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let d = PhysicalDesign::empty();
+        let photo_q = parse_query(&c.schema, "SELECT ra FROM photoobj WHERE type = 1").unwrap();
+        let spec_q = parse_query(
+            &c.schema,
+            "SELECT zredshift FROM specobj WHERE zredshift < 0.1",
+        )
+        .unwrap();
+        let join_q = parse_query(
+            &c.schema,
+            "SELECT p.ra FROM photoobj p, specobj s WHERE p.objid = s.bestobjid",
+        )
+        .unwrap();
+        for q in [&photo_q, &spec_q, &join_q] {
+            let _ = inum.cost(&d, q);
+        }
+        assert_eq!(inum.cached_queries(), 3);
+
+        // Photoobj's stats changed: the pure-specobj query survives, the
+        // photoobj query and the join are evicted.
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        inum.invalidate_table(photo);
+        assert_eq!(inum.cached_queries(), 1);
+        let misses_before = inum.stats().cache_misses;
+        let _ = inum.cost(&d, &spec_q);
+        assert_eq!(
+            inum.stats().cache_misses,
+            misses_before,
+            "the untouched query must still be served from cache"
+        );
+        let _ = inum.cost(&d, &photo_q);
+        assert_eq!(
+            inum.stats().cache_misses,
+            misses_before + 1,
+            "the evicted query recomputes"
+        );
     }
 
     #[test]

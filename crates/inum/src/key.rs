@@ -1,8 +1,53 @@
-//! Cache keys for the skeleton cache.
+//! Cache keys — the *cell identity* of the two INUM cache levels.
+//!
+//! Both the skeleton cache ([`crate::Inum`]) and the incremental cost
+//! matrix ([`crate::CostMatrix`]) key a query by [`query_cell_key`]: two
+//! queries with the same key have identical skeletons and identical
+//! matrix cells, so [`crate::CostMatrix::add_query`] reuses the resident
+//! `QueryMatrix` slot of a same-key query instead of recomputing its
+//! cells. Candidate cell identity is the [`pgdesign_catalog::design::Index`]
+//! value itself (table + column list), which
+//! [`crate::CostMatrix::add_candidate`] dedupes on.
 
 use pgdesign_query::ast::Query;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+
+/// FNV-1a, the cache-key hasher. Key derivation sits on the epoch hot
+/// path (every [`crate::CostMatrix::add_queries`] call re-keys the whole
+/// epoch to find resident queries), where SipHash's per-write overhead
+/// was a measurable slice of the incremental update; FNV-1a is a few
+/// multiplies per byte and needs no DoS resistance here — keys never
+/// leave the process and collisions only cost a (deterministic) cache
+/// mix-up on adversarial input we don't take.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// The cell-identity key of a query: a hash over its template *and*
+/// literals (selectivities feed the internal cost, so literals matter).
+/// Equal keys ⇒ equal skeletons and equal matrix cells.
+pub fn query_cell_key(query: &Query) -> u64 {
+    query_key(query)
+}
 
 /// Hash key identifying a query (template *and* literals — selectivities
 /// feed the internal cost, so literals matter).
@@ -32,7 +77,7 @@ pub(crate) fn query_key(query: &Query) -> u64 {
         }
     }
 
-    let mut h = DefaultHasher::new();
+    let mut h = Fnv1a::new();
     for t in &query.tables {
         t.table.0.hash(&mut h);
     }

@@ -51,6 +51,21 @@
 //!    analysis) run on this level; both levels agree exactly on index-only
 //!    configurations, which the suite's invariant tests assert.
 //!
+//! The matrix is **incrementally maintainable and parallel-built**, not a
+//! build-once artifact: [`CostMatrix::add_candidate`] /
+//! [`CostMatrix::remove_candidate`] edit the candidate set with stable ids
+//! (existing [`CandidateBitset`]s stay valid; removed ids are recycled),
+//! and [`CostMatrix::add_query`] / [`CostMatrix::retire_query`] rotate
+//! queries with cell reuse keyed by [`query_cell_key`] — which is how COLT
+//! holds one matrix across epochs and pays only for workload drift, and
+//! how CoPhy registers its merge-generated candidates without a rebuild.
+//! Cold builds (and the bulk of [`CostMatrix::add_queries`]) distribute
+//! queries over [`build_threads`] workers (`PGDESIGN_THREADS` overrides;
+//! default is the machine's available parallelism) and are bit-identical
+//! to serial builds, since every cell depends on nothing but its own
+//! query. The suite proptests random add/remove/retire interleavings
+//! against fresh builds and pins serial-vs-parallel equality.
+//!
 //! The *partition extension* mentioned by the paper lives at **both**
 //! levels. At the first level, access costing consults the design's
 //! vertical/horizontal partitionings, so cached skeletons serve
@@ -79,6 +94,8 @@ mod key;
 mod matrix;
 
 pub use inum::{interesting_orders_per_slot, order_combinations, Inum, InumStats};
+pub use key::query_cell_key;
 pub use matrix::{
-    CandidateBitset, CostMatrix, FragmentBitset, JointConfig, JointToggle, MatrixStats, SplitBitset,
+    build_threads, CandidateBitset, CostMatrix, FragmentBitset, JointConfig, JointToggle,
+    MatrixStats, SplitBitset,
 };

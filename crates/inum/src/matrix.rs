@@ -27,6 +27,7 @@
 //! candidate without materializing the toggled configuration.
 
 use crate::inum::Inum;
+use crate::key::query_key;
 use pgdesign_catalog::design::{
     HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning,
 };
@@ -34,18 +35,48 @@ use pgdesign_catalog::schema::TableId;
 use pgdesign_catalog::sizing;
 use pgdesign_optimizer::access::{self, AccessContext, FetchTarget, IndexPathProfile, SlotProfile};
 use pgdesign_optimizer::plan::order_satisfies;
-use pgdesign_query::ast::QueryColumn;
+use pgdesign_query::ast::{Query, QueryColumn};
 use pgdesign_query::Workload;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Number of worker threads for matrix builds: the `PGDESIGN_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism. `PGDESIGN_THREADS=1` pins the build
+/// serial (CI uses this to pin determinism, though parallel builds are
+/// bit-identical to serial ones by construction).
+pub fn build_threads() -> usize {
+    match std::env::var("PGDESIGN_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
 
 /// Counters for the matrix layer, aggregated on the owning [`Inum`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MatrixStats {
-    /// Matrices built.
+    /// Matrices built from scratch ([`CostMatrix::build`]).
     pub builds: u64,
     /// Precomputed cost cells (one per `(query, slot)` base entry and one
-    /// per `(query, slot, candidate)` entry) — the one-off build work,
-    /// each roughly one access-path costing.
+    /// per `(query, slot, candidate)` entry) — the build work, each
+    /// roughly one access-path costing. Includes cells computed by the
+    /// incremental paths ([`CostMatrix::add_candidate`] /
+    /// [`CostMatrix::add_query`]).
     pub cells: u64,
+    /// Cells an incremental update *reused* instead of recomputing: when
+    /// [`CostMatrix::add_query`] recognises a query already resident (same
+    /// cell-identity key) or [`CostMatrix::add_candidate`] an index already
+    /// registered, the cells a fresh build would have recomputed for it
+    /// count here.
+    pub cells_reused: u64,
+    /// Wall-clock nanoseconds spent building matrices and applying
+    /// incremental updates (cold builds + add/remove work).
+    pub build_nanos: u64,
     /// Configuration-cost lookups served from matrices (joint
     /// index+partition lookups included).
     pub lookups: u64,
@@ -371,6 +402,11 @@ struct SlotCosts {
     /// Base cost per required order (∞ unless the order is trivially
     /// satisfied, i.e. every required column is equality-bound).
     base_ordered: Vec<f64>,
+    /// The distinct required orders of this slot (column lists), in the
+    /// id order `base_ordered` / `CandCosts::ordered` use — kept so
+    /// candidates added later cost their order satisfaction against the
+    /// same ids.
+    slot_orders: Vec<Vec<u16>>,
     /// Candidates on this slot's table that contribute at least one path.
     cands: Vec<CandCosts>,
 }
@@ -379,6 +415,12 @@ struct SlotCosts {
 struct QueryMatrix {
     /// Workload weight.
     weight: f64,
+    /// Cell-identity key of the query ([`crate::key::query_cell_key`]) —
+    /// what [`CostMatrix::add_query`] dedupes on.
+    key: u64,
+    /// False once the query was rotated out ([`CostMatrix::retire_query`]);
+    /// the slot is then free for reuse by a later [`CostMatrix::add_query`].
+    active: bool,
     /// Internal (design-independent) cost per skeleton.
     internal: Vec<f64>,
     /// Per skeleton, per slot: required-order id or [`NO_ORDER`].
@@ -408,15 +450,35 @@ struct Split {
     frac: Vec<Vec<f64>>,
 }
 
-/// The precomputed per-(query, candidate) access-cost matrix for one
-/// workload and one candidate list, extensible with partition candidates
-/// (vertical fragments and horizontal splits) for joint index+partition
-/// costing.
+/// The precomputed per-(query, candidate) access-cost matrix, extensible
+/// with partition candidates (vertical fragments and horizontal splits)
+/// for joint index+partition costing.
+///
+/// The matrix is *incrementally maintainable*: it owns its queries and
+/// candidate list, so a long-lived consumer (COLT's epoch loop) holds one
+/// matrix and rotates work in and out instead of rebuilding —
+/// [`Self::add_candidate`] / [`Self::remove_candidate`] edit the candidate
+/// set with **stable ids** (existing [`CandidateBitset`]s stay valid), and
+/// [`Self::add_query`] / [`Self::retire_query`] rotate queries, reusing
+/// resident cells when a query (same cell-identity key,
+/// [`crate::key::query_cell_key`]) is already in the matrix. Cold builds
+/// and the bulk part of [`Self::add_queries`] run on all cores
+/// ([`build_threads`]); parallel results are bit-identical to serial ones
+/// because cells are computed independently per query and written to
+/// disjoint slots.
 pub struct CostMatrix<'a> {
     inum: &'a Inum<'a>,
-    workload: &'a Workload,
-    indexes: Vec<Index>,
+    /// Query mirror: entry `i` is query slot `i`'s query (entries of
+    /// retired slots are stale until the slot is reused).
+    workload: Workload,
+    /// Candidate registry; `None` marks a removed id (reusable, never
+    /// matched by lookups).
+    indexes: Vec<Option<Index>>,
     queries: Vec<QueryMatrix>,
+    /// Removed candidate ids available for reuse.
+    free_candidates: Vec<usize>,
+    /// Retired query slots available for reuse.
+    free_queries: Vec<usize>,
     /// Registered vertical-fragment candidates (id = position).
     fragments: Vec<Fragment>,
     /// Registered horizontal-split candidates (id = position).
@@ -426,158 +488,257 @@ pub struct CostMatrix<'a> {
     frags_by_table: Vec<Vec<usize>>,
 }
 
+/// Compute one query's full matrix row set (skeleton requirements, base
+/// cells, and one [`CandCosts`] per contributing candidate). Returns the
+/// matrix and the number of cells costed. Pure per-query work — the unit
+/// the parallel build distributes.
+fn compute_query_matrix(
+    inum: &Inum<'_>,
+    q: &Query,
+    weight: f64,
+    indexes: &[Option<Index>],
+) -> (QueryMatrix, u64) {
+    let catalog = inum.catalog();
+    let params = &inum.optimizer().params;
+    let empty = PhysicalDesign::empty();
+    let mut cells = 0u64;
+    let skeletons = inum.skeletons(q);
+    let ctx = AccessContext {
+        catalog,
+        design: &empty,
+        params,
+        query: q,
+    };
+    let n_slots = q.slot_count() as usize;
+
+    // Distinct required orders per slot across the skeleton set.
+    let mut slot_orders: Vec<Vec<&[u16]>> = vec![Vec::new(); n_slots];
+    for sk in skeletons.iter() {
+        for (s, req) in sk.slot_orders.iter().enumerate() {
+            if let Some(o) = req {
+                if !slot_orders[s].contains(&o.as_slice()) {
+                    slot_orders[s].push(o.as_slice());
+                }
+            }
+        }
+    }
+    let reqs: Vec<Vec<u32>> = skeletons
+        .iter()
+        .map(|sk| {
+            sk.slot_orders
+                .iter()
+                .enumerate()
+                .map(|(s, req)| match req {
+                    None => NO_ORDER,
+                    Some(o) => slot_orders[s]
+                        .iter()
+                        .position(|x| *x == o.as_slice())
+                        .expect("order collected above") as u32,
+                })
+                .collect()
+        })
+        .collect();
+    let internal: Vec<f64> = skeletons.iter().map(|sk| sk.internal_cost).collect();
+
+    let mut slots = Vec::with_capacity(n_slots);
+    for slot in 0..q.slot_count() {
+        let s = slot as usize;
+        let prof = SlotProfile::build(&ctx, slot, &[]);
+        let base_target = access::fetch_target(&ctx, slot, &prof.needed_cols);
+        let seq_cost = access::seq_scan_cost(
+            params,
+            prof.base_rows,
+            prof.n_filters,
+            base_target,
+            prof.h_frac,
+        );
+        cells += 1;
+        let required: Vec<Vec<QueryColumn>> = slot_orders[s]
+            .iter()
+            .map(|o| o.iter().map(|&c| QueryColumn::new(slot, c)).collect())
+            .collect();
+        assert!(
+            required.len() <= MAX_SLOT_ORDERS,
+            "order-satisfaction masks support {MAX_SLOT_ORDERS} required orders per slot"
+        );
+        let base_ordered: Vec<f64> = required
+            .iter()
+            .map(|req| {
+                if order_satisfies(&[], req, &prof.eq_bound) {
+                    seq_cost
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        let table = q.table_of(slot);
+        let needed_mask = column_mask(&prof.needed_cols);
+        let mut cands = Vec::new();
+        for (id, idx) in indexes.iter().enumerate() {
+            let Some(idx) = idx else { continue };
+            if idx.table != table {
+                continue;
+            }
+            if let Some(cc) =
+                cost_candidate_on_slot(params, &ctx, &prof, &required, base_target, id, idx)
+            {
+                cands.push(cc);
+            }
+            cells += 1;
+        }
+        slots.push(SlotCosts {
+            table,
+            needed_mask,
+            base_rows: prof.base_rows,
+            n_filters: prof.n_filters,
+            base_target,
+            base_unordered: seq_cost,
+            base_ordered,
+            slot_orders: slot_orders[s].iter().map(|o| o.to_vec()).collect(),
+            cands,
+        });
+    }
+    (
+        QueryMatrix {
+            weight,
+            key: query_key(q),
+            active: true,
+            internal,
+            reqs,
+            slots,
+        },
+        cells,
+    )
+}
+
+/// Cost one candidate index on one slot: enumerate its path profiles under
+/// `base_target` (the slot's unpartitioned fetch target) and reduce them
+/// to the per-order minima. `None` when the index contributes no path on
+/// the slot. Shared verbatim by the cold build and
+/// [`CostMatrix::add_candidate`], so incremental cells are bit-identical
+/// to freshly built ones.
+fn cost_candidate_on_slot(
+    params: &pgdesign_optimizer::CostParams,
+    ctx: &AccessContext<'_>,
+    prof: &SlotProfile,
+    required: &[Vec<QueryColumn>],
+    base_target: FetchTarget,
+    id: usize,
+    idx: &Index,
+) -> Option<CandCosts> {
+    let profiles = access::index_path_profiles(ctx, prof, idx, false);
+    if profiles.is_empty() {
+        return None; // contributes nothing on this slot
+    }
+    let paths: Vec<CandPath> = profiles
+        .into_iter()
+        .map(|profile| {
+            let mut order_ok = 0u64;
+            for (o, req) in required.iter().enumerate() {
+                if order_satisfies(&profile.order, req, &prof.eq_bound) {
+                    order_ok |= 1 << o;
+                }
+            }
+            CandPath { profile, order_ok }
+        })
+        .collect();
+    let costs: Vec<f64> = paths
+        .iter()
+        .map(|p| p.profile.cost(params, base_target))
+        .collect();
+    let unordered = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let ordered: Vec<f64> = (0..required.len())
+        .map(|o| {
+            paths
+                .iter()
+                .zip(&costs)
+                .filter(|(p, _)| p.order_ok & (1 << o) != 0)
+                .map(|(_, &c)| c)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    Some(CandCosts {
+        id,
+        unordered,
+        ordered,
+        paths,
+    })
+}
+
+/// Compute query matrices for a batch of queries, fanning out over
+/// `threads` scoped workers. Queries are split into contiguous chunks and
+/// results concatenated in input order, and each query's cells depend on
+/// nothing but that query — so the output is bit-identical to the serial
+/// (`threads == 1`) computation.
+fn compute_query_matrices(
+    inum: &Inum<'_>,
+    entries: &[(&Query, f64)],
+    indexes: &[Option<Index>],
+    threads: usize,
+) -> Vec<(QueryMatrix, u64)> {
+    let nt = threads.clamp(1, entries.len().max(1));
+    if nt <= 1 {
+        return entries
+            .iter()
+            .map(|&(q, w)| compute_query_matrix(inum, q, w, indexes))
+            .collect();
+    }
+    let chunk = entries.len().div_ceil(nt);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .map(|ch| {
+                scope.spawn(move || {
+                    ch.iter()
+                        .map(|&(q, w)| compute_query_matrix(inum, q, w, indexes))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("matrix build worker panicked"))
+            .collect()
+    })
+}
+
 impl<'a> CostMatrix<'a> {
     /// Build the matrix: for every query, fetch (or build) its cached
     /// skeletons, then cost the base access and each candidate index's
-    /// access once per slot and distinct required order.
-    pub fn build(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &[Index]) -> Self {
-        let catalog = inum.catalog();
-        let params = &inum.optimizer().params;
-        let empty = PhysicalDesign::empty();
-        let mut queries = Vec::with_capacity(workload.len());
+    /// access once per slot and distinct required order. Queries are
+    /// distributed over [`build_threads`] workers; the result is
+    /// bit-identical to a serial build.
+    pub fn build(inum: &'a Inum<'a>, workload: &Workload, indexes: &[Index]) -> Self {
+        Self::build_with_threads(inum, workload, indexes, build_threads())
+    }
+
+    /// [`Self::build`] with an explicit worker count (1 = serial). The
+    /// suite pins serial-vs-parallel equality through this entry.
+    pub fn build_with_threads(
+        inum: &'a Inum<'a>,
+        workload: &Workload,
+        indexes: &[Index],
+        threads: usize,
+    ) -> Self {
+        let t0 = Instant::now();
+        let idx: Vec<Option<Index>> = indexes.iter().cloned().map(Some).collect();
+        let entries: Vec<(&Query, f64)> = workload.iter().collect();
+        let computed = compute_query_matrices(inum, &entries, &idx, threads);
         let mut cells = 0u64;
-        for (q, weight) in workload.iter() {
-            let skeletons = inum.skeletons(q);
-            let ctx = AccessContext {
-                catalog,
-                design: &empty,
-                params,
-                query: q,
-            };
-            let n_slots = q.slot_count() as usize;
-
-            // Distinct required orders per slot across the skeleton set.
-            let mut slot_orders: Vec<Vec<&[u16]>> = vec![Vec::new(); n_slots];
-            for sk in skeletons.iter() {
-                for (s, req) in sk.slot_orders.iter().enumerate() {
-                    if let Some(o) = req {
-                        if !slot_orders[s].contains(&o.as_slice()) {
-                            slot_orders[s].push(o.as_slice());
-                        }
-                    }
-                }
-            }
-            let reqs: Vec<Vec<u32>> = skeletons
-                .iter()
-                .map(|sk| {
-                    sk.slot_orders
-                        .iter()
-                        .enumerate()
-                        .map(|(s, req)| match req {
-                            None => NO_ORDER,
-                            Some(o) => slot_orders[s]
-                                .iter()
-                                .position(|x| *x == o.as_slice())
-                                .expect("order collected above")
-                                as u32,
-                        })
-                        .collect()
-                })
-                .collect();
-            let internal: Vec<f64> = skeletons.iter().map(|sk| sk.internal_cost).collect();
-
-            let mut slots = Vec::with_capacity(n_slots);
-            for slot in 0..q.slot_count() {
-                let s = slot as usize;
-                let prof = SlotProfile::build(&ctx, slot, &[]);
-                let base_target = access::fetch_target(&ctx, slot, &prof.needed_cols);
-                let seq_cost = access::seq_scan_cost(
-                    params,
-                    prof.base_rows,
-                    prof.n_filters,
-                    base_target,
-                    prof.h_frac,
-                );
-                cells += 1;
-                let required: Vec<Vec<QueryColumn>> = slot_orders[s]
-                    .iter()
-                    .map(|o| o.iter().map(|&c| QueryColumn::new(slot, c)).collect())
-                    .collect();
-                assert!(
-                    required.len() <= MAX_SLOT_ORDERS,
-                    "order-satisfaction masks support {MAX_SLOT_ORDERS} required orders per slot"
-                );
-                let base_ordered: Vec<f64> = required
-                    .iter()
-                    .map(|req| {
-                        if order_satisfies(&[], req, &prof.eq_bound) {
-                            seq_cost
-                        } else {
-                            f64::INFINITY
-                        }
-                    })
-                    .collect();
-                let table = q.table_of(slot);
-                let needed_mask = column_mask(&prof.needed_cols);
-                let mut cands = Vec::new();
-                for (id, idx) in indexes.iter().enumerate() {
-                    if idx.table != table {
-                        continue;
-                    }
-                    let profiles = access::index_path_profiles(&ctx, &prof, idx, false);
-                    cells += 1;
-                    if profiles.is_empty() {
-                        continue; // contributes nothing on this slot
-                    }
-                    let paths: Vec<CandPath> = profiles
-                        .into_iter()
-                        .map(|profile| {
-                            let mut order_ok = 0u64;
-                            for (o, req) in required.iter().enumerate() {
-                                if order_satisfies(&profile.order, req, &prof.eq_bound) {
-                                    order_ok |= 1 << o;
-                                }
-                            }
-                            CandPath { profile, order_ok }
-                        })
-                        .collect();
-                    let costs: Vec<f64> = paths
-                        .iter()
-                        .map(|p| p.profile.cost(params, base_target))
-                        .collect();
-                    let unordered = costs.iter().copied().fold(f64::INFINITY, f64::min);
-                    let ordered: Vec<f64> = (0..required.len())
-                        .map(|o| {
-                            paths
-                                .iter()
-                                .zip(&costs)
-                                .filter(|(p, _)| p.order_ok & (1 << o) != 0)
-                                .map(|(_, &c)| c)
-                                .fold(f64::INFINITY, f64::min)
-                        })
-                        .collect();
-                    cands.push(CandCosts {
-                        id,
-                        unordered,
-                        ordered,
-                        paths,
-                    });
-                }
-                slots.push(SlotCosts {
-                    table,
-                    needed_mask,
-                    base_rows: prof.base_rows,
-                    n_filters: prof.n_filters,
-                    base_target,
-                    base_unordered: seq_cost,
-                    base_ordered,
-                    cands,
-                });
-            }
-            queries.push(QueryMatrix {
-                weight,
-                internal,
-                reqs,
-                slots,
-            });
+        let mut queries = Vec::with_capacity(computed.len());
+        for (qm, c) in computed {
+            cells += c;
+            queries.push(qm);
         }
-        inum.note_matrix_build(cells);
-        let n_tables = catalog.schema.tables().count();
+        inum.note_matrix_build(cells, t0.elapsed().as_nanos() as u64);
+        let n_tables = inum.catalog().schema.tables().count();
         CostMatrix {
             inum,
-            workload,
-            indexes: indexes.to_vec(),
+            workload: workload.clone(),
+            indexes: idx,
             queries,
+            free_candidates: Vec::new(),
+            free_queries: Vec::new(),
             fragments: Vec::new(),
             splits: Vec::new(),
             frags_by_table: vec![Vec::new(); n_tables],
@@ -589,24 +750,345 @@ impl<'a> CostMatrix<'a> {
         self.inum
     }
 
-    /// The workload the matrix was built for.
-    pub fn workload(&self) -> &'a Workload {
-        self.workload
+    /// The matrix's queries, aligned with query ids: entry `i` is query
+    /// slot `i`. Entries of retired slots are stale (their weight is
+    /// zeroed); on a freshly built matrix this is exactly the workload the
+    /// matrix was built for.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
     }
 
-    /// The candidate indexes, id = position.
-    pub fn indexes(&self) -> &[Index] {
-        &self.indexes
-    }
-
-    /// Number of workload queries.
+    /// Number of query slots (active + retired); `cost` accepts any id
+    /// below this.
     pub fn n_queries(&self) -> usize {
         self.queries.len()
     }
 
-    /// Number of candidate indexes.
+    /// Number of candidate id slots (live + removed) — the id space
+    /// [`CandidateBitset`]s range over.
     pub fn n_candidates(&self) -> usize {
         self.indexes.len()
+    }
+
+    /// The live candidates as `(id, index)` pairs, ascending by id.
+    pub fn candidates(&self) -> impl Iterator<Item = (usize, &Index)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, idx)| idx.as_ref().map(|i| (id, i)))
+    }
+
+    /// The live candidate with id `id` (`None` for removed ids).
+    pub fn candidate(&self, id: usize) -> Option<&Index> {
+        self.indexes.get(id).and_then(|i| i.as_ref())
+    }
+
+    /// The id of the live candidate equal to `index`, if registered.
+    pub fn candidate_id(&self, index: &Index) -> Option<usize> {
+        self.candidates()
+            .find(|(_, i)| *i == index)
+            .map(|(id, _)| id)
+    }
+
+    /// Ids of the active (non-retired) queries, ascending.
+    pub fn active_query_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(_, qm)| qm.active)
+            .map(|(id, _)| id)
+    }
+
+    /// Whether query slot `id` is active (false for retired slots and
+    /// out-of-range ids).
+    pub fn query_active(&self, id: usize) -> bool {
+        self.queries.get(id).is_some_and(|qm| qm.active)
+    }
+
+    /// Workload weight of query slot `id` (0 for retired slots).
+    pub fn query_weight(&self, id: usize) -> f64 {
+        self.queries.get(id).map_or(0.0, |qm| qm.weight)
+    }
+
+    /// Overwrite the weight of an active query slot (no-op on retired or
+    /// out-of-range ids). [`Self::add_queries`] *adds* weights on reuse —
+    /// a rotating consumer that wants per-epoch rather than cumulative
+    /// weights resets them with this after each rotation (COLT does).
+    pub fn set_query_weight(&mut self, id: usize, weight: f64) {
+        if let Some(qm) = self.queries.get_mut(id) {
+            if qm.active {
+                qm.weight = weight;
+                self.workload.entries[id].weight = weight;
+            }
+        }
+    }
+
+    // ---- Incremental maintenance ----
+
+    /// Register a candidate index, computing only its own cells (one per
+    /// active query slot on its table). Ids are **stable**: existing
+    /// candidates keep their ids (so existing [`CandidateBitset`]s stay
+    /// valid) and re-registering an already-present index returns its
+    /// existing id with every resident cell counted as reused. Removed ids
+    /// are recycled.
+    pub fn add_candidate(&mut self, index: &Index) -> usize {
+        if let Some(id) = self.candidate_id(index) {
+            let reused: u64 = self
+                .queries
+                .iter()
+                .filter(|qm| qm.active)
+                .flat_map(|qm| qm.slots.iter())
+                .filter(|s| s.table == index.table)
+                .count() as u64;
+            self.inum.note_matrix_incremental(0, reused, 0);
+            return id;
+        }
+        let t0 = Instant::now();
+        let id = match self.free_candidates.pop() {
+            Some(id) => id,
+            None => {
+                self.indexes.push(None);
+                self.indexes.len() - 1
+            }
+        };
+        self.indexes[id] = Some(index.clone());
+        let catalog = self.inum.catalog();
+        let params = &self.inum.optimizer().params;
+        let empty = PhysicalDesign::empty();
+        let mut cells = 0u64;
+        for qi in 0..self.queries.len() {
+            if !self.queries[qi].active {
+                continue;
+            }
+            let q = &self.workload.entries[qi].query;
+            let ctx = AccessContext {
+                catalog,
+                design: &empty,
+                params,
+                query: q,
+            };
+            for s in 0..self.queries[qi].slots.len() {
+                if self.queries[qi].slots[s].table != index.table {
+                    continue;
+                }
+                let slot = s as u16;
+                let prof = SlotProfile::build(&ctx, slot, &[]);
+                let required: Vec<Vec<QueryColumn>> = self.queries[qi].slots[s]
+                    .slot_orders
+                    .iter()
+                    .map(|o| o.iter().map(|&c| QueryColumn::new(slot, c)).collect())
+                    .collect();
+                cells += 1;
+                let base_target = self.queries[qi].slots[s].base_target;
+                if let Some(cc) =
+                    cost_candidate_on_slot(params, &ctx, &prof, &required, base_target, id, index)
+                {
+                    self.queries[qi].slots[s].cands.push(cc);
+                }
+            }
+        }
+        self.inum
+            .note_matrix_incremental(cells, 0, t0.elapsed().as_nanos() as u64);
+        id
+    }
+
+    /// Remove a candidate: its cells are dropped from every query slot and
+    /// its id is recycled for later [`Self::add_candidate`] calls. All
+    /// other ids are untouched, so existing bitsets stay valid (a bitset
+    /// still holding the removed id simply no longer matches any cell).
+    /// No-op for already-removed or out-of-range ids.
+    pub fn remove_candidate(&mut self, id: usize) {
+        if self.indexes.get(id).is_none_or(|i| i.is_none()) {
+            return;
+        }
+        self.indexes[id] = None;
+        self.free_candidates.push(id);
+        for qm in &mut self.queries {
+            for slot in &mut qm.slots {
+                if let Some(pos) = slot.cands.iter().position(|c| c.id == id) {
+                    slot.cands.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Add one query (see [`Self::add_queries`]).
+    pub fn add_query(&mut self, query: &Query, weight: f64) -> usize {
+        self.add_queries([(query, weight)])[0]
+    }
+
+    /// Add queries to the matrix, reusing resident cells where possible:
+    /// a query whose cell-identity key matches an *active* slot reuses
+    /// that slot (weights add, all its cells count as reused, nothing is
+    /// even cloned); new queries have their cells computed — in parallel
+    /// over [`build_threads`] workers for the bulk — and land in retired
+    /// slots first, fresh slots after. Returns the query id per input,
+    /// aligned.
+    pub fn add_queries<'q, I: IntoIterator<Item = (&'q Query, f64)>>(
+        &mut self,
+        entries: I,
+    ) -> Vec<usize> {
+        let entries: Vec<(&Query, f64)> = entries.into_iter().collect();
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let mut reused = 0u64;
+        let mut computed_cells = 0u64;
+
+        // Resolve each entry: an existing active slot, a duplicate of an
+        // earlier batch entry, or a pending computation.
+        enum Resolved {
+            Existing(usize),
+            SameAs(usize),
+            Pending,
+        }
+        let keys: Vec<u64> = entries.iter().map(|(q, _)| query_key(q)).collect();
+        let resident: HashMap<u64, usize> = self
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, qm)| qm.active)
+            .map(|(id, qm)| (qm.key, id))
+            .collect();
+        let mut first_of: HashMap<u64, usize> = HashMap::new();
+        let mut resolved: Vec<Resolved> = Vec::with_capacity(entries.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(&id) = resident.get(key) {
+                resolved.push(Resolved::Existing(id));
+            } else if let Some(&j) = first_of.get(key) {
+                resolved.push(Resolved::SameAs(j));
+            } else {
+                first_of.insert(*key, i);
+                pending.push(i);
+                resolved.push(Resolved::Pending);
+            }
+        }
+
+        // Compute the misses (the bulk) in parallel.
+        let refs: Vec<(&Query, f64)> = pending.iter().map(|&i| entries[i]).collect();
+        let computed = compute_query_matrices(self.inum, &refs, &self.indexes, build_threads());
+
+        // Install the computed matrices (retired slots first), then wire
+        // up ids for every input entry.
+        let mut ids: Vec<usize> = vec![usize::MAX; entries.len()];
+        for (&i, (qm, cells)) in pending.iter().zip(computed) {
+            computed_cells += cells;
+            ids[i] = self.install_query(entries[i].0.clone(), qm);
+        }
+        // Per-table live candidate counts, shared by the reuse accounting
+        // below (a per-query recount would cost a visible fraction of the
+        // cell work it is crediting).
+        let mut cands_on: HashMap<TableId, u64> = HashMap::new();
+        for (_, idx) in self.candidates() {
+            *cands_on.entry(idx.table).or_insert(0) += 1;
+        }
+        let cell_work = |queries: &[QueryMatrix], id: usize| -> u64 {
+            queries[id]
+                .slots
+                .iter()
+                .map(|s| 1 + cands_on.get(&s.table).copied().unwrap_or(0))
+                .sum()
+        };
+        for (i, r) in resolved.iter().enumerate() {
+            match *r {
+                Resolved::Existing(id) => {
+                    self.queries[id].weight += entries[i].1;
+                    self.workload.entries[id].weight = self.queries[id].weight;
+                    reused += cell_work(&self.queries, id);
+                    ids[i] = id;
+                }
+                Resolved::SameAs(j) => {
+                    let id = ids[j];
+                    self.queries[id].weight += entries[i].1;
+                    self.workload.entries[id].weight = self.queries[id].weight;
+                    // A fresh build would have costed this duplicate entry
+                    // separately; sharing the slot avoids that work.
+                    reused += cell_work(&self.queries, id);
+                    ids[i] = id;
+                }
+                Resolved::Pending => {}
+            }
+        }
+        self.inum
+            .note_matrix_incremental(computed_cells, reused, t0.elapsed().as_nanos() as u64);
+        ids
+    }
+
+    /// Retire a query: it stops contributing to workload costs, its cells
+    /// are dropped, and its slot is reused by the next [`Self::add_query`].
+    /// Costing a retired id yields `∞` (no skeletons). To rotate an epoch
+    /// cheaply, *add the new epoch's queries first*, then retire the
+    /// leftovers — recurring queries then dedupe against their still-active
+    /// slots instead of being recomputed. No-op on inactive ids.
+    pub fn retire_query(&mut self, id: usize) {
+        let Some(qm) = self.queries.get_mut(id) else {
+            return;
+        };
+        if !qm.active {
+            return;
+        }
+        qm.active = false;
+        qm.key = 0;
+        qm.weight = 0.0;
+        qm.internal = Vec::new();
+        qm.reqs = Vec::new();
+        qm.slots = Vec::new();
+        self.workload.entries[id].weight = 0.0;
+        for sp in &mut self.splits {
+            sp.frac[id] = Vec::new();
+        }
+        self.free_queries.push(id);
+    }
+
+    /// Place a computed query matrix in a slot (retired first), keeping
+    /// the workload mirror and every split's fraction rows aligned.
+    fn install_query(&mut self, query: Query, qm: QueryMatrix) -> usize {
+        let id = match self.free_queries.pop() {
+            Some(id) => {
+                self.workload.entries[id].query = query;
+                id
+            }
+            None => {
+                self.queries.push(QueryMatrix {
+                    weight: 0.0,
+                    key: 0,
+                    active: false,
+                    internal: Vec::new(),
+                    reqs: Vec::new(),
+                    slots: Vec::new(),
+                });
+                self.workload.push(query, 0.0);
+                for sp in &mut self.splits {
+                    sp.frac.push(Vec::new());
+                }
+                self.queries.len() - 1
+            }
+        };
+        self.workload.entries[id].weight = qm.weight;
+        self.queries[id] = qm;
+        // Extend every registered split with this query's surviving
+        // fractions so joint lookups stay pure.
+        let q = &self.workload.entries[id].query;
+        let mut cells = 0u64;
+        for sp in &mut self.splits {
+            let mut per_slot = Vec::with_capacity(q.slot_count() as usize);
+            for slot in 0..q.slot_count() {
+                per_slot.push(if q.table_of(slot) == sp.hp.table {
+                    cells += 1;
+                    let (lo, hi) = access::column_range_restriction(q, slot, sp.hp.column);
+                    sp.hp.surviving_fraction(lo, hi)
+                } else {
+                    1.0
+                });
+            }
+            sp.frac[id] = per_slot;
+        }
+        if cells > 0 {
+            self.inum.note_partition_cells(cells);
+        }
+        id
     }
 
     /// An empty configuration sized for this matrix.
@@ -620,8 +1102,10 @@ impl<'a> CostMatrix<'a> {
     }
 
     /// The [`PhysicalDesign`] a configuration denotes (slow-path bridge).
+    /// Removed candidate ids in the bitset are skipped, matching how the
+    /// cost lookups treat them.
     pub fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
-        PhysicalDesign::with_indexes(config.ids().map(|id| self.indexes[id].clone()))
+        PhysicalDesign::with_indexes(config.ids().filter_map(|id| self.indexes[id].clone()))
     }
 
     /// Cost of `query_id` under the configuration — pure lookups.
@@ -652,16 +1136,17 @@ impl<'a> CostMatrix<'a> {
         self.cost_minus(query_id, config, cand) - self.cost(query_id, config)
     }
 
-    /// Weighted workload cost under the configuration.
+    /// Weighted workload cost under the configuration (active queries
+    /// only; retired slots contribute nothing).
     pub fn workload_cost(&self, config: &CandidateBitset) -> f64 {
-        (0..self.queries.len())
+        self.active_query_ids()
             .map(|qi| self.queries[qi].weight * self.cost(qi, config))
             .sum()
     }
 
     /// Weighted workload cost under `config ∪ {extra}`.
     pub fn workload_cost_plus(&self, config: &CandidateBitset, extra: usize) -> f64 {
-        (0..self.queries.len())
+        self.active_query_ids()
             .map(|qi| self.queries[qi].weight * self.cost_plus(qi, config, extra))
             .sum()
     }
@@ -701,15 +1186,21 @@ impl<'a> CostMatrix<'a> {
     }
 
     /// Register (or find) a horizontal-split candidate. The per-(query,
-    /// slot) surviving fractions are precomputed once here, so applying
-    /// the split in a configuration is a pure lookup.
+    /// slot) surviving fractions are precomputed once here (and extended
+    /// on [`Self::add_query`]), so applying the split in a configuration
+    /// is a pure lookup.
     pub fn register_split(&mut self, hp: HorizontalPartitioning) -> usize {
         if let Some(id) = self.splits.iter().position(|s| s.hp == hp) {
             return id;
         }
         let mut frac = Vec::with_capacity(self.queries.len());
         let mut cells = 0u64;
-        for (q, _) in self.workload.iter() {
+        for (qi, entry) in self.workload.entries.iter().enumerate() {
+            if !self.queries[qi].active {
+                frac.push(Vec::new()); // retired slot: filled on reuse
+                continue;
+            }
+            let q = &entry.query;
             let mut per_slot = Vec::with_capacity(q.slot_count() as usize);
             for slot in 0..q.slot_count() {
                 per_slot.push(if q.table_of(slot) == hp.table {
@@ -790,9 +1281,10 @@ impl<'a> CostMatrix<'a> {
         self.joint_cost_with(query_id, cfg, &JointToggle::default())
     }
 
-    /// Weighted workload cost under a joint configuration.
+    /// Weighted workload cost under a joint configuration (active queries
+    /// only).
     pub fn joint_workload_cost(&self, cfg: &JointConfig) -> f64 {
-        (0..self.queries.len())
+        self.active_query_ids()
             .map(|qi| self.queries[qi].weight * self.joint_cost(qi, cfg))
             .sum()
     }
@@ -800,7 +1292,7 @@ impl<'a> CostMatrix<'a> {
     /// Weighted workload cost under `cfg` with `toggle`'s virtual edits
     /// applied — the merge/split trial hot path.
     pub fn joint_workload_cost_with(&self, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
-        (0..self.queries.len())
+        self.active_query_ids()
             .map(|qi| self.queries[qi].weight * self.joint_cost_with(qi, cfg, toggle))
             .sum()
     }
@@ -1435,6 +1927,158 @@ mod tests {
             after_reg.partition_lookups + w.len() as u64
         );
         assert_eq!(s.lookups, after_reg.lookups + w.len() as u64);
+    }
+
+    #[test]
+    fn add_candidate_matches_fresh_build_and_keeps_ids_stable() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 111);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        assert!(cands.indexes.len() >= 3);
+        // Build over a prefix, then add the rest incrementally.
+        let split = cands.indexes.len() / 2;
+        let mut grown = CostMatrix::build(&inum, &w, &cands.indexes[..split]);
+        for idx in &cands.indexes[split..] {
+            grown.add_candidate(idx);
+        }
+        let fresh = CostMatrix::build(&inum, &w, &cands.indexes);
+        for qi in 0..w.len() {
+            for id in 0..cands.indexes.len() {
+                let solo = fresh.config_of([id]);
+                assert_eq!(
+                    grown.cost(qi, &solo),
+                    fresh.cost(qi, &solo),
+                    "incremental candidate {id} must cost bit-identically (Q{qi})"
+                );
+            }
+        }
+        // Re-registering returns the existing id and counts reuse.
+        let before = inum.matrix_stats();
+        let id = grown.add_candidate(&cands.indexes[0]);
+        assert_eq!(id, 0, "ids are stable");
+        let after = inum.matrix_stats();
+        assert_eq!(after.cells, before.cells, "no cells recomputed on reuse");
+        assert!(after.cells_reused > before.cells_reused);
+    }
+
+    #[test]
+    fn remove_candidate_recycles_the_id_and_clears_cells() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 112);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let mut matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let victim = 1usize.min(cands.indexes.len() - 1);
+        let all = matrix.config_of(0..cands.indexes.len());
+        matrix.remove_candidate(victim);
+        assert!(matrix.candidate(victim).is_none());
+        // A bitset still holding the removed id matches nothing: costs
+        // equal the configuration without it.
+        let mut without = all.clone();
+        without.remove(victim);
+        for qi in 0..w.len() {
+            assert_eq!(matrix.cost(qi, &all), matrix.cost(qi, &without));
+        }
+        // The freed id is recycled; other ids are untouched.
+        let new_idx = Index::new(cands.indexes[0].table, vec![15]);
+        if !cands.indexes.contains(&new_idx) {
+            assert_eq!(matrix.add_candidate(&new_idx), victim);
+            assert_eq!(matrix.candidate(victim), Some(&new_idx));
+        }
+        matrix.remove_candidate(9999); // out of range: no-op
+    }
+
+    #[test]
+    fn add_and_retire_queries_rotate_slots() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 6, 113);
+        let extra = sdss_workload(&c, 9, 114);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let mut matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let n0 = matrix.n_queries();
+
+        // Adding a resident query reuses its slot (weights add, no cells).
+        let before = inum.matrix_stats();
+        let id = matrix.add_query(w.query(2), 2.5);
+        assert_eq!(id, 2);
+        assert_eq!(matrix.n_queries(), n0, "no new slot for a resident query");
+        assert!((matrix.query_weight(2) - 3.5).abs() < 1e-12);
+        let after = inum.matrix_stats();
+        assert_eq!(after.cells, before.cells);
+        assert!(after.cells_reused > before.cells_reused);
+
+        // Retire, then add a new query: the slot is reused.
+        matrix.retire_query(2);
+        assert!(!matrix.query_active(2));
+        assert_eq!(matrix.query_weight(2), 0.0);
+        assert!(matrix.cost(2, &matrix.empty_config()).is_infinite());
+        let nid = matrix.add_query(extra.query(8), 1.0);
+        assert_eq!(nid, 2, "retired slots are reused first");
+        assert!(matrix.query_active(2));
+        // The reused slot costs like a fresh single-query build.
+        let solo = Workload::from_queries([extra.query(8).clone()]);
+        let fresh = CostMatrix::build(&inum, &solo, &cands.indexes);
+        let cfg = matrix.config_of([0]);
+        assert_eq!(matrix.cost(2, &cfg), fresh.cost(0, &cfg));
+        // Workload cost counts active slots only.
+        let manual: f64 = matrix
+            .active_query_ids()
+            .map(|qi| matrix.query_weight(qi) * matrix.cost(qi, &cfg))
+            .sum();
+        assert!((matrix.workload_cost(&cfg) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_query_extends_registered_splits() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 4, 115);
+        let extra = sdss_workload(&c, 9, 116);
+        let mut matrix = CostMatrix::build(&inum, &w, &[]);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let split = matrix.register_split(pgdesign_catalog::design::HorizontalPartitioning::new(
+            photo,
+            1,
+            (1..10).map(|i| i as f64 * 36.0).collect(),
+        ));
+        // Query added *after* the split registration still costs correctly
+        // under it (fractions are extended on install).
+        let qid = matrix.add_query(extra.query(0), 1.0);
+        let mut cfg = matrix.empty_joint();
+        cfg.splits.insert(split);
+        let design = matrix.joint_design_of(&cfg);
+        let fast = matrix.joint_cost(qid, &cfg);
+        let oracle = inum.cost(&design, extra.query(0));
+        assert!(
+            (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
+            "late-added query under a split: {fast} vs {oracle}"
+        );
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 12, 117);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let serial = CostMatrix::build_with_threads(&inum, &w, &cands.indexes, 1);
+        let parallel = CostMatrix::build_with_threads(&inum, &w, &cands.indexes, 4);
+        for qi in 0..w.len() {
+            assert_eq!(
+                serial.cost(qi, &serial.empty_config()),
+                parallel.cost(qi, &parallel.empty_config())
+            );
+            for id in 0..cands.indexes.len() {
+                let cfg = serial.config_of([id]);
+                assert_eq!(
+                    serial.cost(qi, &cfg),
+                    parallel.cost(qi, &cfg),
+                    "serial and parallel builds must agree bit-for-bit (Q{qi}, cand {id})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -333,6 +333,157 @@ fn joint_delta_matches_full_reevaluation() {
     );
 }
 
+/// Incremental maintenance equals a fresh build: starting from a random
+/// initial matrix, apply a random interleaving of
+/// `add_candidate`/`remove_candidate`/`add_query`/`retire_query`, then
+/// rebuild a matrix from scratch over the *final* state (live candidates,
+/// active queries) and require every configuration cost to agree within
+/// 1e-12 (in practice bit-identically — incremental cells run the same
+/// code as the cold build).
+fn assert_incremental_matches_fresh(
+    catalog: &Catalog,
+    pool: &Workload,
+    cand_pool: &[Index],
+    seed: u64,
+) {
+    use rand::Rng;
+    let opt = optimizer();
+    let inum = Inum::new(catalog, &opt);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let nq0 = rng.random_range(1..pool.len().max(2)).min(pool.len());
+    let nc0 = rng.random_range(0..cand_pool.len().max(1));
+    let init_w = Workload::from_queries((0..nq0).map(|i| pool.query(i).clone()));
+    let mut matrix = CostMatrix::build(&inum, &init_w, &cand_pool[..nc0]);
+
+    for _ in 0..14 {
+        match rng.random_range(0..4usize) {
+            0 if !cand_pool.is_empty() => {
+                let idx = &cand_pool[rng.random_range(0..cand_pool.len())];
+                matrix.add_candidate(idx);
+            }
+            1 => {
+                let live: Vec<usize> = matrix.candidates().map(|(id, _)| id).collect();
+                if !live.is_empty() {
+                    matrix.remove_candidate(live[rng.random_range(0..live.len())]);
+                }
+            }
+            2 => {
+                let q = pool.query(rng.random_range(0..pool.len()));
+                matrix.add_query(q, 1.0);
+            }
+            _ => {
+                let active: Vec<usize> = matrix.active_query_ids().collect();
+                if active.len() > 1 {
+                    matrix.retire_query(active[rng.random_range(0..active.len())]);
+                }
+            }
+        }
+    }
+
+    // Fresh build of the final state.
+    let live: Vec<(usize, Index)> = matrix
+        .candidates()
+        .map(|(id, idx)| (id, idx.clone()))
+        .collect();
+    let active: Vec<usize> = matrix.active_query_ids().collect();
+    let mut final_w = Workload::new();
+    for &qid in &active {
+        final_w.push(
+            matrix.workload().query(qid).clone(),
+            matrix.query_weight(qid),
+        );
+    }
+    let fresh_cands: Vec<Index> = live.iter().map(|(_, idx)| idx.clone()).collect();
+    let fresh = CostMatrix::build(&inum, &final_w, &fresh_cands);
+
+    for _ in 0..6 {
+        // A random subset of the live candidates, expressed in both id
+        // spaces (the incremental matrix's stable ids vs the fresh
+        // matrix's positions).
+        let mut inc_cfg = matrix.empty_config();
+        let mut fresh_cfg = fresh.empty_config();
+        for (pos, (id, _)) in live.iter().enumerate() {
+            if rng.random_range(0..2usize) == 1 {
+                inc_cfg.insert(*id);
+                fresh_cfg.insert(pos);
+            }
+        }
+        for (pos, &qid) in active.iter().enumerate() {
+            let a = matrix.cost(qid, &inc_cfg);
+            let b = fresh.cost(pos, &fresh_cfg);
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "incremental {a} vs fresh {b} (qid {qid}, cfg {:?})",
+                inc_cfg.ids().collect::<Vec<_>>()
+            );
+        }
+        let wa = matrix.workload_cost(&inc_cfg);
+        let wb = fresh.workload_cost(&fresh_cfg);
+        assert!(
+            (wa - wb).abs() <= 1e-12 * wb.abs().max(1.0),
+            "workload cost: incremental {wa} vs fresh {wb}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// SDSS: any interleaving of candidate add/remove and query add/retire
+    /// produces a matrix that agrees with a fresh build of the final state.
+    #[test]
+    fn incremental_matrix_matches_fresh_build_on_sdss(seed in 0u64..1000, n_queries in 4usize..10) {
+        let c = catalog();
+        let pool = sdss_workload(c, n_queries, seed);
+        let cands = workload_candidates(c, &pool, &CandidateConfig::default());
+        assert_incremental_matches_fresh(c, &pool, &cands.indexes, seed ^ 0x1AC);
+    }
+
+    /// TPC-H: the same incremental-vs-fresh invariant on the other sample
+    /// catalog.
+    #[test]
+    fn incremental_matrix_matches_fresh_build_on_tpch(seed in 0u64..1000, n_queries in 4usize..8) {
+        use std::sync::OnceLock;
+        static TPCH: OnceLock<Catalog> = OnceLock::new();
+        let c = TPCH.get_or_init(|| tpch_catalog(0.01));
+        let pool = tpch_workload(c, n_queries, seed);
+        let cands = workload_candidates(c, &pool, &CandidateConfig::default());
+        assert_incremental_matches_fresh(c, &pool, &cands.indexes, seed ^ 0x7D1F);
+    }
+}
+
+/// A parallel cold build is bit-identical to a serial one: cells are
+/// computed independently per query and written to disjoint slots, so
+/// thread count cannot change a single bit of any cost.
+#[test]
+fn parallel_build_matches_serial_exactly() {
+    let c = catalog();
+    let opt = optimizer();
+    let inum = Inum::new(c, &opt);
+    let w = sdss_workload(c, 18, 808);
+    let cands = workload_candidates(c, &w, &CandidateConfig::default());
+    let serial = CostMatrix::build_with_threads(&inum, &w, &cands.indexes, 1);
+    for threads in [2, 4, 7] {
+        let parallel = CostMatrix::build_with_threads(&inum, &w, &cands.indexes, threads);
+        let mut rng = StdRng::seed_from_u64(threads as u64);
+        for _ in 0..8 {
+            use rand::Rng;
+            let ids: Vec<usize> = (0..cands.indexes.len())
+                .filter(|_| rng.random_range(0..3usize) == 0)
+                .collect();
+            let cfg = serial.config_of(ids.iter().copied());
+            for qi in 0..w.len() {
+                assert_eq!(
+                    serial.cost(qi, &cfg),
+                    parallel.cost(qi, &cfg),
+                    "{threads}-thread build must be bit-identical (Q{qi}, {ids:?})"
+                );
+            }
+        }
+    }
+}
+
 /// Workload cost decomposes linearly over queries and weights.
 #[test]
 fn workload_cost_is_linear() {
