@@ -3,10 +3,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify tier1 fmt lint doc bench bench-json
+.PHONY: verify tier1 fmt lint doc bench bench-json examples
 
 # Everything CI checks, in CI's order.
-verify: fmt lint tier1 doc
+verify: fmt lint tier1 doc examples
 
 # The tier-1 gate from ROADMAP.md.
 tier1:
@@ -21,6 +21,17 @@ lint:
 
 doc:
 	$(CARGO) doc --workspace --no-deps
+
+# Build and run every example end to end — the public TuningSession /
+# Advisor API exercised exactly the way the README shows it.
+EXAMPLES := quickstart scenario1_interactive scenario2_offline \
+            scenario3_online portability_tpch write_aware
+examples:
+	$(CARGO) build --release --examples
+	@set -e; for ex in $(EXAMPLES); do \
+	  echo "== example: $$ex =="; \
+	  $(CARGO) run -q --release --example $$ex >/dev/null; \
+	done; echo "all examples ran"
 
 # The E1-E7 experiment benches (report + timing per experiment).
 bench:

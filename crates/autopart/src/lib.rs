@@ -342,9 +342,11 @@ impl<'a> AutoPartAdvisor<'a> {
     /// configuration it must coexist with. Returns the merge iterations
     /// performed.
     pub fn search_on(&self, matrix: &mut CostMatrix<'_>, cfg: &mut JointConfig) -> usize {
-        // The matrix owns its queries, so snapshot them for the candidate
-        // analyses below while the search mutates the matrix.
-        let workload = matrix.workload().clone();
+        // The matrix owns its queries, so snapshot the *active* ones for
+        // the candidate analyses below while the search mutates the matrix
+        // (a long-lived session matrix may hold retired slots whose stale
+        // queries must not steer the fragmentation).
+        let workload = matrix.active_workload();
         let workload = &workload;
         let tables: Vec<TableId> = self.inum.catalog().schema.tables().map(|t| t.id).collect();
         let mut iterations = 0usize;
@@ -366,15 +368,25 @@ impl<'a> AutoPartAdvisor<'a> {
 
     /// Produce the full partitioning recommendation. The search and all
     /// reported costs run on the partition-aware cost matrix; no
-    /// [`Inum::cost`] call is issued anywhere in this method.
+    /// [`Inum::cost`] call is issued anywhere in this method. (Builds a
+    /// private matrix; see [`Self::recommend_on`] for the session entry.)
     pub fn recommend(&self, workload: &Workload) -> PartitionRecommendation {
-        let catalog = self.inum.catalog();
         let mut matrix = CostMatrix::build(self.inum, workload, &[]);
+        self.recommend_on(&mut matrix)
+    }
+
+    /// [`Self::recommend`] against an *existing* matrix — the
+    /// session-scoped entry point. The search runs over the matrix's
+    /// active queries with no index selected (partitions alone); fragments
+    /// and splits it registers stay resident, so later joint costings on
+    /// the same session are pure lookups.
+    pub fn recommend_on(&self, matrix: &mut CostMatrix<'_>) -> PartitionRecommendation {
+        let catalog = self.inum.catalog();
         let empty = matrix.empty_joint();
         let base_cost = matrix.joint_workload_cost(&empty);
 
         let mut cfg = matrix.empty_joint();
-        let iterations = self.search_on(&mut matrix, &mut cfg);
+        let iterations = self.search_on(matrix, &mut cfg);
 
         let mut cost = matrix.joint_workload_cost(&cfg);
         if cost > base_cost {
@@ -384,7 +396,8 @@ impl<'a> AutoPartAdvisor<'a> {
             cost = base_cost;
         }
         let design = matrix.joint_design_of(&cfg);
-        let per_query = (0..matrix.n_queries())
+        let per_query = matrix
+            .active_query_ids()
             .map(|qi| (matrix.joint_cost(qi, &empty), matrix.joint_cost(qi, &cfg)))
             .collect();
         let replication_bytes = design.replication_bytes(&catalog.schema, &catalog.stats);

@@ -24,10 +24,11 @@
 //!   tuner here applies them to its own simulated design.
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_inum::{CostMatrix, Inum};
+use pgdesign_catalog::Catalog;
+use pgdesign_inum::CostMatrix;
 use pgdesign_optimizer::candidates::{query_candidates, CandidateConfig};
+use pgdesign_optimizer::Optimizer;
 use pgdesign_query::ast::Query;
-use pgdesign_query::Workload;
 use std::collections::HashMap;
 
 /// COLT knobs.
@@ -113,8 +114,24 @@ struct CandidateState {
 }
 
 /// The on-line tuner.
+///
+/// The tuner does **not** own its cost matrix: every epoch-closing call
+/// takes `&mut CostMatrix`, and the caller (typically a `TuningSession` in
+/// `pgdesign-core`, or a test holding one matrix across the stream) keeps
+/// that matrix alive across epochs. Harvested candidates are added, stale
+/// ones removed, and epoch queries rotated in/out, so per-epoch (re)build
+/// work scales with *workload drift* — a query recurring across epochs
+/// keeps its resident cells — rather than with the epoch size. Because the
+/// matrix is shared rather than private, everything COLT keeps warm is
+/// immediately available to any other advisor run on the same matrix (the
+/// background-advisor handoff).
 pub struct ColtTuner<'a> {
-    inum: &'a Inum<'a>,
+    /// Schema + statistics (candidate harvesting, sizes, build costs).
+    /// Deliberately *not* an [`pgdesign_inum::Inum`] handle: cost calls go
+    /// through the matrix each epoch-closing call receives, so the tuner
+    /// stores no reference into whatever owns that matrix's INUM.
+    catalog: &'a Catalog,
+    optimizer: &'a Optimizer,
     config: ColtConfig,
     current: PhysicalDesign,
     states: HashMap<Index, CandidateState>,
@@ -122,19 +139,14 @@ pub struct ColtTuner<'a> {
     epoch_queries: Vec<Query>,
     epoch_untuned: f64,
     epoch_tuned: f64,
-    /// The persistent cost matrix: one instance across every epoch.
-    /// Harvested candidates are added, stale ones removed, and epoch
-    /// queries rotated in/out, so per-epoch (re)build work scales with
-    /// *workload drift* — a query recurring across epochs keeps its
-    /// resident cells — rather than with the epoch size.
-    matrix: CostMatrix<'a>,
 }
 
 impl<'a> ColtTuner<'a> {
     /// New tuner starting from an empty on-line design.
-    pub fn new(inum: &'a Inum<'a>, config: ColtConfig) -> Self {
+    pub fn new(catalog: &'a Catalog, optimizer: &'a Optimizer, config: ColtConfig) -> Self {
         ColtTuner {
-            inum,
+            catalog,
+            optimizer,
             config,
             current: PhysicalDesign::empty(),
             states: HashMap::new(),
@@ -142,7 +154,6 @@ impl<'a> ColtTuner<'a> {
             epoch_queries: Vec::new(),
             epoch_untuned: 0.0,
             epoch_tuned: 0.0,
-            matrix: CostMatrix::build(inum, &Workload::new(), &[]),
         }
     }
 
@@ -157,13 +168,15 @@ impl<'a> ColtTuner<'a> {
     }
 
     /// Feed one query; returns an [`EpochReport`] when it closes an epoch.
-    pub fn observe(&mut self, query: Query) -> Option<EpochReport> {
+    /// `matrix` is the caller-owned persistent cost matrix the epoch's
+    /// profiling rotates work into.
+    pub fn observe(&mut self, query: Query, matrix: &mut CostMatrix<'_>) -> Option<EpochReport> {
         let empty = PhysicalDesign::empty();
-        self.epoch_untuned += self.inum.cost(&empty, &query);
-        self.epoch_tuned += self.inum.cost(&self.current, &query);
+        self.epoch_untuned += matrix.inum().cost(&empty, &query);
+        self.epoch_tuned += matrix.inum().cost(&self.current, &query);
         self.epoch_queries.push(query);
         if self.epoch_queries.len() >= self.config.epoch_length {
-            Some(self.end_epoch())
+            Some(self.end_epoch(matrix))
         } else {
             None
         }
@@ -174,23 +187,24 @@ impl<'a> ColtTuner<'a> {
     pub fn process_stream<I: IntoIterator<Item = Query>>(
         &mut self,
         queries: I,
+        matrix: &mut CostMatrix<'_>,
     ) -> Vec<EpochReport> {
         let mut reports = Vec::new();
         for q in queries {
-            if let Some(r) = self.observe(q) {
+            if let Some(r) = self.observe(q, matrix) {
                 reports.push(r);
             }
         }
         if !self.epoch_queries.is_empty() {
-            reports.push(self.end_epoch());
+            reports.push(self.end_epoch(matrix));
         }
         reports
     }
 
     /// Estimated build cost of an index: scan the table + sort the keys.
     fn build_cost(&self, index: &Index) -> f64 {
-        let catalog = self.inum.catalog();
-        let params = &self.inum.optimizer().params;
+        let catalog = self.catalog;
+        let params = &self.optimizer.params;
         let tdef = catalog.schema.table(index.table);
         let stats = catalog.table_stats(index.table);
         let pages = pgdesign_catalog::sizing::heap_pages(stats.row_count, tdef.row_byte_width());
@@ -201,9 +215,9 @@ impl<'a> ColtTuner<'a> {
 
     /// Close the current epoch: profile candidates, update EWMAs, re-pick
     /// the materialized set, emit events.
-    fn end_epoch(&mut self) -> EpochReport {
+    fn end_epoch(&mut self, matrix: &mut CostMatrix<'_>) -> EpochReport {
         let cfg = CandidateConfig::single_column();
-        let catalog = self.inum.catalog();
+        let catalog = self.catalog;
 
         // Harvest candidates and their relevant queries for this epoch.
         let mut relevant: HashMap<Index, Vec<usize>> = HashMap::new();
@@ -258,14 +272,13 @@ impl<'a> ColtTuner<'a> {
         // still-active slots), then last epoch's leftovers retire, and
         // only *then* are new candidates registered — their cells are
         // computed for exactly this epoch's active slots.
-        let stale: Vec<usize> = self
-            .matrix
+        let stale: Vec<usize> = matrix
             .candidates()
             .filter(|(_, idx)| !desired.contains(idx))
             .map(|(id, _)| id)
             .collect();
         for id in stale {
-            self.matrix.remove_candidate(id);
+            matrix.remove_candidate(id);
         }
 
         let mut probed_queries: Vec<usize> = plan
@@ -278,15 +291,14 @@ impl<'a> ColtTuner<'a> {
             .iter()
             .map(|&qi| (&self.epoch_queries[qi], 1.0))
             .collect();
-        let qids = self.matrix.add_queries(entries);
+        let qids = matrix.add_queries(entries);
         let keep: std::collections::HashSet<usize> = qids.iter().copied().collect();
-        let to_retire: Vec<usize> = self
-            .matrix
+        let to_retire: Vec<usize> = matrix
             .active_query_ids()
             .filter(|id| !keep.contains(id))
             .collect();
         for id in to_retire {
-            self.matrix.retire_query(id);
+            matrix.retire_query(id);
         }
         // `add_queries` accumulates weights on reuse; reset each kept slot
         // to its occurrence count in *this* epoch so the matrix's workload
@@ -296,16 +308,16 @@ impl<'a> ColtTuner<'a> {
             *occurrences.entry(qid).or_insert(0.0) += 1.0;
         }
         for (&qid, &w) in &occurrences {
-            self.matrix.set_query_weight(qid, w);
+            matrix.set_query_weight(qid, w);
         }
 
         let cid_of: HashMap<Index, usize> = desired
             .iter()
-            .map(|idx| (idx.clone(), self.matrix.add_candidate(idx)))
+            .map(|idx| (idx.clone(), matrix.add_candidate(idx)))
             .collect();
         let qid_of = |qi: usize| qids[probed_queries.binary_search(&qi).expect("probed")];
 
-        let matrix = &self.matrix;
+        let matrix: &CostMatrix<'_> = matrix;
         let current_config = matrix.config_of(self.current.indexes().iter().map(|idx| {
             *cid_of
                 .get(idx)
@@ -470,9 +482,10 @@ mod tests {
     use super::*;
     use pgdesign_catalog::samples::sdss_catalog;
     use pgdesign_catalog::Catalog;
+    use pgdesign_inum::Inum;
     use pgdesign_optimizer::Optimizer;
     use pgdesign_query::generators::DriftingStream;
-    use pgdesign_query::parse_query;
+    use pgdesign_query::{parse_query, Workload};
 
     fn repeat_query(c: &Catalog, sql: &str, n: usize) -> Vec<Query> {
         let q = parse_query(&c.schema, sql).unwrap();
@@ -484,8 +497,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 payback_horizon_epochs: 5.0,
@@ -493,7 +508,7 @@ mod tests {
             },
         );
         let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 30);
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         assert_eq!(reports.len(), 3);
         // Eventually an index on objid should be materialized.
         let photo = c.schema.table_by_name("photoobj").unwrap().id;
@@ -512,8 +527,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 5,
                 ..Default::default()
@@ -524,7 +541,7 @@ mod tests {
             "SELECT objid FROM photoobj WHERE type = 3 AND r < 15",
             10,
         );
-        colt.process_stream(stream);
+        colt.process_stream(stream, &mut matrix);
         assert!(colt
             .current_design()
             .indexes()
@@ -537,8 +554,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 whatif_budget_per_epoch: 0,
@@ -546,7 +565,7 @@ mod tests {
             },
         );
         let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 20);
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         assert_eq!(reports.len(), 2);
         for r in &reports {
             assert_eq!(r.whatif_calls, 0, "a zero budget admits zero probes");
@@ -565,8 +584,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 20,
                 whatif_budget_per_epoch: 10,
@@ -574,7 +595,7 @@ mod tests {
             },
         );
         let mut stream = DriftingStream::sdss_default(c.clone(), 100, 5);
-        let reports = colt.process_stream(stream.batch(40));
+        let reports = colt.process_stream(stream.batch(40), &mut matrix);
         for r in &reports {
             assert!(r.whatif_calls <= 11, "budget exceeded: {}", r.whatif_calls);
         }
@@ -585,8 +606,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 payback_horizon_epochs: 8.0,
@@ -601,7 +624,7 @@ mod tests {
             "SELECT objid FROM photoobj WHERE run = 2000 AND camcol = 3",
             50,
         ));
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         let photo = c.schema.table_by_name("photoobj").unwrap().id;
         // After phase 2, a run or camcol index should exist.
         let final_design = colt.current_design();
@@ -621,8 +644,10 @@ mod tests {
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
         let budget = 3 * 1024 * 1024; // 3 MiB: roughly one small index
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 storage_budget_bytes: budget,
@@ -641,7 +666,7 @@ mod tests {
             "SELECT ra FROM photoobj WHERE camcol = 2",
             20,
         ));
-        colt.process_stream(stream);
+        colt.process_stream(stream, &mut matrix);
         let used = colt.current_design().index_bytes(&c.schema, &c.stats);
         assert!(used <= budget, "{used} > {budget}");
     }
@@ -651,8 +676,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 payback_horizon_epochs: 50.0,
@@ -660,7 +687,7 @@ mod tests {
             },
         );
         let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 20);
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         let charged: f64 = reports.iter().map(|r| r.build_cost).sum();
         assert!(charged > 0.0, "materialization must be paid for");
         let built_epoch = reports.iter().find(|r| r.build_cost > 0.0).unwrap();
@@ -673,8 +700,10 @@ mod tests {
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
         let builds_before = inum.matrix_stats().builds;
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 ..Default::default()
@@ -684,13 +713,13 @@ mod tests {
         // epoch 0 its cells are resident and each later epoch's profiling
         // reuses them instead of recomputing.
         let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 40);
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         assert_eq!(reports.len(), 4);
         let s = inum.matrix_stats();
         assert_eq!(
             s.builds,
             builds_before + 1,
-            "one persistent matrix across all epochs (built once, at tuner construction)"
+            "one persistent matrix across all epochs (built once, up front)"
         );
         assert!(
             s.cells_reused > 0,
@@ -703,8 +732,10 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 // Two calls = one (candidate, query) pair: every epoch
@@ -718,7 +749,7 @@ mod tests {
             "SELECT objid FROM photoobj WHERE type = 3 AND r < 15 AND run = 2000",
             10,
         );
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         assert!(
             reports.iter().any(|r| r.candidates_dropped > 0),
             "the truncated plan must surface dropped candidates in the report"
@@ -733,15 +764,17 @@ mod tests {
         let c = sdss_catalog(0.01);
         let opt = Optimizer::new();
         let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
         let mut colt = ColtTuner::new(
-            &inum,
+            &c,
+            &opt,
             ColtConfig {
                 epoch_length: 10,
                 ..Default::default()
             },
         );
         let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 1", 13);
-        let reports = colt.process_stream(stream);
+        let reports = colt.process_stream(stream, &mut matrix);
         assert_eq!(reports.len(), 2, "10 + 3 queries → 2 reports");
     }
 }

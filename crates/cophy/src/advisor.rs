@@ -1,6 +1,6 @@
 //! The CoPhy advisor: candidates → atomic configurations → ILP → solution.
 
-use crate::atomic::{self, enumerate_atomic_configs};
+use crate::atomic::enumerate_atomic_configs;
 use crate::formulation::{build_ilp, decode_solution, warm_start_assignment};
 use crate::greedy::greedy_select;
 use pgdesign_autopart::{AutoPartAdvisor, AutoPartConfig};
@@ -139,52 +139,75 @@ impl<'a> CophyAdvisor<'a> {
         &self.config
     }
 
-    /// Produce an index recommendation for the workload.
+    /// Produce an index recommendation for the workload (builds a private
+    /// matrix; see [`Self::recommend_on`] for the session-matrix entry).
     pub fn recommend(&self, workload: &Workload) -> Recommendation {
-        let catalog = self.inum.catalog();
-        let base = workload_candidates(catalog, workload, &self.config.candidates);
-
-        // One cost matrix serves atomic enumeration, the greedy warm
-        // start, and solution validation — every configuration cost below
-        // is a pure lookup.
+        // Cold path: bulk-build the matrix over the enumerated base pool
+        // so cell computation fans out over all cores; registration of the
+        // same pool below dedupes into no-ops.
+        let base = workload_candidates(self.inum.catalog(), workload, &self.config.candidates);
         let mut matrix = CostMatrix::build(self.inum, workload, &base.indexes);
+        self.recommend_with_pool(&mut matrix, base)
+    }
 
-        // Merged candidates ride on the *same* matrix: each is registered
-        // incrementally (only its own cells are computed), and since fresh
-        // ids are handed out in registration order they line up with the
-        // augmented candidate list's positions.
-        let candidates = if self.config.merged_candidates > 0 {
-            let augmented = crate::merging::augment_with_merges(
+    /// Produce an index recommendation against an *existing* matrix — the
+    /// session-scoped entry point. The advisor enumerates candidates from
+    /// the matrix's active queries and registers them with
+    /// [`CostMatrix::add_candidate`]: candidates already resident (e.g.
+    /// registered by an on-line tuner sharing the same session matrix)
+    /// reuse their cells instead of recomputing them, and candidates the
+    /// matrix holds beyond this enumeration compete on equal footing. The
+    /// matrix is extended, never rebuilt, and registered candidates stay
+    /// resident for later advisors on the same session.
+    pub fn recommend_on(&self, matrix: &mut CostMatrix<'_>) -> Recommendation {
+        let base = workload_candidates(
+            self.inum.catalog(),
+            &matrix.active_workload(),
+            &self.config.candidates,
+        );
+        self.recommend_with_pool(matrix, base)
+    }
+
+    /// Shared body of [`Self::recommend`]/[`Self::recommend_on`]: `base`
+    /// is the pre-enumerated candidate pool for the matrix's active
+    /// workload (enumerated exactly once by either caller).
+    fn recommend_with_pool(
+        &self,
+        matrix: &mut CostMatrix<'_>,
+        base: pgdesign_optimizer::candidates::CandidateSet,
+    ) -> Recommendation {
+        let catalog = self.inum.catalog();
+        let qids: Vec<usize> = matrix.active_query_ids().collect();
+
+        // Register the candidate pool. Merged candidates ride on the same
+        // matrix: each is registered incrementally (only its own cells are
+        // computed — or reused, if already resident).
+        let enumerated = if self.config.merged_candidates > 0 {
+            crate::merging::augment_with_merges(
                 catalog,
                 &base,
                 self.config.merge_max_width,
                 self.config.merged_candidates,
-            );
-            for (pos, idx) in augmented
-                .indexes
-                .iter()
-                .enumerate()
-                .skip(base.indexes.len())
-            {
-                let id = matrix.add_candidate(idx);
-                debug_assert_eq!(id, pos, "merged ids mirror the augmented list");
-            }
-            augmented
+            )
         } else {
             base
         };
-        let matrix = matrix;
+        for idx in &enumerated.indexes {
+            matrix.add_candidate(idx);
+        }
+        let matrix: &CostMatrix<'_> = matrix;
 
-        // Sizes, filtering out candidates that alone exceed the budget.
+        // Sizes over every live candidate of the matrix, filtering out
+        // candidates that alone exceed the budget.
         let mut sizes: HashMap<usize, f64> = HashMap::new();
-        for (id, idx) in candidates.indexes.iter().enumerate() {
+        for (id, idx) in matrix.candidates() {
             let bytes = idx.size_bytes(&catalog.schema, catalog.table_stats(idx.table));
             if bytes <= self.config.storage_budget_bytes {
                 sizes.insert(id, bytes as f64);
             }
         }
 
-        let configs = enumerate_atomic_configs(&matrix, self.config.max_configs_per_query);
+        let configs = enumerate_atomic_configs(matrix, self.config.max_configs_per_query);
         // Restrict configs to within-budget candidates.
         let configs: Vec<_> = configs
             .into_iter()
@@ -205,7 +228,7 @@ impl<'a> CophyAdvisor<'a> {
                         index_maintenance_cost(
                             &self.inum.optimizer().params,
                             catalog,
-                            &candidates.indexes[id],
+                            matrix.candidate(id).expect("sized candidates are live"),
                             profile,
                         ),
                     )
@@ -214,9 +237,12 @@ impl<'a> CophyAdvisor<'a> {
             None => HashMap::new(),
         };
 
+        let weights: Vec<f64> = configs
+            .iter()
+            .map(|qc| matrix.query_weight(qc.query_id))
+            .collect();
         let model = build_ilp(
-            workload,
-            &candidates,
+            &weights,
             &configs,
             &sizes,
             &maintenance,
@@ -224,7 +250,7 @@ impl<'a> CophyAdvisor<'a> {
         );
 
         // Greedy warm start (delta evaluation on the shared matrix).
-        let warm_greedy = greedy_select(&matrix, self.config.storage_budget_bytes);
+        let warm_greedy = greedy_select(matrix, self.config.storage_budget_bytes);
         let warm = warm_start_assignment(&model, &configs, &warm_greedy.chosen);
 
         let result = model
@@ -253,15 +279,19 @@ impl<'a> CophyAdvisor<'a> {
         } else {
             warm_greedy.chosen.clone()
         };
-        let design = atomic::design_from_ids(&candidates, &chosen_ids);
-        let indexes = atomic::indexes_from_ids(&candidates, &chosen_ids);
+        let indexes: Vec<Index> = chosen_ids
+            .iter()
+            .map(|&id| matrix.candidate(id).expect("chosen ids are live").clone())
+            .collect();
+        let design = PhysicalDesign::with_indexes(indexes.iter().cloned());
 
         let empty_config = matrix.empty_config();
         let chosen_config = matrix.config_of(chosen_ids.iter().copied());
         let base_cost = matrix.workload_cost(&empty_config);
         let cost = matrix.workload_cost(&chosen_config) + maint_of(&chosen_ids);
-        let per_query = (0..matrix.n_queries())
-            .map(|qi| {
+        let per_query = qids
+            .iter()
+            .map(|&qi| {
                 (
                     matrix.cost(qi, &empty_config),
                     matrix.cost(qi, &chosen_config),
@@ -278,7 +308,7 @@ impl<'a> CophyAdvisor<'a> {
             gap: result.gap,
             status: result.status,
             nodes: result.nodes,
-            candidates_considered: candidates.indexes.len(),
+            candidates_considered: matrix.candidates().count(),
             per_query,
             total_index_bytes,
         }
@@ -296,18 +326,52 @@ impl<'a> CophyAdvisor<'a> {
         workload: &Workload,
         partition_config: AutoPartConfig,
     ) -> JointRecommendation {
+        // Same cold-path bulk build as `recommend` (parallel over queries).
+        let base = workload_candidates(self.inum.catalog(), workload, &self.config.candidates);
+        let mut matrix = CostMatrix::build(self.inum, workload, &base.indexes);
+        self.recommend_joint_with_pool(&mut matrix, base, partition_config)
+    }
+
+    /// [`Self::recommend_joint`] against an *existing* matrix — the
+    /// session-scoped entry point: candidates are registered incrementally
+    /// (resident ones reuse their cells), the partition search runs on the
+    /// same matrix, and everything registered stays resident for later
+    /// advisors on the same session.
+    pub fn recommend_joint_on(
+        &self,
+        matrix: &mut CostMatrix<'_>,
+        partition_config: AutoPartConfig,
+    ) -> JointRecommendation {
+        let candidates = workload_candidates(
+            self.inum.catalog(),
+            &matrix.active_workload(),
+            &self.config.candidates,
+        );
+        self.recommend_joint_with_pool(matrix, candidates, partition_config)
+    }
+
+    /// Shared body of [`Self::recommend_joint`]/[`Self::recommend_joint_on`]
+    /// (`candidates` pre-enumerated exactly once by either caller).
+    fn recommend_joint_with_pool(
+        &self,
+        matrix: &mut CostMatrix<'_>,
+        candidates: pgdesign_optimizer::candidates::CandidateSet,
+        partition_config: AutoPartConfig,
+    ) -> JointRecommendation {
         let catalog = self.inum.catalog();
-        let candidates = workload_candidates(catalog, workload, &self.config.candidates);
-        let mut matrix = CostMatrix::build(self.inum, workload, &candidates.indexes);
+        let qids: Vec<usize> = matrix.active_query_ids().collect();
+        for idx in &candidates.indexes {
+            matrix.add_candidate(idx);
+        }
         let budget = self.config.storage_budget_bytes;
 
         // Index half: greedy benefit-per-byte on the shared matrix.
-        let greedy = greedy_select(&matrix, budget);
+        let greedy = greedy_select(matrix, budget);
         let total_index_bytes: u64 = greedy
             .chosen
             .iter()
             .map(|&id| {
-                let idx = &candidates.indexes[id];
+                let idx = matrix.candidate(id).expect("chosen ids are live");
                 idx.size_bytes(&catalog.schema, catalog.table_stats(idx.table))
             })
             .sum();
@@ -329,7 +393,7 @@ impl<'a> CophyAdvisor<'a> {
                 ..partition_config
             },
         );
-        let partition_iterations = autopart.search_on(&mut matrix, &mut cfg);
+        let partition_iterations = autopart.search_on(matrix, &mut cfg);
 
         let empty = matrix.empty_joint();
         let base_cost = matrix.joint_workload_cost(&empty);
@@ -343,15 +407,16 @@ impl<'a> CophyAdvisor<'a> {
         }
 
         let design = matrix.joint_design_of(&cfg);
-        let per_query = (0..matrix.n_queries())
-            .map(|qi| (matrix.joint_cost(qi, &empty), matrix.joint_cost(qi, &cfg)))
+        let per_query = qids
+            .iter()
+            .map(|&qi| (matrix.joint_cost(qi, &empty), matrix.joint_cost(qi, &cfg)))
             .collect();
         let replication_bytes = design.replication_bytes(&catalog.schema, &catalog.stats);
         JointRecommendation {
             indexes: greedy
                 .chosen
                 .iter()
-                .map(|&id| candidates.indexes[id].clone())
+                .map(|&id| matrix.candidate(id).expect("chosen ids are live").clone())
                 .collect(),
             design,
             base_cost,

@@ -11,16 +11,14 @@
 //! enumerated configuration is costed as a [`CandidateBitset`] — no
 //! per-candidate design cloning, no access-path re-enumeration.
 
-use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_inum::{CandidateBitset, CostMatrix};
-use pgdesign_optimizer::candidates::CandidateSet;
 use pgdesign_query::ast::Query;
 
-/// One atomic configuration: candidate ids (into the shared candidate
-/// list) with at most one index per slot, plus its INUM-estimated cost.
+/// One atomic configuration: candidate ids (into the matrix's candidate
+/// registry) with at most one index per slot, plus its INUM-estimated cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AtomicConfig {
-    /// Candidate indexes (ids into [`CandidateSet::indexes`]).
+    /// Candidate indexes (live candidate ids of the matrix).
     pub candidate_ids: Vec<usize>,
     /// INUM cost of the query under exactly these indexes.
     pub cost: f64,
@@ -29,6 +27,8 @@ pub struct AtomicConfig {
 /// All atomic configurations of one query.
 #[derive(Debug, Clone)]
 pub struct QueryConfigs {
+    /// The matrix query slot these configurations belong to.
+    pub query_id: usize,
     /// Configurations; index 0 is always the empty configuration.
     pub configs: Vec<AtomicConfig>,
 }
@@ -36,8 +36,9 @@ pub struct QueryConfigs {
 /// Per-slot shortlist size (top-k single-index winners per slot).
 const TOP_PER_SLOT: usize = 3;
 
-/// Enumerate and cost atomic configurations for every workload query of
-/// the matrix's workload.
+/// Enumerate and cost atomic configurations for every *active* query of
+/// the matrix (retired slots of a long-lived session matrix contribute
+/// nothing), over every live candidate the matrix holds.
 ///
 /// `max_configs_per_query` caps the cartesian product per query; the empty
 /// configuration is always present so the ILP remains feasible at budget 0.
@@ -46,10 +47,15 @@ pub fn enumerate_atomic_configs(
     max_configs_per_query: usize,
 ) -> Vec<QueryConfigs> {
     matrix
-        .workload()
-        .iter()
-        .enumerate()
-        .map(|(qi, (q, _))| query_atomic_configs(matrix, qi, q, max_configs_per_query))
+        .active_query_ids()
+        .map(|qi| {
+            query_atomic_configs(
+                matrix,
+                qi,
+                matrix.workload().query(qi),
+                max_configs_per_query,
+            )
+        })
         .collect()
 }
 
@@ -137,7 +143,7 @@ fn query_atomic_configs(
             }
         })
         .collect();
-    QueryConfigs { configs }
+    QueryConfigs { query_id, configs }
 }
 
 /// The set of candidate ids used by any configuration (pruning the ILP).
@@ -155,22 +161,12 @@ pub fn used_candidates(configs: &[QueryConfigs]) -> Vec<usize> {
     used
 }
 
-/// Build a [`PhysicalDesign`] from chosen candidate ids.
-pub fn design_from_ids(candidates: &CandidateSet, ids: &[usize]) -> PhysicalDesign {
-    PhysicalDesign::with_indexes(ids.iter().map(|&i| candidates.indexes[i].clone()))
-}
-
-/// Convenience: indexes for chosen candidate ids.
-pub fn indexes_from_ids(candidates: &CandidateSet, ids: &[usize]) -> Vec<Index> {
-    ids.iter().map(|&i| candidates.indexes[i].clone()).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use pgdesign_catalog::samples::sdss_catalog;
     use pgdesign_inum::Inum;
-    use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
+    use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig, CandidateSet};
     use pgdesign_optimizer::Optimizer;
     use pgdesign_query::generators::sdss_workload;
     use pgdesign_query::Workload;
@@ -236,7 +232,9 @@ mod tests {
         let configs = enumerate_atomic_configs(&matrix, 12);
         for (qc, (q, _)) in configs.iter().zip(w.iter()) {
             for cfg in &qc.configs {
-                let design = design_from_ids(&cands, &cfg.candidate_ids);
+                let design = pgdesign_catalog::design::PhysicalDesign::with_indexes(
+                    cfg.candidate_ids.iter().map(|&i| cands.indexes[i].clone()),
+                );
                 let oracle = inum.cost(&design, q);
                 assert!(
                     (cfg.cost - oracle).abs() < 1e-9,

@@ -16,8 +16,6 @@
 //! Objective: `min Σ_q w_q Σ_k cost(q,k) · y_{q,k}`.
 
 use crate::atomic::QueryConfigs;
-use pgdesign_optimizer::candidates::CandidateSet;
-use pgdesign_query::Workload;
 use pgdesign_solver::lp::Relation;
 use pgdesign_solver::Milp;
 use std::collections::HashMap;
@@ -36,18 +34,20 @@ pub struct IlpModel {
 
 /// Build the CoPhy ILP.
 ///
-/// `maintenance` gives the per-index upkeep cost under the workload's
-/// write profile (zero for read-only workloads); it becomes the objective
-/// coefficient of the corresponding `x` variable, so an index must earn
-/// back its maintenance before the solver picks it.
+/// `weights[i]` is the workload weight of `configs[i]`'s query (aligned
+/// with the `configs` list, which may cover an arbitrary subset of matrix
+/// query slots). `maintenance` gives the per-index upkeep cost under the
+/// workload's write profile (zero for read-only workloads); it becomes the
+/// objective coefficient of the corresponding `x` variable, so an index
+/// must earn back its maintenance before the solver picks it.
 pub fn build_ilp(
-    workload: &Workload,
-    candidates: &CandidateSet,
+    weights: &[f64],
     configs: &[QueryConfigs],
     sizes: &HashMap<usize, f64>,
     maintenance: &HashMap<usize, f64>,
     storage_budget: f64,
 ) -> IlpModel {
+    assert_eq!(weights.len(), configs.len(), "one weight per query");
     let mut milp = Milp::new();
 
     // x variables (binary); the objective coefficient is the index's
@@ -61,7 +61,7 @@ pub fn build_ilp(
     // y variables (continuous in [0,1] via the Σ=1 rows + x-coupling).
     let mut y_vars: Vec<Vec<usize>> = Vec::with_capacity(configs.len());
     for (q_idx, qc) in configs.iter().enumerate() {
-        let weight = workload.entries[q_idx].weight;
+        let weight = weights[q_idx];
         let mut row = Vec::with_capacity(qc.configs.len());
         for cfg in &qc.configs {
             let y = milp.add_continuous(weight * cfg.cost);
@@ -97,7 +97,6 @@ pub fn build_ilp(
             .add_constraint(knapsack, Relation::Le, storage_budget);
     }
 
-    let _ = candidates;
     IlpModel {
         milp,
         x_vars,
@@ -156,28 +155,11 @@ mod tests {
 
     /// A tiny hand-built instance: 2 queries, 2 candidate indexes.
     /// Query 0: empty=100, {A}=10. Query 1: empty=100, {B}=20, {A,B}=5.
-    fn tiny() -> (
-        Workload,
-        CandidateSet,
-        Vec<QueryConfigs>,
-        HashMap<usize, f64>,
-    ) {
-        use pgdesign_catalog::design::Index;
-        use pgdesign_catalog::schema::TableId;
-        use pgdesign_query::ast::QueryBuilder;
-
-        let q0 = QueryBuilder::new().table(TableId(0)).build();
-        let q1 = QueryBuilder::new().table(TableId(0)).build();
-        let workload = Workload::from_queries([q0, q1]);
-        let candidates = CandidateSet {
-            indexes: vec![
-                Index::new(TableId(0), vec![0]),
-                Index::new(TableId(0), vec![1]),
-            ],
-            relevant: vec![vec![0], vec![0, 1]],
-        };
+    fn tiny() -> (Vec<f64>, Vec<QueryConfigs>, HashMap<usize, f64>) {
+        let weights = vec![1.0, 1.0];
         let configs = vec![
             QueryConfigs {
+                query_id: 0,
                 configs: vec![
                     AtomicConfig {
                         candidate_ids: vec![],
@@ -190,6 +172,7 @@ mod tests {
                 ],
             },
             QueryConfigs {
+                query_id: 1,
                 configs: vec![
                     AtomicConfig {
                         candidate_ids: vec![],
@@ -209,13 +192,13 @@ mod tests {
         let mut sizes = HashMap::new();
         sizes.insert(0usize, 10.0);
         sizes.insert(1usize, 10.0);
-        (workload, candidates, configs, sizes)
+        (weights, configs, sizes)
     }
 
     #[test]
     fn picks_both_indexes_when_budget_allows() {
-        let (w, cands, configs, sizes) = tiny();
-        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 100.0);
+        let (w, configs, sizes) = tiny();
+        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 100.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         let chosen = decode_solution(&model, &r.x);
@@ -225,9 +208,9 @@ mod tests {
 
     #[test]
     fn respects_tight_budget() {
-        let (w, cands, configs, sizes) = tiny();
+        let (w, configs, sizes) = tiny();
         // Budget for one index only. A: 10+100=110; B: 100+20=120 → pick A.
-        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 10.0);
+        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 10.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         let chosen = decode_solution(&model, &r.x);
@@ -237,8 +220,8 @@ mod tests {
 
     #[test]
     fn zero_budget_forces_empty_configs() {
-        let (w, cands, configs, sizes) = tiny();
-        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 0.0);
+        let (w, configs, sizes) = tiny();
+        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 0.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert!(decode_solution(&model, &r.x).is_empty());
@@ -247,8 +230,8 @@ mod tests {
 
     #[test]
     fn warm_start_is_feasible_and_decodes() {
-        let (w, cands, configs, sizes) = tiny();
-        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 100.0);
+        let (w, configs, sizes) = tiny();
+        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 100.0);
         let warm = warm_start_assignment(&model, &configs, &[0]);
         // Feasible: solve with warm start at zero nodes.
         let r = model.milp.solve_with_warm_start(
@@ -265,13 +248,13 @@ mod tests {
 
     #[test]
     fn maintenance_cost_repels_marginal_indexes() {
-        let (w, cands, configs, sizes) = tiny();
+        let (w, configs, sizes) = tiny();
         // Index B saves q1 80 (100→20) but costs 90 to maintain → skip it;
         // A+B would save q1 95 but pay 90+0 maintenance: still worth it?
         // {A,B}: obj = 10 + 5 + 90 = 105 vs {A}: 10 + 100 = 110 → A,B wins.
         let mut maint = HashMap::new();
         maint.insert(1usize, 90.0);
-        let model = build_ilp(&w, &cands, &configs, &sizes, &maint, 100.0);
+        let model = build_ilp(&w, &configs, &sizes, &maint, 100.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert_eq!(decode_solution(&model, &r.x), vec![0, 1]);
@@ -279,16 +262,16 @@ mod tests {
         // Raise maintenance to 100: now {A} alone (110) beats {A,B} (115).
         let mut maint = HashMap::new();
         maint.insert(1usize, 100.0);
-        let model = build_ilp(&w, &cands, &configs, &sizes, &maint, 100.0);
+        let model = build_ilp(&w, &configs, &sizes, &maint, 100.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(decode_solution(&model, &r.x), vec![0]);
     }
 
     #[test]
     fn weights_scale_objective() {
-        let (mut w, cands, configs, sizes) = tiny();
-        w.entries[0].weight = 10.0;
-        let model = build_ilp(&w, &cands, &configs, &sizes, &HashMap::new(), 100.0);
+        let (mut w, configs, sizes) = tiny();
+        w[0] = 10.0;
+        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 100.0);
         let r = model.milp.solve(&MilpOptions::default());
         // q0 cost 10 × weight 10 + q1 cost 5 = 105.
         assert!((r.objective - 105.0).abs() < 1e-6, "{}", r.objective);

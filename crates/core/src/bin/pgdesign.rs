@@ -6,6 +6,7 @@
 //! ```text
 //! pgdesign recommend --catalog sdss --scale 0.01 --workload w.sql --budget-frac 0.5
 //! pgdesign evaluate  --catalog sdss --workload w.sql --index photoobj:type,r --index specobj:bestobjid
+//! pgdesign session   --catalog sdss --workload w.sql --index photoobj:objid --vertical "photoobj:objid,ra|type,r"
 //! pgdesign online    --catalog sdss --queries 600 --epoch 25
 //! pgdesign explain   --catalog sdss --sql "SELECT ra FROM photoobj WHERE objid = 5"
 //! ```
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F] [--joint] [--stats]
   pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
+  pgdesign session   --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index t:c1,c2]... [--vertical t:c1,c2|c3]... [--horizontal t:col:N]... [--stats]
   pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N]
   pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>
   pgdesign --help";
@@ -47,6 +49,9 @@ const HELP: &str = "pgdesign — automated, interactive, portable DB designer
 Subcommands (one per usage scenario of the SIGMOD 2010 demo):
   evaluate    Scenario 1 (interactive): what-if evaluation of DBA-chosen
               indexes, with benefit panel and index-interaction graph
+  session     Scenario 1, step by step: a TuningSession applying each
+              what-if structure in turn — every re-evaluation after the
+              one-off warm-up is pure cost-matrix lookups
   recommend   Scenario 2 (offline): automatic index recommendation for a
               workload under a storage budget
   online      Scenario 3 (online): continuous COLT-style tuning over a
@@ -68,6 +73,11 @@ Per-subcommand flags:
               --stats                Print INUM/cost-matrix counters (matrix
                                      builds, lookups, optimizer calls avoided)
   evaluate    --index table:c1,c2    Hypothetical index (repeatable)
+  session     --index table:c1,c2    Hypothetical index (repeatable)
+              --vertical t:c1,c2|c3  Hypothetical vertical partitioning:
+                                     column groups separated by '|'
+              --horizontal t:col:N   Hypothetical N-way range partitioning
+              --stats                Print INUM/cost-matrix counters
   online      --queries N --epoch N  Stream length and COLT epoch length
   explain     --sql QUERY            Statement to explain";
 
@@ -187,7 +197,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // typos fail instantly.
     if !matches!(
         cmd.as_str(),
-        "recommend" | "evaluate" | "online" | "explain"
+        "recommend" | "evaluate" | "session" | "online" | "explain"
     ) {
         return Err(format!("unknown subcommand {cmd:?}"));
     }
@@ -197,9 +207,9 @@ fn run(args: &[String]) -> Result<(), String> {
     // so fail loudly.
     let show_stats = rest.iter().any(|a| a == "--stats");
     let joint = rest.iter().any(|a| a == "--joint");
-    if show_stats && cmd != "recommend" {
+    if show_stats && cmd != "recommend" && cmd != "session" {
         return Err(format!(
-            "--stats is only supported by `recommend`, not `{cmd}`"
+            "--stats is only supported by `recommend` and `session`, not `{cmd}`"
         ));
     }
     if joint && cmd != "recommend" {
@@ -271,6 +281,108 @@ fn run(args: &[String]) -> Result<(), String> {
             if graph.edge_count() > 0 {
                 println!("Index interactions:");
                 print!("{}", graph.to_text(&designer.catalog.schema, 10));
+            }
+            Ok(())
+        }
+        "session" => {
+            let workload = load_workload(&designer.catalog, &flags)?;
+            let n_queries = workload.len();
+            let mut session = designer.session(workload);
+            let baseline = session.evaluate();
+            println!(
+                "warm-up: {n_queries} queries cached, workload cost {:.1}",
+                baseline.base_cost
+            );
+            let schema = &designer.catalog.schema;
+            let mut step = 0usize;
+            for (key, spec) in &flags.pairs {
+                let label = match key.as_str() {
+                    "index" => {
+                        let (table, cols) = spec.split_once(':').ok_or_else(|| {
+                            format!("--index must be table:col1,col2; got {spec:?}")
+                        })?;
+                        let cols: Vec<&str> = cols.split(',').collect();
+                        session.add_index_by_name(table, &cols)?;
+                        format!("+index {table}({})", cols.join(", "))
+                    }
+                    "vertical" => {
+                        let (table, groups) = spec.split_once(':').ok_or_else(|| {
+                            format!("--vertical must be table:c1,c2|c3,...; got {spec:?}")
+                        })?;
+                        let t = schema
+                            .table_by_name(table)
+                            .ok_or_else(|| format!("unknown table {table:?}"))?;
+                        let mut col_groups: Vec<Vec<u16>> = Vec::new();
+                        for group in groups.split('|') {
+                            let mut ids = Vec::new();
+                            for name in group.split(',') {
+                                ids.push(
+                                    t.column_by_name(name.trim())
+                                        .ok_or_else(|| format!("unknown column {table}.{name}"))?,
+                                );
+                            }
+                            col_groups.push(ids);
+                        }
+                        session.set_vertical(pgdesign_catalog::design::VerticalPartitioning::new(
+                            t.id, col_groups,
+                        ));
+                        format!(
+                            "+vertical {table} ({} fragments)",
+                            groups.split('|').count()
+                        )
+                    }
+                    "horizontal" => {
+                        let parts: Vec<&str> = spec.split(':').collect();
+                        let [table, col, n] = parts.as_slice() else {
+                            return Err(format!("--horizontal must be table:col:N; got {spec:?}"));
+                        };
+                        let t = schema
+                            .table_by_name(table)
+                            .ok_or_else(|| format!("unknown table {table:?}"))?;
+                        let c = t
+                            .column_by_name(col)
+                            .ok_or_else(|| format!("unknown column {table}.{col}"))?;
+                        let n: usize = n
+                            .parse()
+                            .map_err(|_| format!("bad partition count {n:?}"))?;
+                        if n < 2 {
+                            return Err("horizontal partitioning needs ≥ 2 partitions".into());
+                        }
+                        let stats = designer.catalog.table_stats(t.id).column(c);
+                        let bounds: Vec<f64> = (1..n)
+                            .map(|i| stats.min + (stats.max - stats.min) * i as f64 / n as f64)
+                            .collect();
+                        session.set_horizontal(
+                            pgdesign_catalog::design::HorizontalPartitioning::new(t.id, c, bounds),
+                        );
+                        format!("+horizontal {table}.{col} ({n} partitions)")
+                    }
+                    _ => continue,
+                };
+                step += 1;
+                // Instant re-evaluation: each step is pure matrix lookups.
+                let eval = session.evaluate();
+                println!(
+                    "step {step}: {label:<44} cost {:>12.1}  ({:>5.1}%)",
+                    eval.whatif_cost,
+                    100.0 * eval.average_benefit()
+                );
+            }
+            println!();
+            println!("{}", session.evaluate());
+            let graph = session.interaction_graph();
+            if graph.edge_count() > 0 {
+                println!("Index interactions:");
+                print!("{}", graph.to_text(schema, 10));
+            }
+            let frags = session.fragment_report();
+            if !frags.is_empty() {
+                println!("Rewritten-query report:");
+                print!("{frags}");
+            }
+            if show_stats {
+                println!();
+                print!("{}", session.tuning_stats());
             }
             Ok(())
         }

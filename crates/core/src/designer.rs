@@ -3,15 +3,15 @@
 use crate::interactive::InteractiveSession;
 use crate::online::OnlineSession;
 use crate::report;
-use pgdesign_autopart::{AutoPartAdvisor, AutoPartConfig, PartitionRecommendation};
+use crate::session::{
+    IndexAdvisor, InteractionAdvisor, JointAdvisor, OfflineAdvisor, PartitionAdvisor, TuningSession,
+};
+use pgdesign_autopart::{AutoPartConfig, PartitionRecommendation};
 use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_catalog::Catalog;
 use pgdesign_colt::ColtConfig;
-use pgdesign_cophy::{CophyAdvisor, CophyConfig, JointRecommendation, Recommendation};
-use pgdesign_interaction::{
-    analyze, schedule_pair, InteractionAnalysis, InteractionConfig, InteractionGraph, Schedule,
-};
-use pgdesign_inum::Inum;
+use pgdesign_cophy::{CophyConfig, JointRecommendation, Recommendation};
+use pgdesign_interaction::{InteractionAnalysis, InteractionGraph, Schedule};
 use pgdesign_optimizer::{JoinControl, Optimizer};
 use pgdesign_query::ast::Query;
 use pgdesign_query::Workload;
@@ -49,40 +49,53 @@ impl Designer {
         self.optimizer.control = control;
     }
 
-    /// Start an interactive what-if session (demo scenario 1).
+    /// Start a bare tuning session — the shared-matrix substrate every
+    /// other entry point runs on. Use this directly to interleave
+    /// advisors ([`TuningSession::advise`]) over one warm matrix.
+    pub fn tuning_session(&self, workload: Workload) -> TuningSession<'_> {
+        TuningSession::new(self, workload)
+    }
+
+    /// Start an interactive what-if session (demo scenario 1) — a
+    /// [`TuningSession`] view whose evaluations are pure matrix lookups.
     pub fn session(&self, workload: Workload) -> InteractiveSession<'_> {
         InteractiveSession::new(self, workload)
     }
 
-    /// Start a continuous-tuning session (demo scenario 3).
+    /// Start a continuous-tuning session (demo scenario 3) — COLT over a
+    /// [`TuningSession`] matrix, with mid-stream advisor handoff
+    /// ([`OnlineSession::advise`]).
     pub fn online_session(&self, config: ColtConfig) -> OnlineSession<'_> {
         OnlineSession::new(self, config)
     }
 
-    /// Run the CoPhy index advisor alone.
+    /// Run the CoPhy index advisor alone (a one-shot
+    /// [`crate::session::IndexAdvisor`] session).
     pub fn recommend_indexes(&self, workload: &Workload, config: CophyConfig) -> Recommendation {
-        let inum = Inum::new(&self.catalog, &self.optimizer);
-        CophyAdvisor::new(&inum, config).recommend(workload)
+        self.tuning_session(workload.clone())
+            .advise(&mut IndexAdvisor::new(config))
     }
 
-    /// Run the AutoPart partition advisor alone.
+    /// Run the AutoPart partition advisor alone (a one-shot
+    /// [`crate::session::PartitionAdvisor`] session).
     pub fn recommend_partitions(
         &self,
         workload: &Workload,
         config: AutoPartConfig,
     ) -> PartitionRecommendation {
-        let inum = Inum::new(&self.catalog, &self.optimizer);
-        AutoPartAdvisor::new(&inum, config).recommend(workload)
+        self.tuning_session(workload.clone())
+            .advise(&mut PartitionAdvisor::new(config))
     }
 
-    /// Analyze index interactions for a candidate set.
+    /// Analyze index interactions for a candidate set (a one-shot
+    /// [`crate::session::InteractionAdvisor`] session).
     pub fn analyze_interactions(
         &self,
         workload: &Workload,
         indexes: &[Index],
     ) -> InteractionAnalysis {
-        let inum = Inum::new(&self.catalog, &self.optimizer);
-        analyze(&inum, workload, indexes, &InteractionConfig::default())
+        self.tuning_session(workload.clone())
+            .advise(&mut InteractionAdvisor::new(indexes.to_vec()))
     }
 
     /// EXPLAIN a query under a design.
@@ -98,122 +111,23 @@ impl Designer {
 
     /// The joint index + partition mode: one partition-aware cost matrix
     /// serves the greedy index selection and AutoPart's merge search under
-    /// a single storage budget (`pgdesign recommend --joint`).
+    /// a single storage budget (`pgdesign recommend --joint`). A one-shot
+    /// [`crate::session::JointAdvisor`] session.
     pub fn recommend_joint(&self, workload: &Workload, storage_budget_bytes: u64) -> JointReport {
-        let inum = Inum::new(&self.catalog, &self.optimizer);
-        inum.prepare_workload(workload);
-        let advisor = CophyAdvisor::new(
-            &inum,
-            CophyConfig {
-                storage_budget_bytes,
-                ..Default::default()
-            },
-        );
-        let joint = advisor.recommend_joint(
-            workload,
-            AutoPartConfig {
-                replication_budget_bytes: storage_budget_bytes / 10,
-                ..Default::default()
-            },
-        );
-        let index_display = joint
-            .indexes
-            .iter()
-            .map(|i| i.display(&self.catalog.schema))
-            .collect();
-        let stats = crate::report::TuningStats {
-            inum: inum.stats(),
-            matrix: inum.matrix_stats(),
-        };
-        JointReport {
-            joint,
-            index_display,
-            stats,
-        }
+        self.tuning_session(workload.clone())
+            .advise(&mut JointAdvisor::new(storage_budget_bytes))
     }
 
     /// The full offline pipeline (demo scenario 2): CoPhy indexes +
     /// AutoPart partitions under a shared storage budget, the interaction
     /// graph over the suggested indexes, and an interaction-aware
     /// materialization schedule (with the naive order for comparison).
+    /// A one-shot [`crate::session::OfflineAdvisor`] session: every stage
+    /// — selection, combination, interactions, scheduling — costs through
+    /// the session's single matrix.
     pub fn recommend(&self, workload: &Workload, storage_budget_bytes: u64) -> OfflineReport {
-        let inum = Inum::new(&self.catalog, &self.optimizer);
-        inum.prepare_workload(workload);
-
-        let cophy = CophyAdvisor::new(
-            &inum,
-            CophyConfig {
-                storage_budget_bytes,
-                ..Default::default()
-            },
-        );
-        let indexes = cophy.recommend(workload);
-
-        let autopart = AutoPartAdvisor::new(
-            &inum,
-            AutoPartConfig {
-                replication_budget_bytes: storage_budget_bytes / 10,
-                ..Default::default()
-            },
-        );
-        let partitions = autopart.recommend(workload);
-
-        // Combine: indexes + partitions; keep the combination only if it
-        // beats each alone (partitioning can erode index benefit).
-        let combined_design = indexes.design.union(&partitions.design);
-        let base_cost = inum.workload_cost(&PhysicalDesign::empty(), workload);
-        let combined_cost = inum.workload_cost(&combined_design, workload);
-        let (final_design, final_cost) = [
-            (combined_design.clone(), combined_cost),
-            (indexes.design.clone(), indexes.cost),
-            (partitions.design.clone(), partitions.cost),
-        ]
-        .into_iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("three options");
-
-        let analysis = analyze(
-            &inum,
-            workload,
-            &indexes.indexes,
-            &InteractionConfig::default(),
-        );
-        let graph = analysis.graph();
-        let (schedule, naive) = schedule_pair(&inum, workload, &indexes.indexes);
-
-        let per_query = workload
-            .iter()
-            .map(|(q, _)| {
-                (
-                    inum.cost(&PhysicalDesign::empty(), q),
-                    inum.cost(&final_design, q),
-                )
-            })
-            .collect();
-
-        let index_display = indexes
-            .indexes
-            .iter()
-            .map(|i| i.display(&self.catalog.schema))
-            .collect();
-        let stats = crate::report::TuningStats {
-            inum: inum.stats(),
-            matrix: inum.matrix_stats(),
-        };
-        OfflineReport {
-            indexes,
-            partitions,
-            design: final_design,
-            base_cost,
-            combined_cost: final_cost,
-            per_query,
-            analysis,
-            graph,
-            schedule,
-            naive_schedule: naive,
-            index_display,
-            stats,
-        }
+        self.tuning_session(workload.clone())
+            .advise(&mut OfflineAdvisor::new(storage_budget_bytes))
     }
 }
 
@@ -266,12 +180,16 @@ pub struct OfflineReport {
 }
 
 impl OfflineReport {
-    /// Average workload benefit as a fraction of the base cost.
+    /// Average workload benefit as a *signed* fraction of the base cost:
+    /// negative when the adopted design costs more than the base (the
+    /// advisors guard against handing one back, but a regression must
+    /// never be masked by clamping). A degenerate (non-positive) base
+    /// cost yields 0.0 since no meaningful fraction exists.
     pub fn average_benefit(&self) -> f64 {
         if self.base_cost <= 0.0 {
             return 0.0;
         }
-        ((self.base_cost - self.combined_cost) / self.base_cost).max(0.0)
+        (self.base_cost - self.combined_cost) / self.base_cost
     }
 }
 

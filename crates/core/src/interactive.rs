@@ -1,19 +1,29 @@
 //! Interactive what-if sessions — demo scenario 1.
 //!
 //! "The DBA manually selects the combination of design features and the
-//! tool determines the benefit of using that combination." A session holds
-//! a workload and a hypothetical design under construction; every
-//! evaluation is pure what-if (nothing is ever materialized) and runs
-//! through a session-lifetime INUM cache, so repeated evaluations while
-//! the user explores stay interactive.
+//! tool determines the benefit of using that combination." The session is
+//! a thin *view* over a [`TuningSession`]: every `add_index` /
+//! `remove_index` / `set_vertical` / `set_horizontal` maps to a candidate
+//! registration ([`pgdesign_inum::CostMatrix::add_candidate`] /
+//! `register_fragment` / `register_split`) plus bitset toggles on a
+//! [`JointConfig`], so [`InteractiveSession::evaluate`] and
+//! [`InteractiveSession::interaction_graph`] are **pure matrix lookups** —
+//! zero per-design [`pgdesign_inum::Inum::cost`] calls after the session's
+//! warm-up build, which is what makes re-evaluation instant while the
+//! user explores. Removing a structure only clears its bit: the cells
+//! stay resident, so toggling it back is free.
 
 use crate::designer::Designer;
+use crate::report::TuningStats;
+use crate::session::{Advisor, TuningSession};
 use pgdesign_catalog::design::{
     HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning,
 };
-use pgdesign_interaction::{analyze, InteractionConfig, InteractionGraph};
-use pgdesign_inum::Inum;
+use pgdesign_catalog::schema::TableId;
+use pgdesign_interaction::{analyze_on, InteractionConfig, InteractionGraph};
+use pgdesign_inum::{query_cell_key, JointConfig};
 use pgdesign_query::Workload;
+use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -27,7 +37,9 @@ pub struct QueryBenefit {
 }
 
 impl QueryBenefit {
-    /// Relative benefit in `[0, 1]` (negative improvements clamp to 0).
+    /// Relative benefit in `[0, 1]` (negative improvements clamp to 0 —
+    /// this is the per-query display number; the report-level
+    /// [`BenefitReport::average_benefit`] is signed).
     pub fn benefit(&self) -> f64 {
         if self.base_cost <= 0.0 {
             return 0.0;
@@ -52,14 +64,16 @@ pub struct BenefitReport {
 }
 
 impl BenefitReport {
-    /// Average workload benefit ("the average workload benefit and the
-    /// individual queries benefits ... are computed in a unified
-    /// approach").
+    /// Average workload benefit as a *signed* fraction of the base cost:
+    /// negative when the what-if design costs more than the base (a DBA
+    /// exploring a bad combination must see the regression, not a clamped
+    /// zero). A degenerate (non-positive) base cost yields 0.0 since no
+    /// meaningful fraction exists.
     pub fn average_benefit(&self) -> f64 {
         if self.base_cost <= 0.0 {
             return 0.0;
         }
-        ((self.base_cost - self.whatif_cost) / self.base_cost).max(0.0)
+        (self.base_cost - self.whatif_cost) / self.base_cost
     }
 }
 
@@ -95,46 +109,121 @@ impl fmt::Display for BenefitReport {
     }
 }
 
-/// An interactive what-if session.
+/// An interactive what-if session: a [`TuningSession`] view whose design
+/// edits are bitset toggles and whose evaluations are matrix lookups.
 pub struct InteractiveSession<'a> {
-    designer: &'a Designer,
-    inum: Inum<'a>,
-    workload: Workload,
-    whatif: PhysicalDesign,
+    session: TuningSession<'a>,
+    /// The what-if design as a joint configuration over the session matrix.
+    cfg: JointConfig,
+    /// Fragment ids currently selected per vertically-partitioned table.
+    vertical_of: HashMap<TableId, Vec<usize>>,
+    /// Split id currently selected per horizontally-partitioned table.
+    horizontal_of: HashMap<TableId, usize>,
+    /// Empty-design base cost per query slot, computed once at session
+    /// start — base costs are design-independent, so no evaluation
+    /// recomputes them. Keyed by slot id, guarded by the query's
+    /// cell-identity key, and gated on the matrix's rotation generation:
+    /// slot ids are recycled after `retire_query`, so a query rotated in
+    /// through the [`TuningSession`] escape hatch must not inherit the
+    /// retired occupant's cached cost. While the generation is unchanged
+    /// (the common case — nothing rotates in an interactive session) the
+    /// keys are not even rechecked.
+    base_costs: HashMap<usize, (u64, f64)>,
+    /// Matrix rotation generation the cache was captured at.
+    base_generation: u64,
 }
 
 impl<'a> InteractiveSession<'a> {
-    /// Start a session over a workload.
+    /// Start a session over a workload. The one-off warm-up builds the
+    /// skeleton cache and base cells; the catalog's base design (if any)
+    /// is registered and selected as the starting configuration.
     pub fn new(designer: &'a Designer, workload: Workload) -> Self {
-        let inum = Inum::new(&designer.catalog, &designer.optimizer);
-        inum.prepare_workload(&workload);
-        InteractiveSession {
-            designer,
-            inum,
-            workload,
-            whatif: designer.catalog.base_design.clone(),
+        let session = TuningSession::new(designer, workload);
+        let matrix = session.matrix();
+        let cfg = matrix.empty_joint();
+        let empty = matrix.empty_joint();
+        let base_costs = matrix
+            .active_query_ids()
+            .map(|qi| {
+                let key = query_cell_key(matrix.workload().query(qi));
+                (qi, (key, matrix.joint_cost(qi, &empty)))
+            })
+            .collect();
+        let base_generation = matrix.generation();
+        let mut s = InteractiveSession {
+            session,
+            cfg,
+            vertical_of: HashMap::new(),
+            horizontal_of: HashMap::new(),
+            base_costs,
+            base_generation,
+        };
+        s.select_base_design();
+        s
+    }
+
+    /// Register and select the catalog's base design.
+    fn select_base_design(&mut self) {
+        let base = self.session.designer().catalog.base_design.clone();
+        for idx in base.indexes() {
+            let id = self.session.matrix_mut().add_candidate(idx);
+            self.cfg.indexes.insert(id);
+        }
+        for vp in base.verticals() {
+            self.set_vertical(vp.clone());
+        }
+        for hp in base.horizontals() {
+            self.set_horizontal(hp.clone());
         }
     }
 
-    /// The session's current hypothetical design.
-    pub fn design(&self) -> &PhysicalDesign {
-        &self.whatif
+    /// The session's current hypothetical design (derived from the
+    /// configuration; per table, the selected fragments *are* the
+    /// vertical partitioning).
+    pub fn design(&self) -> PhysicalDesign {
+        self.session.matrix().joint_design_of(&self.cfg)
     }
 
     /// The session workload.
     pub fn workload(&self) -> &Workload {
-        &self.workload
+        self.session.workload()
+    }
+
+    /// The underlying tuning session (shared-matrix access, e.g. for
+    /// running an advisor against the same warm cells).
+    pub fn tuning_session(&mut self) -> &mut TuningSession<'a> {
+        &mut self.session
+    }
+
+    /// Run an advisor against the session's matrix — the DBA asking the
+    /// automatic half of the tool for a suggestion without leaving the
+    /// interactive session (everything explored so far stays warm).
+    pub fn advise<A: Advisor + ?Sized>(&mut self, advisor: &mut A) -> A::Report {
+        self.session.advise(advisor)
+    }
+
+    /// INUM / cost-matrix counters of the session.
+    pub fn tuning_stats(&self) -> TuningStats {
+        self.session.stats()
     }
 
     /// Add a what-if index; returns false if it was already present.
+    /// Registers the candidate on the session matrix (its cells are
+    /// computed once; re-adding a previously removed index is free) and
+    /// sets its bit.
     pub fn add_index(&mut self, index: Index) -> bool {
-        self.whatif.add_index(index)
+        let id = self.session.matrix_mut().add_candidate(&index);
+        if self.cfg.indexes.contains(id) {
+            return false;
+        }
+        self.cfg.indexes.insert(id);
+        true
     }
 
     /// Add a what-if index from column *names*, the way a DBA would type
     /// it. Errors on unknown names.
     pub fn add_index_by_name(&mut self, table: &str, columns: &[&str]) -> Result<bool, String> {
-        let schema = &self.designer.catalog.schema;
+        let schema = &self.session.designer().catalog.schema;
         let t = schema
             .table_by_name(table)
             .ok_or_else(|| format!("unknown table {table:?}"))?;
@@ -145,91 +234,162 @@ impl<'a> InteractiveSession<'a> {
                     .ok_or_else(|| format!("unknown column {table}.{c}"))
             })
             .collect();
-        Ok(self.whatif.add_index(Index::new(t.id, cols?)))
+        Ok(self.add_index(Index::new(t.id, cols?)))
     }
 
-    /// Remove a what-if index.
+    /// Remove a what-if index (clears its bit; the candidate's cells stay
+    /// resident so re-adding it later is free). Returns false if it was
+    /// not selected.
     pub fn remove_index(&mut self, index: &Index) -> bool {
-        self.whatif.remove_index(index)
+        match self.session.matrix().candidate_id(index) {
+            Some(id) if self.cfg.indexes.contains(id) => {
+                self.cfg.indexes.remove(id);
+                true
+            }
+            _ => false,
+        }
     }
 
-    /// Install a what-if vertical partitioning.
+    /// Install a what-if vertical partitioning (replacing any previous
+    /// partitioning of the same table): each column group is registered as
+    /// a fragment candidate and selected.
     pub fn set_vertical(&mut self, vp: VerticalPartitioning) {
-        self.whatif.set_vertical(vp);
+        self.clear_vertical(vp.table);
+        let mut ids = Vec::with_capacity(vp.groups.len());
+        for group in &vp.groups {
+            let id = self.session.matrix_mut().register_fragment(vp.table, group);
+            self.cfg.fragments.insert(id);
+            ids.push(id);
+        }
+        self.vertical_of.insert(vp.table, ids);
     }
 
-    /// Install a what-if horizontal partitioning.
+    /// Remove the what-if vertical partitioning of a table, if any.
+    pub fn clear_vertical(&mut self, table: TableId) {
+        if let Some(ids) = self.vertical_of.remove(&table) {
+            for id in ids {
+                self.cfg.fragments.remove(id);
+            }
+        }
+    }
+
+    /// Install a what-if horizontal partitioning (replacing any previous
+    /// split of the same table).
     pub fn set_horizontal(&mut self, hp: HorizontalPartitioning) {
-        self.whatif.set_horizontal(hp);
+        self.clear_horizontal(hp.table);
+        let table = hp.table;
+        let id = self.session.matrix_mut().register_split(hp);
+        self.cfg.splits.insert(id);
+        self.horizontal_of.insert(table, id);
     }
 
-    /// Reset to the catalog's base design.
+    /// Remove the what-if horizontal partitioning of a table, if any.
+    pub fn clear_horizontal(&mut self, table: TableId) {
+        if let Some(id) = self.horizontal_of.remove(&table) {
+            self.cfg.splits.remove(id);
+        }
+    }
+
+    /// Reset to the catalog's base design (bitset clears only — every
+    /// explored structure's cells stay resident for instant re-adding).
     pub fn reset(&mut self) {
-        self.whatif = self.designer.catalog.base_design.clone();
+        self.cfg.indexes.clear();
+        self.cfg.fragments.clear();
+        self.cfg.splits.clear();
+        self.vertical_of.clear();
+        self.horizontal_of.clear();
+        self.select_base_design();
     }
 
-    /// Evaluate the current what-if design against the workload.
+    /// Evaluate the current what-if design against the workload — pure
+    /// matrix lookups (base costs were computed once at session start; the
+    /// what-if side is one [`pgdesign_inum::CostMatrix::joint_cost`]
+    /// lookup per query).
     pub fn evaluate(&self) -> BenefitReport {
-        let empty = PhysicalDesign::empty();
-        let per_query: Vec<QueryBenefit> = self
-            .workload
-            .iter()
-            .map(|(q, _)| QueryBenefit {
-                base_cost: self.inum.cost(&empty, q),
-                whatif_cost: self.inum.cost(&self.whatif, q),
+        let matrix = self.session.matrix();
+        let empty = matrix.empty_joint();
+        // Unchanged generation ⇒ every slot id still denotes the query it
+        // was cached for, so the hot path is a plain map hit. After a
+        // rotation through the session escape hatch, cached entries are
+        // revalidated by cell key (a recycled slot id must not inherit the
+        // retired occupant's cost) and misses cost one extra lookup.
+        let rotated = matrix.generation() != self.base_generation;
+        let per_query: Vec<QueryBenefit> = matrix
+            .active_query_ids()
+            .map(|qi| {
+                let cached = self.base_costs.get(&qi).copied();
+                let base_cost = match cached {
+                    Some((_, cost)) if !rotated => cost,
+                    Some((k, cost)) if k == query_cell_key(matrix.workload().query(qi)) => cost,
+                    _ => matrix.joint_cost(qi, &empty),
+                };
+                QueryBenefit {
+                    base_cost,
+                    whatif_cost: matrix.joint_cost(qi, &self.cfg),
+                }
             })
             .collect();
-        let base_cost = self
-            .workload
+        let weights: Vec<f64> = matrix
+            .active_query_ids()
+            .map(|qi| matrix.query_weight(qi))
+            .collect();
+        let base_cost = weights
             .iter()
             .zip(&per_query)
-            .map(|((_, w), b)| w * b.base_cost)
+            .map(|(w, b)| w * b.base_cost)
             .sum();
-        let whatif_cost = self
-            .workload
+        let whatif_cost = weights
             .iter()
             .zip(&per_query)
-            .map(|((_, w), b)| w * b.whatif_cost)
+            .map(|(w, b)| w * b.whatif_cost)
             .sum();
-        let catalog = &self.designer.catalog;
+        let catalog = &self.session.designer().catalog;
+        let design = self.design();
         BenefitReport {
             base_cost,
             whatif_cost,
             per_query,
-            index_bytes: self.whatif.index_bytes(&catalog.schema, &catalog.stats),
-            replication_bytes: self
-                .whatif
-                .replication_bytes(&catalog.schema, &catalog.stats),
+            index_bytes: design.index_bytes(&catalog.schema, &catalog.stats),
+            replication_bytes: design.replication_bytes(&catalog.schema, &catalog.stats),
         }
     }
 
-    /// The interaction graph over the session's what-if indexes (Fig 2).
+    /// The interaction graph over the session's what-if indexes (Fig 2) —
+    /// the `2^k` subset sweep runs on the session matrix's resident cells.
     pub fn interaction_graph(&self) -> InteractionGraph {
-        let analysis = analyze(
-            &self.inum,
-            &self.workload,
-            self.whatif.indexes(),
-            &InteractionConfig::default(),
-        );
+        let ids: Vec<usize> = self.cfg.indexes.ids().collect();
+        let analysis = analyze_on(self.session.matrix(), &ids, &InteractionConfig::default());
         analysis.graph()
     }
 
     /// EXPLAIN one workload query under the what-if design.
+    /// `query_index` is positional over the *active* queries (the same
+    /// numbering [`Self::evaluate`]'s per-query rows use).
     pub fn explain(&self, query_index: usize) -> String {
-        let q = self.workload.query(query_index);
-        self.designer.explain(&self.whatif, q)
+        let matrix = self.session.matrix();
+        let qid = matrix
+            .active_query_ids()
+            .nth(query_index)
+            .expect("query_index within the active workload");
+        let q = matrix.workload().query(qid);
+        self.session.designer().explain(&self.design(), q)
     }
 
     /// "Save the rewritten queries for the new table partitions": a report
     /// of which fragments each query reads under the session's vertical
     /// partitionings.
     pub fn fragment_report(&self) -> String {
-        let schema = &self.designer.catalog.schema;
+        let schema = &self.session.designer().catalog.schema;
+        let design = self.design();
         let mut out = String::new();
-        for (qi, (q, _)) in self.workload.iter().enumerate() {
+        let matrix = self.session.matrix();
+        // Active queries only, numbered like evaluate()'s per-query rows
+        // (the workload mirror may hold stale retired slots).
+        for (qi, qid) in matrix.active_query_ids().enumerate() {
+            let q = matrix.workload().query(qid);
             for slot in 0..q.slot_count() {
                 let table = q.table_of(slot);
-                let Some(vp) = self.whatif.vertical(table) else {
+                let Some(vp) = design.vertical(table) else {
                     continue;
                 };
                 let tdef = schema.table(table);
@@ -302,6 +462,83 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_issues_zero_inum_cost_calls_after_warmup() {
+        // The acceptance pin for the TuningSession redesign: once the
+        // session is warm, every evaluation — through arbitrary index and
+        // partition toggles, including the interaction graph — is pure
+        // matrix lookups.
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        let calls = s.tuning_stats().inum.cost_calls;
+        let lookups_before = s.tuning_stats().matrix.lookups;
+        s.evaluate();
+        s.add_index_by_name("photoobj", &["objid"]).unwrap();
+        s.add_index_by_name("photoobj", &["type", "r"]).unwrap();
+        s.evaluate();
+        s.remove_index(&Index::new(TableId(0), vec![0]));
+        s.evaluate();
+        s.set_vertical(VerticalPartitioning::new(
+            TableId(0),
+            vec![vec![0, 1, 2], (3..16).collect()],
+        ));
+        s.evaluate();
+        s.interaction_graph();
+        assert_eq!(
+            s.tuning_stats().inum.cost_calls,
+            calls,
+            "interactive evaluation must never fall back to per-design Inum::cost"
+        );
+        assert!(
+            s.tuning_stats().matrix.lookups > lookups_before,
+            "evaluations must register as matrix lookups"
+        );
+    }
+
+    #[test]
+    fn base_costs_are_computed_once_per_session() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        let first = s.evaluate();
+        s.add_index_by_name("photoobj", &["objid"]).unwrap();
+        // Lookups per evaluate: one per query for the what-if side only —
+        // the base side is served from the session-start cache.
+        let lookups_before = s.tuning_stats().matrix.lookups;
+        let second = s.evaluate();
+        let per_eval = s.tuning_stats().matrix.lookups - lookups_before;
+        assert_eq!(
+            per_eval as usize,
+            s.workload().len(),
+            "evaluate must look up only the what-if side, not re-derive base costs"
+        );
+        for (a, b) in first.per_query.iter().zip(&second.per_query) {
+            assert_eq!(
+                a.base_cost, b.base_cost,
+                "base costs are design-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn removed_structures_reevaluate_instantly() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        s.add_index_by_name("photoobj", &["objid"]).unwrap();
+        let with_index = s.evaluate();
+        let photo = TableId(0);
+        assert!(s.remove_index(&Index::new(photo, vec![0])));
+        let without = s.evaluate();
+        assert!(without.whatif_cost > with_index.whatif_cost);
+        // Re-adding hits the resident cells: zero new cells, reuse counted.
+        let cells_before = s.tuning_stats().matrix.cells;
+        let reused_before = s.tuning_stats().matrix.cells_reused;
+        assert!(s.add_index_by_name("photoobj", &["objid"]).unwrap());
+        assert_eq!(s.tuning_stats().matrix.cells, cells_before);
+        assert!(s.tuning_stats().matrix.cells_reused > reused_before);
+        let again = s.evaluate();
+        assert_eq!(again.whatif_cost, with_index.whatif_cost);
+    }
+
+    #[test]
     fn add_index_by_name_errors_on_unknown() {
         let (d, w) = setup();
         let mut s = d.session(w);
@@ -345,6 +582,27 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("objid"));
+    }
+
+    #[test]
+    fn set_vertical_replaces_previous_partitioning() {
+        let (d, w) = setup();
+        let mut s = d.session(w);
+        let photo = TableId(0);
+        s.set_vertical(VerticalPartitioning::new(
+            photo,
+            vec![vec![0, 1], (2..16).collect()],
+        ));
+        s.set_vertical(VerticalPartitioning::new(
+            photo,
+            vec![vec![0, 1, 2], (3..16).collect()],
+        ));
+        let vp = s.design();
+        let vp = vp.vertical(photo).expect("partitioned");
+        assert_eq!(vp.groups.len(), 2, "{:?}", vp.groups);
+        assert!(vp.is_complete(16));
+        s.clear_vertical(photo);
+        assert!(s.design().vertical(photo).is_none());
     }
 
     #[test]

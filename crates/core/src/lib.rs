@@ -45,16 +45,49 @@
 //! assert!(report.combined_cost <= report.base_cost);
 //! println!("{report}");
 //! ```
+//!
+//! ## One session, one matrix
+//!
+//! All three modes run on one substrate: a [`TuningSession`] owning a
+//! single persistent, incrementally-maintained cost matrix, with every
+//! design search expressed as an [`Advisor`] against it.
+//! [`InteractiveSession`] is a session view whose evaluations are pure
+//! matrix lookups; [`OnlineSession`] rotates COLT's epochs through the
+//! session matrix and hands the warm cells to any advisor asked for
+//! mid-stream ([`OnlineSession::advise`]); the `recommend_*` methods
+//! above are one-shot session wrappers. See [`session`] for the
+//! matrix-sharing contract.
+//!
+//! ```
+//! use pgdesign::{Designer, IndexAdvisor, PartitionAdvisor};
+//! use pgdesign_catalog::samples::sdss_catalog;
+//! use pgdesign_query::generators::sdss_workload;
+//!
+//! let catalog = sdss_catalog(0.005);
+//! let workload = sdss_workload(&catalog, 5, 7);
+//! let designer = Designer::new(catalog);
+//! let mut session = designer.tuning_session(workload);
+//! let indexes = session.advise(&mut IndexAdvisor::default());
+//! let partitions = session.advise(&mut PartitionAdvisor::default()); // same matrix, warm cells
+//! assert!(indexes.cost <= indexes.base_cost);
+//! assert!(partitions.cost <= partitions.base_cost + 1e-6);
+//! assert_eq!(session.stats().matrix.builds, 1);
+//! ```
 
 pub mod designer;
 pub mod interactive;
 pub mod online;
 pub mod report;
+pub mod session;
 
 pub use designer::{Designer, JointReport, OfflineReport};
 pub use interactive::{BenefitReport, InteractiveSession};
 pub use online::OnlineSession;
 pub use report::TuningStats;
+pub use session::{
+    Advisor, IndexAdvisor, InteractionAdvisor, JointAdvisor, OfflineAdvisor, PartitionAdvisor,
+    TuningSession,
+};
 
 // Re-export the component crates under one roof.
 pub use pgdesign_autopart as autopart;

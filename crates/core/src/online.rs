@@ -1,44 +1,50 @@
 //! Continuous tuning sessions — demo scenario 3.
 //!
-//! A thin designer-side wrapper around [`pgdesign_colt::ColtTuner`] that
-//! owns the session INUM cache and accumulates the cost series the demo
-//! plots ("our tool presents the change in system's performance accruing
-//! from adopting the new suggested indexes").
+//! A designer-side wrapper that pairs a [`pgdesign_colt::ColtTuner`] with
+//! a [`TuningSession`]: the tuner's per-epoch profiling rotates work into
+//! the *session's* persistent cost matrix, so everything COLT keeps warm —
+//! resident epoch queries, registered candidates, their cells — is
+//! immediately available to any other advisor. That is the "background
+//! advisor" handoff: a DBA can call [`OnlineSession::advise`] mid-stream
+//! and get an offline/joint recommendation computed against the warm
+//! matrix (cells are *reused*, not rebuilt — watch
+//! [`OnlineSession::tuning_stats`]'s `cells_reused`). The session also
+//! accumulates the cost series the demo plots ("our tool presents the
+//! change in system's performance accruing from adopting the new
+//! suggested indexes").
 
 use crate::designer::Designer;
+use crate::session::{Advisor, TuningSession};
 use pgdesign_colt::{ColtConfig, ColtTuner, EpochReport};
-use pgdesign_inum::Inum;
 use pgdesign_query::ast::Query;
+use pgdesign_query::Workload;
 use std::fmt::Write as _;
 
-/// A continuous-tuning session.
+/// A continuous-tuning session over a shared [`TuningSession`] matrix.
 pub struct OnlineSession<'a> {
     tuner: ColtTuner<'a>,
     reports: Vec<EpochReport>,
-    // Keeps the INUM alive for the tuner's lifetime.
-    _inum: Box<Inum<'a>>,
+    session: TuningSession<'a>,
 }
 
 impl<'a> OnlineSession<'a> {
     /// Start a session against a designer.
     pub fn new(designer: &'a Designer, config: ColtConfig) -> Self {
-        let inum = Box::new(Inum::new(&designer.catalog, &designer.optimizer));
-        // SAFETY: the tuner's reference points into the boxed INUM, whose
-        // heap location is stable across moves of `OnlineSession`. The box
-        // is stored in `_inum`, declared *after* `tuner`, so the tuner is
-        // dropped first; nothing the tuner hands out borrows the INUM
-        // beyond `&self` of this session.
-        let inum_ref: &'a Inum<'a> = unsafe { &*(inum.as_ref() as *const Inum<'a>) };
+        let session = TuningSession::new(designer, Workload::new());
+        // The tuner borrows only the designer's catalog/optimizer (true
+        // `'a` data) — its cost calls go through the session matrix it is
+        // handed per call, so it holds no reference into the session.
+        let tuner = ColtTuner::new(&designer.catalog, &designer.optimizer, config);
         OnlineSession {
-            tuner: ColtTuner::new(inum_ref, config),
+            tuner,
             reports: Vec::new(),
-            _inum: inum,
+            session,
         }
     }
 
     /// Feed one query; epoch reports accumulate internally.
     pub fn observe(&mut self, query: Query) -> Option<&EpochReport> {
-        if let Some(r) = self.tuner.observe(query) {
+        if let Some(r) = self.tuner.observe(query, self.session.matrix_mut()) {
             self.reports.push(r);
             self.reports.last()
         } else {
@@ -51,6 +57,27 @@ impl<'a> OnlineSession<'a> {
         for q in queries {
             let _ = self.observe(q);
         }
+    }
+
+    /// The underlying tuning session (shared-matrix access).
+    pub fn session(&mut self) -> &mut TuningSession<'a> {
+        &mut self.session
+    }
+
+    /// Run an advisor against the session's warm matrix — the
+    /// background-advisor handoff of the redesigned API. The advisor sees
+    /// the queries currently resident (the recently profiled epochs) and
+    /// reuses the candidate cells COLT maintained, so an offline or joint
+    /// recommendation mid-stream costs only the cells the stream did not
+    /// already pay for.
+    ///
+    /// The reuse guarantee holds *at hand-off time*: once the stream
+    /// resumes, COLT's next epoch rotation evicts candidates it does not
+    /// track (including the advisor's leftovers) to keep per-epoch cell
+    /// work bounded by workload drift — so batch advisor calls together
+    /// rather than interleaving them one-per-epoch.
+    pub fn advise<A: Advisor + ?Sized>(&mut self, advisor: &mut A) -> A::Report {
+        self.session.advise(advisor)
     }
 
     /// Epoch reports so far.
@@ -95,16 +122,14 @@ impl<'a> OnlineSession<'a> {
     /// `recommend --stats`). Shows the persistent-matrix economics: one
     /// build, per-epoch cells computed vs reused, and total build time.
     pub fn tuning_stats(&self) -> crate::report::TuningStats {
-        crate::report::TuningStats {
-            inum: self._inum.stats(),
-            matrix: self._inum.matrix_stats(),
-        }
+        self.session.stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{IndexAdvisor, JointAdvisor};
     use pgdesign_catalog::samples::sdss_catalog;
     use pgdesign_query::parse_query;
 
@@ -146,5 +171,63 @@ mod tests {
             last.untuned_cost
         );
         assert!(!s.current_design().indexes().is_empty());
+    }
+
+    #[test]
+    fn offline_advice_mid_stream_reuses_the_warm_matrix() {
+        // The acceptance pin for the background-advisor handoff: an
+        // offline recommendation right after an online run must run on the
+        // session's warm matrix — no new build, resident cells reused.
+        let d = Designer::new(sdss_catalog(0.01));
+        let mut s = d.online_session(ColtConfig {
+            epoch_length: 10,
+            ..Default::default()
+        });
+        let q = parse_query(
+            &d.catalog.schema,
+            "SELECT ra FROM photoobj WHERE objid = 42",
+        )
+        .unwrap();
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(30));
+        let before = s.tuning_stats();
+        assert_eq!(before.matrix.builds, 1, "one session-lifetime matrix");
+
+        let rec = s.advise(&mut IndexAdvisor::default());
+        let after = s.tuning_stats();
+        assert_eq!(
+            after.matrix.builds, before.matrix.builds,
+            "the offline advisor must reuse the session matrix, not rebuild"
+        );
+        assert!(
+            after.matrix.cells_reused > before.matrix.cells_reused,
+            "the advisor's candidates overlap COLT's — their cells must be reused"
+        );
+        assert!(rec.cost <= rec.base_cost + 1e-6);
+        assert!(
+            !rec.indexes.is_empty(),
+            "the resident point-lookup workload clearly wants an index"
+        );
+
+        // The stream continues unharmed after the handoff.
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(10));
+        assert_eq!(s.reports().len(), 4);
+    }
+
+    #[test]
+    fn joint_advice_mid_stream_works_too() {
+        let d = Designer::new(sdss_catalog(0.01));
+        let mut s = d.online_session(ColtConfig {
+            epoch_length: 10,
+            ..Default::default()
+        });
+        let q = parse_query(
+            &d.catalog.schema,
+            "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 140",
+        )
+        .unwrap();
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(20));
+        let report = s.advise(&mut JointAdvisor::new(d.catalog.data_bytes() / 2));
+        assert!(report.joint.cost <= report.joint.base_cost + 1e-6);
+        assert_eq!(report.stats.matrix.builds, 1, "still one matrix");
     }
 }

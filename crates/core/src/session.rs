@@ -1,0 +1,495 @@
+//! The [`TuningSession`] — **one persistent cost matrix behind every mode
+//! of the tool**, and the [`Advisor`] trait every design search implements
+//! against it.
+//!
+//! The paper's headline is that offline (CoPhy/AutoPart), online (COLT)
+//! and interactive design are *one tool behind one what-if interface*.
+//! This module is that interface's spine: a session owns a single
+//! [`Inum`] (the skeleton cache) and a single incrementally-maintained
+//! [`CostMatrix`] (the precomputed cell cache), and every consumer — the
+//! interactive what-if view ([`crate::InteractiveSession`]), the
+//! continuous tuner ([`crate::OnlineSession`]), and the offline advisors
+//! behind [`crate::Designer::recommend`] and friends — extends and reads
+//! that one matrix. Work done by one consumer is warm for the next: the
+//! cells COLT computes while profiling an epoch are exactly the cells an
+//! offline recommendation asked for mid-stream would otherwise recompute
+//! (the session's [`TuningStats`] report the reuse as
+//! `matrix.cells_reused`).
+
+use crate::designer::Designer;
+use crate::report::TuningStats;
+use pgdesign_inum::{CostMatrix, Inum};
+use pgdesign_query::Workload;
+
+/// A tuning session: one [`Inum`] skeleton cache plus one persistent,
+/// incrementally-maintained [`CostMatrix`], shared by every advisor and
+/// view attached to it.
+///
+/// Created via [`Designer::tuning_session`] (or implicitly by
+/// [`Designer::session`] / [`Designer::online_session`] and the
+/// `recommend_*` wrappers). The session's matrix is never rebuilt:
+/// advisors register candidates with [`CostMatrix::add_candidate`] /
+/// [`CostMatrix::register_fragment`] / [`CostMatrix::register_split`]
+/// (already-resident entries reuse their cells), and streaming consumers
+/// rotate queries with [`CostMatrix::add_queries`] /
+/// [`CostMatrix::retire_query`].
+pub struct TuningSession<'a> {
+    designer: &'a Designer,
+    // NOTE: declared before `_inum` so the matrix (which borrows the boxed
+    // INUM) is dropped first.
+    matrix: CostMatrix<'a>,
+    // Keeps the INUM alive (and heap-pinned) for the session's lifetime.
+    _inum: Box<Inum<'a>>,
+}
+
+impl<'a> TuningSession<'a> {
+    /// Start a session over a workload: builds the skeleton cache for the
+    /// workload (the one-off warm-up) and a candidate-less cost matrix
+    /// over it. Everything after this is incremental.
+    pub fn new(designer: &'a Designer, workload: Workload) -> Self {
+        let inum = Box::new(Inum::new(&designer.catalog, &designer.optimizer));
+        // SAFETY: the matrix's reference points into the boxed INUM, whose
+        // heap location is stable across moves of `TuningSession`. The box
+        // is stored in `_inum`, declared *after* `matrix`, so the matrix
+        // is dropped first; nothing handed out by the session borrows the
+        // INUM beyond `&self` of this session.
+        let inum_ref: &'a Inum<'a> = unsafe { &*(inum.as_ref() as *const Inum<'a>) };
+        inum_ref.prepare_workload(&workload);
+        let matrix = CostMatrix::build(inum_ref, &workload, &[]);
+        TuningSession {
+            designer,
+            matrix,
+            _inum: inum,
+        }
+    }
+
+    /// The designer (catalog + optimizer) this session runs against.
+    pub fn designer(&self) -> &'a Designer {
+        self.designer
+    }
+
+    /// The session's INUM handle with the session-internal (stretched)
+    /// lifetime — needed to construct components that borrow the INUM and
+    /// are used strictly within, or stored alongside, the session (the
+    /// built-in advisors, [`crate::OnlineSession`]'s tuner).
+    ///
+    /// Deliberately `pub(crate)`: the returned reference is only valid
+    /// while `self` is alive (the boxed INUM drops with the session), so
+    /// handing it to arbitrary safe code would be unsound. External
+    /// [`Advisor`] implementations should work through
+    /// [`Self::matrix`]/[`Self::matrix_mut`], whose INUM accessor is tied
+    /// to the matrix borrow.
+    pub(crate) fn inum_longlived(&self) -> &'a Inum<'a> {
+        // SAFETY: same invariant as `new` — the box's heap location is
+        // stable and outlives every use reachable from this crate (all
+        // callers drop the reference no later than the session).
+        unsafe { &*(self._inum.as_ref() as *const Inum<'a>) }
+    }
+
+    /// The session's persistent cost matrix.
+    pub fn matrix(&self) -> &CostMatrix<'a> {
+        &self.matrix
+    }
+
+    /// Mutable access to the session matrix — how advisors register
+    /// candidates and streaming consumers rotate queries.
+    pub fn matrix_mut(&mut self) -> &mut CostMatrix<'a> {
+        &mut self.matrix
+    }
+
+    /// The matrix's query mirror (entries of retired slots are stale; see
+    /// [`CostMatrix::workload`]).
+    pub fn workload(&self) -> &Workload {
+        self.matrix.workload()
+    }
+
+    /// Counters from both cache levels — one persistent matrix means the
+    /// `cells_reused` line here measures cross-consumer sharing, e.g. an
+    /// offline recommendation reusing the cells an online run kept warm.
+    pub fn stats(&self) -> TuningStats {
+        TuningStats {
+            inum: self._inum.stats(),
+            matrix: self._inum.matrix_stats(),
+        }
+    }
+
+    /// Run an advisor against this session (see [`Advisor`]).
+    pub fn advise<A: Advisor + ?Sized>(&mut self, advisor: &mut A) -> A::Report {
+        advisor.advise(self)
+    }
+}
+
+/// A design search that runs against a [`TuningSession`].
+///
+/// # The matrix-sharing contract
+///
+/// All advisors on one session share its single [`CostMatrix`]. An
+/// implementation must **extend** that matrix, never replace or rebuild
+/// it:
+///
+/// * register candidate structures through
+///   [`CostMatrix::add_candidate`] / [`CostMatrix::register_fragment`] /
+///   [`CostMatrix::register_split`] — these dedupe, so a structure another
+///   consumer already registered reuses its resident cells (counted in
+///   `TuningStats::matrix.cells_reused`) instead of recomputing them;
+/// * leave registered candidates resident on return — the next advisor
+///   (or the interactive view) may be about to ask about them; candidate
+///   ids are stable, so leftover registrations never invalidate anyone's
+///   bitsets. (The *stream owner* is the one exception: COLT's epoch
+///   rotation evicts candidates it no longer tracks — including advisor
+///   leftovers — to keep per-epoch cell work bounded by drift, so warm
+///   reuse across a handoff is guaranteed at hand-off time, not across
+///   later epochs);
+/// * do not retire query slots the advisor did not add: the session's
+///   active queries are the workload every other consumer is costing
+///   against;
+/// * cost configurations exclusively through matrix lookups
+///   ([`CostMatrix::cost`], [`CostMatrix::joint_cost`], the `delta_*`
+///   family) — per-design [`Inum::cost`] calls forfeit the cache and
+///   show up in `TuningStats`.
+///
+/// Under this contract `advise` is cheap to call repeatedly and cheap to
+/// interleave with other consumers: each call pays only for the cells its
+/// *new* candidates and queries need.
+pub trait Advisor {
+    /// What the advisor hands back.
+    type Report;
+
+    /// Run the search against the session's shared matrix.
+    fn advise(&mut self, session: &mut TuningSession<'_>) -> Self::Report;
+}
+
+// ---- The built-in advisors ----
+
+use crate::designer::{JointReport, OfflineReport};
+use pgdesign_autopart::{AutoPartAdvisor, AutoPartConfig, PartitionRecommendation};
+use pgdesign_catalog::design::Index;
+use pgdesign_cophy::{CophyAdvisor, CophyConfig, Recommendation};
+use pgdesign_interaction::{analyze_on, schedule_pair_on, InteractionAnalysis, InteractionConfig};
+
+/// CoPhy index selection as a session advisor (wraps
+/// [`CophyAdvisor::recommend_on`]).
+#[derive(Debug, Clone, Default)]
+pub struct IndexAdvisor {
+    /// CoPhy knobs (budget, candidate enumeration, solver limits, …).
+    pub config: CophyConfig,
+}
+
+impl IndexAdvisor {
+    /// An index advisor with the given configuration.
+    pub fn new(config: CophyConfig) -> Self {
+        IndexAdvisor { config }
+    }
+}
+
+impl Advisor for IndexAdvisor {
+    type Report = Recommendation;
+
+    fn advise(&mut self, session: &mut TuningSession<'_>) -> Recommendation {
+        let inum = session.inum_longlived();
+        CophyAdvisor::new(inum, self.config.clone()).recommend_on(session.matrix_mut())
+    }
+}
+
+/// AutoPart partition suggestion as a session advisor (wraps
+/// [`AutoPartAdvisor::recommend_on`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionAdvisor {
+    /// AutoPart knobs (replication budget, iteration caps, …).
+    pub config: AutoPartConfig,
+}
+
+impl PartitionAdvisor {
+    /// A partition advisor with the given configuration.
+    pub fn new(config: AutoPartConfig) -> Self {
+        PartitionAdvisor { config }
+    }
+}
+
+impl Advisor for PartitionAdvisor {
+    type Report = PartitionRecommendation;
+
+    fn advise(&mut self, session: &mut TuningSession<'_>) -> PartitionRecommendation {
+        let inum = session.inum_longlived();
+        AutoPartAdvisor::new(inum, self.config).recommend_on(session.matrix_mut())
+    }
+}
+
+/// The joint index + partition mode as a session advisor: greedy index
+/// selection and AutoPart's merge search share the session matrix and a
+/// single storage budget.
+#[derive(Debug, Clone)]
+pub struct JointAdvisor {
+    /// One storage budget covering indexes and replicated fragments.
+    pub storage_budget_bytes: u64,
+}
+
+impl JointAdvisor {
+    /// A joint advisor under one storage budget.
+    pub fn new(storage_budget_bytes: u64) -> Self {
+        JointAdvisor {
+            storage_budget_bytes,
+        }
+    }
+}
+
+impl Advisor for JointAdvisor {
+    type Report = JointReport;
+
+    fn advise(&mut self, session: &mut TuningSession<'_>) -> JointReport {
+        let inum = session.inum_longlived();
+        let advisor = CophyAdvisor::new(
+            inum,
+            CophyConfig {
+                storage_budget_bytes: self.storage_budget_bytes,
+                ..Default::default()
+            },
+        );
+        let joint = advisor.recommend_joint_on(
+            session.matrix_mut(),
+            AutoPartConfig {
+                replication_budget_bytes: self.storage_budget_bytes / 10,
+                ..Default::default()
+            },
+        );
+        let schema = &session.designer().catalog.schema;
+        let index_display = joint.indexes.iter().map(|i| i.display(schema)).collect();
+        JointReport {
+            joint,
+            index_display,
+            stats: session.stats(),
+        }
+    }
+}
+
+/// The full offline pipeline (demo scenario 2) as a session advisor:
+/// CoPhy indexes + AutoPart partitions under a shared storage budget, the
+/// interaction graph over the suggested indexes, and the materialization
+/// schedules — all costed against the session's one matrix.
+#[derive(Debug, Clone)]
+pub struct OfflineAdvisor {
+    /// Storage budget for the index half; partitions replicate into a
+    /// tenth of it.
+    pub storage_budget_bytes: u64,
+}
+
+impl OfflineAdvisor {
+    /// An offline advisor under one storage budget.
+    pub fn new(storage_budget_bytes: u64) -> Self {
+        OfflineAdvisor {
+            storage_budget_bytes,
+        }
+    }
+}
+
+impl Advisor for OfflineAdvisor {
+    type Report = OfflineReport;
+
+    fn advise(&mut self, session: &mut TuningSession<'_>) -> OfflineReport {
+        let inum = session.inum_longlived();
+        let budget = self.storage_budget_bytes;
+
+        let cophy = CophyAdvisor::new(
+            inum,
+            CophyConfig {
+                storage_budget_bytes: budget,
+                ..Default::default()
+            },
+        );
+        let indexes = cophy.recommend_on(session.matrix_mut());
+
+        let autopart = AutoPartAdvisor::new(
+            inum,
+            AutoPartConfig {
+                replication_budget_bytes: budget / 10,
+                ..Default::default()
+            },
+        );
+        let partitions = autopart.recommend_on(session.matrix_mut());
+
+        // Combine on the same matrix: the chosen indexes plus the accepted
+        // fragments/splits form one joint configuration; keep the
+        // combination only if it beats each alone (partitioning can erode
+        // index benefit). Fragment/split registration below dedupes
+        // against the search's own registrations, so no new cells.
+        let matrix = session.matrix_mut();
+        let chosen_ids: Vec<usize> = indexes
+            .indexes
+            .iter()
+            .map(|idx| {
+                matrix
+                    .candidate_id(idx)
+                    .expect("recommended indexes are registered on the session matrix")
+            })
+            .collect();
+        let mut combined = matrix.empty_joint();
+        for &id in &chosen_ids {
+            combined.indexes.insert(id);
+        }
+        for vp in partitions.design.verticals() {
+            for group in &vp.groups {
+                let fid = matrix.register_fragment(vp.table, group);
+                combined.fragments.insert(fid);
+            }
+        }
+        for hp in partitions.design.horizontals() {
+            let sid = matrix.register_split(hp.clone());
+            combined.splits.insert(sid);
+        }
+        let matrix = session.matrix();
+        let empty = matrix.empty_joint();
+        let combined_cost = matrix.joint_workload_cost(&combined);
+        let base_cost = matrix.joint_workload_cost(&empty);
+
+        let mut index_only = matrix.empty_joint();
+        for &id in &chosen_ids {
+            index_only.indexes.insert(id);
+        }
+        let mut partition_only = combined.clone();
+        partition_only.indexes.clear();
+
+        let options = [
+            (combined.clone(), combined_cost),
+            (index_only, indexes.cost),
+            (partition_only, partitions.cost),
+        ];
+        let (final_cfg, final_cost) = options
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three options");
+        let final_design = matrix.joint_design_of(&final_cfg);
+
+        // Interaction analysis + schedules over the chosen indexes, served
+        // from the very same matrix cells the selection used.
+        let analysis = analyze_on(matrix, &chosen_ids, &InteractionConfig::default());
+        let graph = analysis.graph();
+        let (schedule, naive) = schedule_pair_on(matrix, &chosen_ids);
+
+        let per_query = matrix
+            .active_query_ids()
+            .map(|qi| {
+                (
+                    matrix.joint_cost(qi, &empty),
+                    matrix.joint_cost(qi, &final_cfg),
+                )
+            })
+            .collect();
+
+        let schema = &session.designer().catalog.schema;
+        let index_display = indexes.indexes.iter().map(|i| i.display(schema)).collect();
+        OfflineReport {
+            indexes,
+            partitions,
+            design: final_design,
+            base_cost,
+            combined_cost: final_cost,
+            per_query,
+            analysis,
+            graph,
+            schedule,
+            naive_schedule: naive,
+            index_display,
+            stats: session.stats(),
+        }
+    }
+}
+
+/// Degree-of-interaction analysis over an explicit candidate set as a
+/// session advisor: the candidates are registered on the session matrix
+/// (reusing resident cells) and the `2^k` subset sweep is pure lookups.
+#[derive(Debug, Clone)]
+pub struct InteractionAdvisor {
+    /// The candidate indexes to analyze.
+    pub indexes: Vec<Index>,
+    /// Analysis knobs.
+    pub config: InteractionConfig,
+}
+
+impl InteractionAdvisor {
+    /// An interaction advisor over a candidate set.
+    pub fn new(indexes: Vec<Index>) -> Self {
+        InteractionAdvisor {
+            indexes,
+            config: InteractionConfig::default(),
+        }
+    }
+}
+
+impl Advisor for InteractionAdvisor {
+    type Report = InteractionAnalysis;
+
+    fn advise(&mut self, session: &mut TuningSession<'_>) -> InteractionAnalysis {
+        let ids: Vec<usize> = self
+            .indexes
+            .iter()
+            .map(|idx| session.matrix_mut().add_candidate(idx))
+            .collect();
+        analyze_on(session.matrix(), &ids, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_query::generators::sdss_workload;
+
+    fn designer() -> Designer {
+        Designer::new(sdss_catalog(0.01))
+    }
+
+    #[test]
+    fn session_advisors_share_one_matrix() {
+        let d = designer();
+        let w = sdss_workload(&d.catalog, 9, 91);
+        let mut session = d.tuning_session(w);
+        let builds_after_warmup = session.stats().matrix.builds;
+
+        let rec = session.advise(&mut IndexAdvisor::default());
+        assert!(rec.cost <= rec.base_cost);
+        let parts = session.advise(&mut PartitionAdvisor::default());
+        assert!(parts.cost <= parts.base_cost + 1e-6);
+
+        assert_eq!(
+            session.stats().matrix.builds,
+            builds_after_warmup,
+            "advisors must extend the session matrix, not rebuild it"
+        );
+    }
+
+    #[test]
+    fn second_advise_reuses_the_first_ones_cells() {
+        let d = designer();
+        let w = sdss_workload(&d.catalog, 9, 92);
+        let mut session = d.tuning_session(w);
+        session.advise(&mut IndexAdvisor::default());
+        let reused_before = session.stats().matrix.cells_reused;
+        // The same enumeration re-registers the same candidates: every one
+        // of them must reuse its resident cells.
+        session.advise(&mut IndexAdvisor::default());
+        assert!(
+            session.stats().matrix.cells_reused > reused_before,
+            "re-advising must hit the resident cells"
+        );
+    }
+
+    #[test]
+    fn interaction_advisor_is_pure_lookups_after_registration() {
+        let d = designer();
+        let w = sdss_workload(&d.catalog, 9, 93);
+        let mut session = d.tuning_session(w);
+        let photo = d.catalog.schema.table_by_name("photoobj").unwrap().id;
+        let mut advisor = InteractionAdvisor::new(vec![
+            Index::new(photo, vec![3, 6]),
+            Index::new(photo, vec![6, 3]),
+        ]);
+        let cost_calls = session.stats().inum.cost_calls;
+        let analysis = session.advise(&mut advisor);
+        assert_eq!(analysis.indexes.len(), 2);
+        assert_eq!(
+            session.stats().inum.cost_calls,
+            cost_calls,
+            "the subset sweep must run on matrix lookups, not Inum::cost"
+        );
+    }
+}

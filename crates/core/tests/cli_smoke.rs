@@ -142,10 +142,10 @@ fn joint_flag_is_rejected_outside_recommend() {
 #[test]
 fn stats_flag_is_rejected_outside_recommend() {
     let out = pgdesign(&["explain", "--sql", "SELECT ra FROM photoobj", "--stats"]);
-    assert!(!out.status.success(), "--stats is recommend-only");
+    assert!(!out.status.success(), "--stats is recommend/session-only");
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(
-        err.contains("--stats is only supported by `recommend`"),
+        err.contains("--stats is only supported by `recommend` and `session`"),
         "{err}"
     );
 }
@@ -167,6 +167,62 @@ fn recommend_without_stats_omits_counters() {
         !text.contains("INUM / cost-matrix statistics"),
         "counters are opt-in:\n{text}"
     );
+}
+
+#[test]
+fn session_steps_through_whatif_structures() {
+    let out = pgdesign(&[
+        "session",
+        "--scale",
+        "0.003",
+        "--workload",
+        "builtin:4",
+        "--index",
+        "photoobj:objid",
+        "--vertical",
+        "photoobj:objid,ra,dec|type,r",
+        "--horizontal",
+        "photoobj:ra:8",
+        "--stats",
+    ]);
+    assert!(out.status.success(), "session should exit 0");
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "warm-up:",
+        "step 1: +index photoobj(objid)",
+        "step 2: +vertical photoobj",
+        "step 3: +horizontal photoobj.ra",
+        "average workload benefit",
+        "Rewritten-query report:",
+        "INUM / cost-matrix statistics",
+    ] {
+        assert!(
+            text.contains(needle),
+            "session must print {needle:?}:\n{text}"
+        );
+    }
+    // The TuningSession pin, end to end: after warm-up every evaluation is
+    // matrix lookups, so the skeleton cache records zero cost calls.
+    assert!(
+        text.contains("0 cost calls"),
+        "interactive evaluation must not issue per-design cost calls:\n{text}"
+    );
+}
+
+#[test]
+fn session_rejects_malformed_structure_specs() {
+    let out = pgdesign(&[
+        "session",
+        "--scale",
+        "0.003",
+        "--workload",
+        "builtin:2",
+        "--vertical",
+        "photoobj",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--vertical must be"), "{err}");
 }
 
 #[test]

@@ -37,7 +37,9 @@ pub mod graph;
 pub mod schedule;
 
 pub use graph::InteractionGraph;
-pub use schedule::{exact_schedule, greedy_schedule, naive_schedule, schedule_pair, Schedule};
+pub use schedule::{
+    exact_schedule, greedy_schedule, naive_schedule, schedule_pair, schedule_pair_on, Schedule,
+};
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_inum::{CostMatrix, Inum};
@@ -58,39 +60,101 @@ impl Default for InteractionConfig {
     }
 }
 
+/// The matrix a [`ConfigCostCache`] serves lookups from: either one it
+/// built (and owns) for a standalone analysis, or a borrowed slice of ids
+/// on a long-lived session matrix.
+enum MatrixHandle<'m, 'a> {
+    Owned(Box<CostMatrix<'a>>),
+    Borrowed(&'m CostMatrix<'a>),
+}
+
 /// Memoized workload costs per index-subset bitmask, served from a
 /// precomputed [`CostMatrix`]: each first-seen subset costs one matrix
 /// lookup per query (additions and `min`s over precomputed floats), never
 /// a design construction or an access-path enumeration. The `2^k` subset
 /// sweep of [`analyze`] runs entirely on this.
-pub struct ConfigCostCache<'a> {
-    matrix: CostMatrix<'a>,
+///
+/// Bit `b` of a mask selects `ids[b]` — the cache maps compact mask
+/// positions onto arbitrary candidate ids, so it works both over a matrix
+/// it built itself ([`ConfigCostCache::new`], ids `0..n`) and over a slice
+/// of an existing session matrix ([`ConfigCostCache::on_matrix`], any live
+/// ids, no rebuild).
+pub struct ConfigCostCache<'m, 'a> {
+    handle: MatrixHandle<'m, 'a>,
+    /// Mask bit position → candidate id in the matrix.
+    ids: Vec<usize>,
+    /// Active query ids at construction time.
+    qids: Vec<usize>,
     weights: Vec<f64>,
     costs: HashMap<u32, Vec<f64>>,
 }
 
-impl<'a> ConfigCostCache<'a> {
-    /// New cache over a candidate set.
-    pub fn new(inum: &'a Inum<'a>, workload: &'a Workload, indexes: &[Index]) -> Self {
+impl<'m, 'a> ConfigCostCache<'m, 'a> {
+    /// New cache over a candidate set (builds and owns its matrix).
+    pub fn new(inum: &'a Inum<'a>, workload: &Workload, indexes: &[Index]) -> Self {
+        let matrix = CostMatrix::build(inum, workload, indexes);
+        let ids = (0..indexes.len()).collect();
+        Self::with_handle(MatrixHandle::Owned(Box::new(matrix)), ids)
+    }
+
+    /// New cache over `candidate_ids` of an existing matrix — no rebuild;
+    /// every lookup is served from the matrix's resident cells. The ids
+    /// must be live candidates of `matrix`.
+    pub fn on_matrix(matrix: &'m CostMatrix<'a>, candidate_ids: Vec<usize>) -> Self {
+        Self::with_handle(MatrixHandle::Borrowed(matrix), candidate_ids)
+    }
+
+    fn with_handle(handle: MatrixHandle<'m, 'a>, ids: Vec<usize>) -> Self {
         assert!(
-            indexes.len() <= 20,
+            ids.len() <= 20,
             "interaction analysis supports ≤ 20 indexes"
         );
+        let (qids, weights) = {
+            let m: &CostMatrix<'_> = match &handle {
+                MatrixHandle::Owned(m) => m,
+                MatrixHandle::Borrowed(m) => m,
+            };
+            let qids: Vec<usize> = m.active_query_ids().collect();
+            let weights = qids.iter().map(|&q| m.query_weight(q)).collect();
+            (qids, weights)
+        };
         ConfigCostCache {
-            matrix: CostMatrix::build(inum, workload, indexes),
-            weights: workload.iter().map(|(_, w)| w).collect(),
+            handle,
+            ids,
+            qids,
+            weights,
             costs: HashMap::new(),
         }
     }
 
-    /// Per-query costs under the subset encoded by `mask`.
+    /// The matrix lookups are served from.
+    pub fn matrix(&self) -> &CostMatrix<'a> {
+        match &self.handle {
+            MatrixHandle::Owned(m) => m,
+            MatrixHandle::Borrowed(m) => m,
+        }
+    }
+
+    /// Number of (active) queries each cost vector covers.
+    pub fn n_queries(&self) -> usize {
+        self.qids.len()
+    }
+
+    /// Per-query costs under the subset encoded by `mask` (aligned with
+    /// the active queries of the matrix at cache construction).
     pub fn query_costs(&mut self, mask: u32) -> &[f64] {
         if !self.costs.contains_key(&mask) {
-            let config = self
-                .matrix
-                .config_of((0..self.matrix.n_candidates()).filter(|i| mask & (1 << i) != 0));
-            let costs: Vec<f64> = (0..self.matrix.n_queries())
-                .map(|qi| self.matrix.cost(qi, &config))
+            let selected = self
+                .ids
+                .iter()
+                .enumerate()
+                .filter(|&(bit, _)| mask & (1 << bit) != 0)
+                .map(|(_, &id)| id);
+            let config = self.matrix().config_of(selected);
+            let costs: Vec<f64> = self
+                .qids
+                .iter()
+                .map(|&qi| self.matrix().cost(qi, &config))
                 .collect();
             self.costs.insert(mask, costs);
         }
@@ -110,10 +174,11 @@ impl<'a> ConfigCostCache<'a> {
     /// The design corresponding to a bitmask (slow-path bridge).
     pub fn design_of(&self, mask: u32) -> PhysicalDesign {
         PhysicalDesign::with_indexes(
-            self.matrix
-                .candidates()
-                .filter(|(i, _)| mask & (1 << i) != 0)
-                .map(|(_, idx)| idx.clone()),
+            self.ids
+                .iter()
+                .enumerate()
+                .filter(|&(bit, _)| mask & (1 << bit) != 0)
+                .filter_map(|(_, &id)| self.matrix().candidate(id).cloned()),
         )
     }
 
@@ -195,21 +260,50 @@ fn subset_masks(n_free: usize, max_subsets: usize) -> Vec<u32> {
     }
 }
 
-/// Compute the degree-of-interaction matrix for a candidate set.
+/// Compute the degree-of-interaction matrix for a candidate set (builds a
+/// private cost matrix; see [`analyze_on`] for the session-matrix entry).
 pub fn analyze(
     inum: &Inum<'_>,
     workload: &Workload,
     indexes: &[Index],
     config: &InteractionConfig,
 ) -> InteractionAnalysis {
+    let cache = ConfigCostCache::new(inum, workload, indexes);
+    analyze_with(cache, indexes.to_vec(), config)
+}
+
+/// Compute the degree-of-interaction matrix for live candidates of an
+/// *existing* matrix — the session-scoped entry: no matrix build, every
+/// subset cost is a pure lookup against the resident cells. `candidate_ids`
+/// must be live candidate ids of `matrix`; the returned analysis lists the
+/// indexes in the same order.
+pub fn analyze_on(
+    matrix: &CostMatrix<'_>,
+    candidate_ids: &[usize],
+    config: &InteractionConfig,
+) -> InteractionAnalysis {
+    let indexes: Vec<Index> = candidate_ids
+        .iter()
+        .map(|&id| {
+            matrix
+                .candidate(id)
+                .expect("analyze_on requires live candidate ids")
+                .clone()
+        })
+        .collect();
+    let cache = ConfigCostCache::on_matrix(matrix, candidate_ids.to_vec());
+    analyze_with(cache, indexes, config)
+}
+
+fn analyze_with(
+    mut cache: ConfigCostCache<'_, '_>,
+    indexes: Vec<Index>,
+    config: &InteractionConfig,
+) -> InteractionAnalysis {
     let n = indexes.len();
-    let mut cache = ConfigCostCache::new(inum, workload, indexes);
     let mut doi = vec![vec![0.0f64; n]; n];
     if n < 2 {
-        return InteractionAnalysis {
-            indexes: indexes.to_vec(),
-            doi,
-        };
+        return InteractionAnalysis { indexes, doi };
     }
 
     // Free positions for a pair (a, b): all other indexes.
@@ -228,7 +322,7 @@ pub fn analyze(
                 let xa = x | (1 << a);
                 let xb = x | (1 << b);
                 let xab = x | (1 << a) | (1 << b);
-                let nq = workload.len();
+                let nq = cache.n_queries();
                 for qi in 0..nq {
                     let c_x = cache.query_costs(x)[qi];
                     let c_xa = cache.query_costs(xa)[qi];
@@ -248,10 +342,7 @@ pub fn analyze(
         }
     }
 
-    InteractionAnalysis {
-        indexes: indexes.to_vec(),
-        doi,
-    }
+    InteractionAnalysis { indexes, doi }
 }
 
 #[cfg(test)]

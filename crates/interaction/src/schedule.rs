@@ -41,7 +41,7 @@ pub fn build_time(inum: &Inum<'_>, index: &Index) -> f64 {
 }
 
 fn evaluate_order(
-    cache: &mut ConfigCostCache<'_>,
+    cache: &mut ConfigCostCache<'_, '_>,
     times: &[f64],
     order: &[usize],
 ) -> (f64, Vec<(f64, f64)>) {
@@ -66,7 +66,7 @@ pub fn naive_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) -
     naive_with(&mut cache, &times, indexes.len())
 }
 
-fn naive_with(cache: &mut ConfigCostCache<'_>, times: &[f64], n: usize) -> Schedule {
+fn naive_with(cache: &mut ConfigCostCache<'_, '_>, times: &[f64], n: usize) -> Schedule {
     let order: Vec<usize> = (0..n).collect();
     let (area, curve) = evaluate_order(cache, times, &order);
     Schedule { order, area, curve }
@@ -86,6 +86,32 @@ pub fn schedule_pair(
     (greedy, naive)
 }
 
+/// [`schedule_pair`] over live candidates of an *existing* matrix — the
+/// session-scoped entry: no matrix build, every configuration cost is a
+/// pure lookup against the resident cells. Schedule orders index into
+/// `candidate_ids`.
+pub fn schedule_pair_on(
+    matrix: &pgdesign_inum::CostMatrix<'_>,
+    candidate_ids: &[usize],
+) -> (Schedule, Schedule) {
+    let inum = matrix.inum();
+    let times: Vec<f64> = candidate_ids
+        .iter()
+        .map(|&id| {
+            build_time(
+                inum,
+                matrix
+                    .candidate(id)
+                    .expect("schedule_pair_on requires live candidate ids"),
+            )
+        })
+        .collect();
+    let mut cache = ConfigCostCache::on_matrix(matrix, candidate_ids.to_vec());
+    let greedy = greedy_with(&mut cache, &times, candidate_ids.len());
+    let naive = naive_with(&mut cache, &times, candidate_ids.len());
+    (greedy, naive)
+}
+
 /// Greedy interaction-aware schedule: at each step, build the index with
 /// the largest marginal benefit-rate per unit build time given what is
 /// already built. Interactions are honoured because marginal benefits are
@@ -96,7 +122,7 @@ pub fn greedy_schedule(inum: &Inum<'_>, workload: &Workload, indexes: &[Index]) 
     greedy_with(&mut cache, &times, indexes.len())
 }
 
-fn greedy_with(cache: &mut ConfigCostCache<'_>, times: &[f64], n: usize) -> Schedule {
+fn greedy_with(cache: &mut ConfigCostCache<'_, '_>, times: &[f64], n: usize) -> Schedule {
     let mut order = Vec::with_capacity(n);
     let mut mask = 0u32;
     let mut remaining: Vec<usize> = (0..n).collect();

@@ -474,11 +474,19 @@ pub struct CostMatrix<'a> {
     /// Candidate registry; `None` marks a removed id (reusable, never
     /// matched by lookups).
     indexes: Vec<Option<Index>>,
+    /// Live candidate id per index — the O(1) dedupe behind
+    /// [`Self::candidate_id`]/[`Self::add_candidate`] (first registration
+    /// wins when `build` was handed duplicates).
+    id_by_index: HashMap<Index, usize>,
     queries: Vec<QueryMatrix>,
     /// Removed candidate ids available for reuse.
     free_candidates: Vec<usize>,
     /// Retired query slots available for reuse.
     free_queries: Vec<usize>,
+    /// Bumped whenever the slot-id ↔ query binding changes (a retire or an
+    /// install); weight edits and candidate edits do not count. Lets
+    /// consumers cache per-slot derived values and revalidate in O(1).
+    generation: u64,
     /// Registered vertical-fragment candidates (id = position).
     fragments: Vec<Fragment>,
     /// Registered horizontal-split candidates (id = position).
@@ -732,21 +740,33 @@ impl<'a> CostMatrix<'a> {
         }
         inum.note_matrix_build(cells, t0.elapsed().as_nanos() as u64);
         let n_tables = inum.catalog().schema.tables().count();
+        let mut id_by_index = HashMap::with_capacity(idx.len());
+        for (id, i) in idx.iter().enumerate() {
+            if let Some(i) = i {
+                id_by_index.entry(i.clone()).or_insert(id);
+            }
+        }
         CostMatrix {
             inum,
             workload: workload.clone(),
             indexes: idx,
+            id_by_index,
             queries,
             free_candidates: Vec::new(),
             free_queries: Vec::new(),
+            generation: 0,
             fragments: Vec::new(),
             splits: Vec::new(),
             frags_by_table: vec![Vec::new(); n_tables],
         }
     }
 
-    /// The owning INUM instance (the slow-path oracle).
-    pub fn inum(&self) -> &'a Inum<'a> {
+    /// The owning INUM instance (the slow-path oracle). The returned
+    /// borrow is tied to `&self`, not to `'a`: long-lived holders (e.g. a
+    /// session type that heap-pins the INUM and unsafely stretches its
+    /// lifetime) must not let the stretched reference escape through this
+    /// accessor.
+    pub fn inum(&self) -> &Inum<'a> {
         self.inum
     }
 
@@ -783,11 +803,22 @@ impl<'a> CostMatrix<'a> {
         self.indexes.get(id).and_then(|i| i.as_ref())
     }
 
-    /// The id of the live candidate equal to `index`, if registered.
+    /// The id of the live candidate equal to `index`, if registered
+    /// (O(1) hash lookup).
     pub fn candidate_id(&self, index: &Index) -> Option<usize> {
-        self.candidates()
-            .find(|(_, i)| *i == index)
-            .map(|(id, _)| id)
+        self.id_by_index.get(index).copied()
+    }
+
+    /// The *active* queries as an owned `(query, weight)` snapshot — what
+    /// advisors enumerate candidates from. Unlike [`Self::workload`],
+    /// retired slots are excluded, so the stale queries of a long-lived
+    /// session matrix cannot steer candidate analyses.
+    pub fn active_workload(&self) -> Workload {
+        let mut w = Workload::new();
+        for qid in self.active_query_ids() {
+            w.push(self.workload.query(qid).clone(), self.query_weight(qid));
+        }
+        w
     }
 
     /// Ids of the active (non-retired) queries, ascending.
@@ -852,6 +883,7 @@ impl<'a> CostMatrix<'a> {
             }
         };
         self.indexes[id] = Some(index.clone());
+        self.id_by_index.insert(index.clone(), id);
         let catalog = self.inum.catalog();
         let params = &self.inum.optimizer().params;
         let empty = PhysicalDesign::empty();
@@ -901,7 +933,22 @@ impl<'a> CostMatrix<'a> {
         if self.indexes.get(id).is_none_or(|i| i.is_none()) {
             return;
         }
-        self.indexes[id] = None;
+        if let Some(idx) = self.indexes[id].take() {
+            // Only unmap if this id owns the entry (a duplicate handed to
+            // `build` maps to its first id) — and if another live duplicate
+            // exists, re-point the map so the index stays findable.
+            if self.id_by_index.get(&idx) == Some(&id) {
+                let other = self.indexes.iter().position(|i| i.as_ref() == Some(&idx));
+                match other {
+                    Some(oid) => {
+                        self.id_by_index.insert(idx, oid);
+                    }
+                    None => {
+                        self.id_by_index.remove(&idx);
+                    }
+                }
+            }
+        }
         self.free_candidates.push(id);
         for qm in &mut self.queries {
             for slot in &mut qm.slots {
@@ -1029,6 +1076,7 @@ impl<'a> CostMatrix<'a> {
         if !qm.active {
             return;
         }
+        self.generation += 1;
         qm.active = false;
         qm.key = 0;
         qm.weight = 0.0;
@@ -1042,9 +1090,18 @@ impl<'a> CostMatrix<'a> {
         self.free_queries.push(id);
     }
 
+    /// The query-rotation generation: changes exactly when some slot id's
+    /// bound query changes ([`Self::retire_query`] or an install by
+    /// [`Self::add_queries`]). Equal generations guarantee every slot id
+    /// still denotes the same query, so per-slot caches stay valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Place a computed query matrix in a slot (retired first), keeping
     /// the workload mirror and every split's fraction rows aligned.
     fn install_query(&mut self, query: Query, qm: QueryMatrix) -> usize {
+        self.generation += 1;
         let id = match self.free_queries.pop() {
             Some(id) => {
                 self.workload.entries[id].query = query;

@@ -9,7 +9,7 @@
 //! cargo run --release --example scenario3_online
 //! ```
 
-use pgdesign::Designer;
+use pgdesign::{Designer, JointAdvisor};
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_colt::ColtConfig;
 use pgdesign_query::generators::DriftingStream;
@@ -30,7 +30,7 @@ fn main() {
         payback_horizon_epochs: 6.0,
     });
 
-    for _ in 0..12 {
+    for round in 0..12 {
         // 12 phases' worth of batches.
         let phase = stream.current_phase();
         session.observe_all(stream.batch(100));
@@ -40,6 +40,28 @@ fn main() {
         );
         for idx in session.current_design().indexes() {
             println!("   {}", idx.display(&designer.catalog.schema));
+        }
+
+        if round == 5 {
+            // The background-advisor handoff: mid-stream, ask the offline
+            // joint advisor for a full recommendation. It runs against the
+            // *same* session matrix COLT keeps warm — the statistics below
+            // show the reused cells.
+            let reused_before = session.tuning_stats().matrix.cells_reused;
+            let report = session.advise(&mut JointAdvisor::new(designer.catalog.data_bytes() / 4));
+            let reused = session.tuning_stats().matrix.cells_reused - reused_before;
+            println!(
+                "
+== Mid-stream joint recommendation (warm matrix) =="
+            );
+            println!(
+                "   cost {:.0} -> {:.0}; {} matrix cells reused from the online run",
+                report.joint.base_cost, report.joint.cost, reused
+            );
+            for name in &report.index_display {
+                println!("   would CREATE INDEX ON {name};");
+            }
+            println!();
         }
     }
 
@@ -51,6 +73,9 @@ fn main() {
         "\ncumulative workload cost: untuned {untuned:.0}, with COLT {tuned:.0} ({:.1}% saved)",
         100.0 * (untuned - tuned).max(0.0) / untuned
     );
+
+    println!("\n== Session statistics (one persistent matrix) ==");
+    print!("{}", session.tuning_stats());
 
     println!("\n== Alerts raised ==");
     for r in session.reports() {

@@ -500,3 +500,164 @@ fn workload_cost_is_linear() {
     let manual = 2.0 * opt.cost(c, &d, &q1) + 3.0 * opt.cost(c, &d, &q2);
     assert!((total - manual).abs() < 1e-9);
 }
+
+/// The matrix-backed interactive session agrees with the per-design
+/// [`Inum::cost`] slow path over random add/remove-index and
+/// set-partitioning interleavings: after every edit, each query's
+/// `evaluate()` cost must match costing the session's derived design
+/// through a fresh INUM oracle to within 1e-9 relative — the
+/// `TuningSession` redesign swaps the evaluation path, not the answer.
+fn assert_interactive_matches_inum(catalog: &Catalog, workload: &Workload, seed: u64) {
+    use pgdesign::Designer;
+    use pgdesign_catalog::design::{HorizontalPartitioning, VerticalPartitioning};
+    use pgdesign_catalog::schema::TableId;
+    use rand::Rng;
+    let designer = Designer::new(catalog.clone());
+    let mut session = designer.session(workload.clone());
+    let opt = optimizer();
+    let oracle = Inum::new(catalog, &opt);
+    let cands = workload_candidates(catalog, workload, &CandidateConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tables: Vec<(TableId, u16)> = catalog.schema.tables().map(|t| (t.id, t.width())).collect();
+
+    for _ in 0..12 {
+        match rng.random_range(0..6usize) {
+            0 | 1 if !cands.indexes.is_empty() => {
+                let idx = cands.indexes[rng.random_range(0..cands.indexes.len())].clone();
+                session.add_index(idx);
+            }
+            2 if !cands.indexes.is_empty() => {
+                let idx = &cands.indexes[rng.random_range(0..cands.indexes.len())];
+                session.remove_index(idx);
+            }
+            3 | 4 => {
+                let (t, width) = tables[rng.random_range(0..tables.len())];
+                if width >= 2 {
+                    let n_groups = rng.random_range(2..5usize).min(width as usize);
+                    let mut groups: Vec<Vec<u16>> = vec![Vec::new(); n_groups];
+                    for c in 0..width {
+                        groups[rng.random_range(0..n_groups)].push(c);
+                    }
+                    if rng.random_range(0..3usize) == 0 {
+                        // Replicate one column into another group.
+                        groups[rng.random_range(0..n_groups)].push(rng.random_range(0..width));
+                    }
+                    groups.retain(|g| !g.is_empty());
+                    session.set_vertical(VerticalPartitioning::new(t, groups));
+                }
+            }
+            _ => {
+                let (t, width) = tables[rng.random_range(0..tables.len())];
+                let col = rng.random_range(0..width);
+                let stats = catalog.table_stats(t).column(col);
+                if stats.max > stats.min {
+                    let parts = rng.random_range(2..9usize);
+                    let bounds: Vec<f64> = (1..parts)
+                        .map(|i| stats.min + (stats.max - stats.min) * i as f64 / parts as f64)
+                        .collect();
+                    let hp = HorizontalPartitioning::new(t, col, bounds);
+                    if hp.partitions() >= 2 {
+                        session.set_horizontal(hp);
+                    }
+                }
+            }
+        }
+        let eval = session.evaluate();
+        let design = session.design();
+        for ((q, _), qb) in workload.iter().zip(&eval.per_query) {
+            let slow = oracle.cost(&design, q);
+            assert!(
+                (qb.whatif_cost - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "interactive {} vs inum {slow} (design {design:?})",
+                qb.whatif_cost
+            );
+        }
+    }
+    // And the whole exploration issued zero per-design cost calls on the
+    // session's own INUM.
+    assert_eq!(
+        session.tuning_stats().inum.cost_calls,
+        0,
+        "interactive evaluation must stay on matrix lookups"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// SDSS: random interactive explorations cost identically through the
+    /// session matrix and the per-design slow path.
+    #[test]
+    fn interactive_session_matches_inum_on_sdss(seed in 0u64..1000, n_queries in 3usize..8) {
+        let c = catalog();
+        let w = sdss_workload(c, n_queries, seed);
+        assert_interactive_matches_inum(c, &w, seed ^ 0x5E55);
+    }
+
+    /// TPC-H: the same interactive invariant on the other sample catalog.
+    #[test]
+    fn interactive_session_matches_inum_on_tpch(seed in 0u64..1000, n_queries in 3usize..6) {
+        use std::sync::OnceLock;
+        static TPCH: OnceLock<Catalog> = OnceLock::new();
+        let c = TPCH.get_or_init(|| tpch_catalog(0.01));
+        let w = tpch_workload(c, n_queries, seed);
+        assert_interactive_matches_inum(c, &w, seed ^ 0x1E55);
+    }
+}
+
+/// One session serves the stream *and* the advisors: an offline
+/// recommendation requested right after an online run reuses the warm
+/// matrix instead of rebuilding (`cells_reused` grows, `builds` does not).
+#[test]
+fn offline_recommendation_after_online_run_reuses_cells() {
+    use pgdesign::{Designer, IndexAdvisor};
+    use pgdesign_colt::ColtConfig;
+    let c = catalog();
+    let designer = Designer::new(c.clone());
+    let mut session = designer.online_session(ColtConfig {
+        epoch_length: 10,
+        ..Default::default()
+    });
+    let q =
+        pgdesign_query::parse_query(&c.schema, "SELECT ra FROM photoobj WHERE objid = 42").unwrap();
+    session.observe_all(std::iter::repeat_with(|| q.clone()).take(30));
+    let before = session.tuning_stats();
+    let rec = session.advise(&mut IndexAdvisor::default());
+    let after = session.tuning_stats();
+    assert_eq!(after.matrix.builds, before.matrix.builds, "no rebuild");
+    assert!(
+        after.matrix.cells_reused > before.matrix.cells_reused,
+        "warm cells must be reused: {:?} -> {:?}",
+        before.matrix,
+        after.matrix
+    );
+    assert!(rec.cost <= rec.base_cost + 1e-6);
+}
+
+/// Duplicate candidates handed to `build` stay findable through
+/// `candidate_id` even after the map-owning copy is removed (the O(1)
+/// dedupe map re-points to a surviving live duplicate).
+#[test]
+fn duplicate_candidates_stay_findable_after_removal() {
+    let c = catalog();
+    let opt = optimizer();
+    let inum = Inum::new(c, &opt);
+    let w = sdss_workload(c, 3, 909);
+    let photo = c.schema.table_by_name("photoobj").unwrap().id;
+    let x = Index::new(photo, vec![0]);
+    let mut m = CostMatrix::build(&inum, &w, &[x.clone(), x.clone()]);
+    assert_eq!(m.candidate_id(&x), Some(0), "first registration wins");
+    m.remove_candidate(0);
+    assert_eq!(
+        m.candidate_id(&x),
+        Some(1),
+        "the surviving duplicate must stay findable"
+    );
+    let id = m.add_candidate(&x);
+    assert_eq!(
+        id, 1,
+        "re-adding must reuse the live duplicate, not recompute"
+    );
+    m.remove_candidate(1);
+    assert_eq!(m.candidate_id(&x), None);
+}
