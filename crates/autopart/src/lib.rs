@@ -401,6 +401,9 @@ impl<'a> AutoPartAdvisor<'a> {
             .map(|qi| (matrix.joint_cost(qi, &empty), matrix.joint_cost(qi, &cfg)))
             .collect();
         let replication_bytes = design.replication_bytes(&catalog.schema, &catalog.stats);
+        // Session-scoped entry: the fragments/splits this search
+        // registered become visible to concurrent snapshot readers.
+        matrix.publish();
         PartitionRecommendation {
             design,
             base_cost,

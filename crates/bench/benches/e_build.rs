@@ -16,7 +16,10 @@
 //! (c) **parallel cold build**: `CostMatrix::build_with_threads` at 1 vs
 //!     4 workers (gate: ≥2× at 4 threads — only reachable on a machine
 //!     with ≥4 cores; `available_parallelism` is recorded alongside so
-//!     single-core CI numbers are interpretable).
+//!     single-core CI numbers are interpretable), and
+//! (d) **concurrent reader serving**: sustained what-if lookups/sec from
+//!     N lock-free snapshot readers (`CostMatrix::reader`) while the
+//!     writer keeps rotating epochs and publishing generations.
 //!
 //! All rows land in `BENCH_build.json` (set `BENCH_BUILD_JSON` to a path,
 //! or use `make bench-json`).
@@ -160,6 +163,68 @@ fn bench_build(c: &mut Criterion) {
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // (d) Concurrent what-if serving: sustained snapshot lookups/sec from
+    // N lock-free readers while the writer keeps rotating epochs and
+    // publishing generations — the tail-latency story behind the
+    // `TuningSession::reader` API. Readers clone one `MatrixReader` and
+    // never take a lock; the writer pays the whole synchronization bill.
+    let reader_threads = 4usize;
+    let serve_secs = if test_mode() { 0.05 } else { 0.25 };
+    let mut serve_generations = 0u64;
+    let (served, serve_elapsed) = {
+        use rand::Rng;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = AtomicBool::new(false);
+        let reader0 = persistent.reader();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..reader_threads)
+                .map(|t| {
+                    let mut reader = reader0.clone();
+                    let stop = &stop;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0xD00D + t as u64);
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            reader.refresh();
+                            let snap = reader.snapshot();
+                            let actives: Vec<usize> = snap.active_query_ids().collect();
+                            let n_cands = snap.n_candidates().max(1);
+                            let cfg = snap.config_of(
+                                (0..rng.random_range(0..6usize))
+                                    .map(|_| rng.random_range(0..n_cands)),
+                            );
+                            for &qid in &actives {
+                                let _ = snap.cost(qid, &cfg);
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let t4 = Instant::now();
+            while t4.elapsed().as_secs_f64() < serve_secs {
+                let w = &epoch_ws[(serve_generations as usize) % epoch_ws.len()];
+                let qids = persistent.add_queries(w.iter());
+                let keep: std::collections::HashSet<usize> = qids.iter().copied().collect();
+                let stale: Vec<usize> = persistent
+                    .active_query_ids()
+                    .filter(|id| !keep.contains(id))
+                    .collect();
+                for id in stale {
+                    persistent.retire_query(id);
+                }
+                persistent.publish();
+                serve_generations += 1;
+            }
+            stop.store(true, Ordering::Release);
+            let elapsed = t4.elapsed().as_secs_f64();
+            let total: u64 = handles.into_iter().map(|h| h.join().expect("reader")).sum();
+            (total, elapsed)
+        })
+    };
+    let reader_rate = served as f64 / serve_elapsed.max(1e-12);
+
     let incr_speedup = fresh_total / incr_total.max(1e-12);
     let par_speedup = cold_serial / cold_parallel.max(1e-12);
     println!(
@@ -180,6 +245,12 @@ fn bench_build(c: &mut Criterion) {
         par_speedup,
         par_agreement
     );
+    println!(
+        "reader serving:  {:7.0} lookups/s from {reader_threads} threads during {} rotations ({:.0} ms window)",
+        reader_rate,
+        serve_generations,
+        serve_elapsed * 1e3
+    );
     let s = inum.matrix_stats();
     println!(
         "matrix counters: {} builds, {} cells computed, {} cells reused, {:.1} ms total build time",
@@ -198,7 +269,10 @@ fn bench_build(c: &mut Criterion) {
              \"incremental_vs_fresh_speedup\": {:.2}, \"agreement_err\": {:.3e}}},\n    \
              {{\"row\": \"cold-build\", \"serial_ms\": {:.3}, \"parallel_4t_ms\": {:.3}, \
              \"parallel_speedup_4t\": {:.2}, \"available_parallelism\": {cores}, \
-             \"agreement_err\": {:.3e}}}\n  ],\n  \
+             \"agreement_err\": {:.3e}}},\n    \
+             {{\"row\": \"reader-throughput\", \"reader_threads\": {reader_threads}, \
+             \"lookups_per_sec\": {:.0}, \"generations_published\": {serve_generations}, \
+             \"window_ms\": {:.1}}}\n  ],\n  \
              \"cells_computed\": {},\n  \"cells_reused\": {}\n}}\n",
             fresh_total * 1e3,
             incr_total * 1e3,
@@ -208,6 +282,8 @@ fn bench_build(c: &mut Criterion) {
             cold_parallel * 1e3,
             par_speedup,
             par_agreement,
+            reader_rate,
+            serve_elapsed * 1e3,
             s.cells,
             s.cells_reused,
         );

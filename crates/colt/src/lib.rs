@@ -311,11 +311,16 @@ impl<'a> ColtTuner<'a> {
             matrix.set_query_weight(qid, w);
         }
 
-        let cid_of: HashMap<Index, usize> = desired
-            .iter()
-            .map(|idx| (idx.clone(), matrix.add_candidate(idx)))
-            .collect();
+        // Bulk registration: the epoch's new candidates are costed in one
+        // parallel fan-out (duplicates resolve to their resident ids).
+        let cids = matrix.add_candidates(&desired);
+        let cid_of: HashMap<Index, usize> = desired.iter().cloned().zip(cids).collect();
         let qid_of = |qi: usize| qids[probed_queries.binary_search(&qi).expect("probed")];
+
+        // Mutations for this epoch are done: publish the rotated state so
+        // concurrent readers can follow the stream at epoch granularity.
+        // Everything below is read-only probing against `matrix`.
+        matrix.publish();
 
         let matrix: &CostMatrix<'_> = matrix;
         let current_config = matrix.config_of(self.current.indexes().iter().map(|idx| {

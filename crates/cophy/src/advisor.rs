@@ -165,7 +165,11 @@ impl<'a> CophyAdvisor<'a> {
             &matrix.active_workload(),
             &self.config.candidates,
         );
-        self.recommend_with_pool(matrix, base)
+        let rec = self.recommend_with_pool(matrix, base);
+        // Session-scoped entry: everything this search registered becomes
+        // visible to concurrent snapshot readers as the next generation.
+        matrix.publish();
+        rec
     }
 
     /// Shared body of [`Self::recommend`]/[`Self::recommend_on`]: `base`
@@ -192,9 +196,9 @@ impl<'a> CophyAdvisor<'a> {
         } else {
             base
         };
-        for idx in &enumerated.indexes {
-            matrix.add_candidate(idx);
-        }
+        // Bulk registration: new candidates' cells are computed in one
+        // parallel fan-out; resident ones reuse their cells.
+        matrix.add_candidates(&enumerated.indexes);
         let matrix: &CostMatrix<'_> = matrix;
 
         // Sizes over every live candidate of the matrix, filtering out
@@ -347,7 +351,10 @@ impl<'a> CophyAdvisor<'a> {
             &matrix.active_workload(),
             &self.config.candidates,
         );
-        self.recommend_joint_with_pool(matrix, candidates, partition_config)
+        let rec = self.recommend_joint_with_pool(matrix, candidates, partition_config);
+        // Session-scoped entry: publish for concurrent snapshot readers.
+        matrix.publish();
+        rec
     }
 
     /// Shared body of [`Self::recommend_joint`]/[`Self::recommend_joint_on`]
@@ -360,9 +367,7 @@ impl<'a> CophyAdvisor<'a> {
     ) -> JointRecommendation {
         let catalog = self.inum.catalog();
         let qids: Vec<usize> = matrix.active_query_ids().collect();
-        for idx in &candidates.indexes {
-            matrix.add_candidate(idx);
-        }
+        matrix.add_candidates(&candidates.indexes);
         let budget = self.config.storage_budget_bytes;
 
         // Index half: greedy benefit-per-byte on the shared matrix.

@@ -381,6 +381,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 print!("{frags}");
             }
             if show_stats {
+                // Publish the explored state and serve one evaluation from
+                // a concurrent reader, so the stats cover the lock-free
+                // snapshot path too.
+                session.publish();
+                let reader = session.reader();
+                let _ = reader.evaluate(&[]);
                 println!();
                 print!("{}", session.tuning_stats());
             }

@@ -207,6 +207,19 @@ impl<'a> InteractiveSession<'a> {
         self.session.stats()
     }
 
+    /// A concurrent reader over the latest published snapshot of the
+    /// session matrix (see [`TuningSession::reader`]): what-if lookups
+    /// from other threads while this view keeps exploring.
+    pub fn reader(&self) -> crate::session::SessionReader {
+        self.session.reader()
+    }
+
+    /// Publish the current matrix state for concurrent readers (see
+    /// [`TuningSession::publish`]); returns the new generation.
+    pub fn publish(&mut self) -> u64 {
+        self.session.publish()
+    }
+
     /// Add a what-if index; returns false if it was already present.
     /// Registers the candidate on the session matrix (its cells are
     /// computed once; re-adding a previously removed index is free) and

@@ -56,7 +56,10 @@
 //! session matrix and hands the warm cells to any advisor asked for
 //! mid-stream ([`OnlineSession::advise`]); the `recommend_*` methods
 //! above are one-shot session wrappers. See [`session`] for the
-//! matrix-sharing contract.
+//! matrix-sharing contract. For concurrent what-if serving,
+//! [`TuningSession::reader`] hands out [`SessionReader`]s — cheap
+//! `Clone + Send` handles costing configurations lock-free against the
+//! latest published snapshot while the session keeps mutating.
 //!
 //! ```
 //! use pgdesign::{Designer, IndexAdvisor, PartitionAdvisor};
@@ -86,7 +89,7 @@ pub use online::OnlineSession;
 pub use report::TuningStats;
 pub use session::{
     Advisor, IndexAdvisor, InteractionAdvisor, JointAdvisor, OfflineAdvisor, PartitionAdvisor,
-    TuningSession,
+    SessionReader, TuningSession,
 };
 
 // Re-export the component crates under one roof.

@@ -64,6 +64,14 @@ impl<'a> OnlineSession<'a> {
         &mut self.session
     }
 
+    /// A concurrent reader over the latest published snapshot of the
+    /// session matrix (see [`TuningSession::reader`]). COLT publishes a
+    /// generation at every epoch boundary, so readers follow the stream
+    /// at epoch granularity without ever blocking it.
+    pub fn reader(&self) -> crate::session::SessionReader {
+        self.session.reader()
+    }
+
     /// Run an advisor against the session's warm matrix — the
     /// background-advisor handoff of the redesigned API. The advisor sees
     /// the queries currently resident (the recently profiled epochs) and

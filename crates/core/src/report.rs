@@ -14,6 +14,12 @@ pub struct TuningStats {
     pub inum: InumStats,
     /// Second level: precomputed cost matrices.
     pub matrix: MatrixStats,
+    /// Generation of the latest published reader snapshot (0 = the
+    /// build-time snapshot; each advise/publish bumps it).
+    pub published_generation: u64,
+    /// Configuration-cost lookups served to concurrent snapshot readers
+    /// (lock-free; not included in `matrix.lookups`).
+    pub reader_lookups: u64,
 }
 
 impl fmt::Display for TuningStats {
@@ -44,6 +50,11 @@ impl fmt::Display for TuningStats {
             f,
             "   matrix lookups: {} ({} partition-aware)",
             self.matrix.lookups, self.matrix.partition_lookups
+        )?;
+        writeln!(
+            f,
+            "   published snapshot: generation {} ({} reader lookups served)",
+            self.published_generation, self.reader_lookups
         )?;
         writeln!(
             f,

@@ -18,8 +18,9 @@
 
 use crate::designer::Designer;
 use crate::report::TuningStats;
-use pgdesign_inum::{CostMatrix, Inum};
+use pgdesign_inum::{CostMatrix, Inum, MatrixReader, MatrixSnapshot};
 use pgdesign_query::Workload;
+use std::ops::Deref;
 
 /// A tuning session: one [`Inum`] skeleton cache plus one persistent,
 /// incrementally-maintained [`CostMatrix`], shared by every advisor and
@@ -110,12 +111,108 @@ impl<'a> TuningSession<'a> {
         TuningStats {
             inum: self._inum.stats(),
             matrix: self._inum.matrix_stats(),
+            published_generation: self.matrix.published_generation(),
+            reader_lookups: self.matrix.reader_lookups(),
         }
     }
 
+    /// A concurrent reader over the latest *published* snapshot of the
+    /// session matrix: cheap to create, [`Clone`] + [`Send`] + `'static`,
+    /// and every lookup on it is lock-free against a pinned generation.
+    /// Hand clones to N threads to serve what-if evaluations while this
+    /// session keeps mutating the write side; see [`SessionReader`] for
+    /// the staleness contract.
+    pub fn reader(&self) -> SessionReader {
+        SessionReader {
+            reader: self.matrix.reader(),
+        }
+    }
+
+    /// Publish the matrix's current state as a new snapshot generation for
+    /// concurrent readers. [`Self::advise`] publishes automatically after
+    /// each advisor; call this after manual [`Self::matrix_mut`] edits
+    /// that readers should observe. Returns the new generation.
+    pub fn publish(&mut self) -> u64 {
+        self.matrix.publish()
+    }
+
     /// Run an advisor against this session (see [`Advisor`]).
+    ///
+    /// Publishes a fresh reader snapshot on completion: whatever the
+    /// advisor registered or rotated becomes visible to
+    /// [`Self::reader`] handles as the next generation.
     pub fn advise<A: Advisor + ?Sized>(&mut self, advisor: &mut A) -> A::Report {
-        advisor.advise(self)
+        let report = advisor.advise(self);
+        self.matrix.publish();
+        report
+    }
+}
+
+/// A cheap, cloneable, thread-safe handle serving what-if evaluations from
+/// the latest snapshot a [`TuningSession`] published.
+///
+/// Dereferences to [`MatrixSnapshot`], so the matrix's whole read API is
+/// available directly (`reader.cost(..)`, `reader.joint_cost(..)`,
+/// `reader.workload_cost(..)`). Lookups take no lock and call no
+/// optimizer; they are consistent within the pinned generation — a handle
+/// cloned before an epoch rotation keeps evaluating the old generation
+/// until [`Self::refresh`]. Check [`Self::is_stale`] (one atomic load) at
+/// whatever staleness budget the caller tolerates; the writer never blocks
+/// on readers.
+#[derive(Clone)]
+pub struct SessionReader {
+    reader: MatrixReader,
+}
+
+impl SessionReader {
+    /// The pinned snapshot (also reachable through `Deref`).
+    pub fn snapshot(&self) -> &MatrixSnapshot {
+        self.reader.snapshot()
+    }
+
+    /// Whether the session has published a newer generation than the one
+    /// pinned here.
+    pub fn is_stale(&self) -> bool {
+        self.reader.is_stale()
+    }
+
+    /// Re-pin the latest published generation; returns the generation now
+    /// pinned.
+    pub fn refresh(&mut self) -> u64 {
+        self.reader.refresh()
+    }
+
+    /// Workload cost without and with the given resident candidate ids —
+    /// the interactive `evaluate` shape as a concurrent lookup.
+    pub fn evaluate(&self, candidate_ids: &[usize]) -> (f64, f64) {
+        let snap = self.reader.snapshot();
+        let cfg = snap.config_of(candidate_ids.iter().copied());
+        (
+            snap.workload_cost(&snap.empty_config()),
+            snap.workload_cost(&cfg),
+        )
+    }
+
+    /// The interaction graph over resident candidate ids, computed
+    /// entirely against the pinned snapshot (the `2^k` subset sweep never
+    /// touches the writer).
+    pub fn interaction_graph(
+        &self,
+        candidate_ids: &[usize],
+    ) -> pgdesign_interaction::InteractionGraph {
+        analyze_on(
+            self.reader.snapshot(),
+            candidate_ids,
+            &InteractionConfig::default(),
+        )
+        .graph()
+    }
+}
+
+impl Deref for SessionReader {
+    type Target = MatrixSnapshot;
+    fn deref(&self) -> &MatrixSnapshot {
+        self.reader.snapshot()
     }
 }
 
@@ -419,11 +516,9 @@ impl Advisor for InteractionAdvisor {
     type Report = InteractionAnalysis;
 
     fn advise(&mut self, session: &mut TuningSession<'_>) -> InteractionAnalysis {
-        let ids: Vec<usize> = self
-            .indexes
-            .iter()
-            .map(|idx| session.matrix_mut().add_candidate(idx))
-            .collect();
+        // Bulk registration: new candidates' cells are computed in one
+        // parallel fan-out instead of one serial pass per index.
+        let ids = session.matrix_mut().add_candidates(&self.indexes);
         analyze_on(session.matrix(), &ids, &self.config)
     }
 }

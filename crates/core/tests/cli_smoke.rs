@@ -195,6 +195,9 @@ fn session_steps_through_whatif_structures() {
         "average workload benefit",
         "Rewritten-query report:",
         "INUM / cost-matrix statistics",
+        // The explicit publish before --stats pins generation 1, and the
+        // snapshot evaluation routes through the lock-free reader path.
+        "published snapshot: generation 1 (",
     ] {
         assert!(
             text.contains(needle),

@@ -42,7 +42,7 @@ pub use schedule::{
 };
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
-use pgdesign_inum::{CostMatrix, Inum};
+use pgdesign_inum::{CostMatrix, Inum, MatrixView};
 use pgdesign_query::Workload;
 use std::collections::HashMap;
 
@@ -61,11 +61,13 @@ impl Default for InteractionConfig {
 }
 
 /// The matrix a [`ConfigCostCache`] serves lookups from: either one it
-/// built (and owns) for a standalone analysis, or a borrowed slice of ids
-/// on a long-lived session matrix.
+/// built (and owns) for a standalone analysis, or a borrowed read view —
+/// a live session matrix *or* a published snapshot
+/// ([`pgdesign_inum::MatrixSnapshot`]), which is how concurrent readers
+/// run interaction analyses without blocking the writer.
 enum MatrixHandle<'m, 'a> {
     Owned(Box<CostMatrix<'a>>),
-    Borrowed(&'m CostMatrix<'a>),
+    Borrowed(&'m dyn MatrixView),
 }
 
 /// Memoized workload costs per index-subset bitmask, served from a
@@ -97,10 +99,11 @@ impl<'m, 'a> ConfigCostCache<'m, 'a> {
         Self::with_handle(MatrixHandle::Owned(Box::new(matrix)), ids)
     }
 
-    /// New cache over `candidate_ids` of an existing matrix — no rebuild;
-    /// every lookup is served from the matrix's resident cells. The ids
-    /// must be live candidates of `matrix`.
-    pub fn on_matrix(matrix: &'m CostMatrix<'a>, candidate_ids: Vec<usize>) -> Self {
+    /// New cache over `candidate_ids` of an existing read view (a live
+    /// matrix or a published snapshot) — no rebuild; every lookup is
+    /// served from the view's resident cells. The ids must be live
+    /// candidates of `matrix`.
+    pub fn on_matrix(matrix: &'m dyn MatrixView, candidate_ids: Vec<usize>) -> Self {
         Self::with_handle(MatrixHandle::Borrowed(matrix), candidate_ids)
     }
 
@@ -110,11 +113,11 @@ impl<'m, 'a> ConfigCostCache<'m, 'a> {
             "interaction analysis supports ≤ 20 indexes"
         );
         let (qids, weights) = {
-            let m: &CostMatrix<'_> = match &handle {
-                MatrixHandle::Owned(m) => m,
-                MatrixHandle::Borrowed(m) => m,
+            let m: &dyn MatrixView = match &handle {
+                MatrixHandle::Owned(m) => &**m,
+                MatrixHandle::Borrowed(m) => *m,
             };
-            let qids: Vec<usize> = m.active_query_ids().collect();
+            let qids = m.active_query_ids_vec();
             let weights = qids.iter().map(|&q| m.query_weight(q)).collect();
             (qids, weights)
         };
@@ -127,11 +130,11 @@ impl<'m, 'a> ConfigCostCache<'m, 'a> {
         }
     }
 
-    /// The matrix lookups are served from.
-    pub fn matrix(&self) -> &CostMatrix<'a> {
+    /// The read view lookups are served from.
+    pub fn matrix(&self) -> &dyn MatrixView {
         match &self.handle {
-            MatrixHandle::Owned(m) => m,
-            MatrixHandle::Borrowed(m) => m,
+            MatrixHandle::Owned(m) => &**m,
+            MatrixHandle::Borrowed(m) => *m,
         }
     }
 
@@ -144,13 +147,14 @@ impl<'m, 'a> ConfigCostCache<'m, 'a> {
     /// the active queries of the matrix at cache construction).
     pub fn query_costs(&mut self, mask: u32) -> &[f64] {
         if !self.costs.contains_key(&mask) {
-            let selected = self
+            let selected: Vec<usize> = self
                 .ids
                 .iter()
                 .enumerate()
                 .filter(|&(bit, _)| mask & (1 << bit) != 0)
-                .map(|(_, &id)| id);
-            let config = self.matrix().config_of(selected);
+                .map(|(_, &id)| id)
+                .collect();
+            let config = self.matrix().config_with(&selected);
             let costs: Vec<f64> = self
                 .qids
                 .iter()
@@ -273,12 +277,15 @@ pub fn analyze(
 }
 
 /// Compute the degree-of-interaction matrix for live candidates of an
-/// *existing* matrix — the session-scoped entry: no matrix build, every
-/// subset cost is a pure lookup against the resident cells. `candidate_ids`
+/// *existing* read view — the session-scoped entry: no matrix build, every
+/// subset cost is a pure lookup against the resident cells. The view can
+/// be the live [`CostMatrix`] or a published
+/// [`pgdesign_inum::MatrixSnapshot`] (concurrent readers analyze against a
+/// pinned generation while the writer keeps mutating). `candidate_ids`
 /// must be live candidate ids of `matrix`; the returned analysis lists the
 /// indexes in the same order.
 pub fn analyze_on(
-    matrix: &CostMatrix<'_>,
+    matrix: &dyn MatrixView,
     candidate_ids: &[usize],
     config: &InteractionConfig,
 ) -> InteractionAnalysis {

@@ -66,6 +66,14 @@
 //! query. The suite proptests random add/remove/retire interleavings
 //! against fresh builds and pins serial-vs-parallel equality.
 //!
+//! The matrix also serves **concurrent readers**: [`CostMatrix::publish`]
+//! snapshots the writer's state as an immutable [`MatrixSnapshot`] behind
+//! an `Arc`, and any number of [`MatrixReader`] handles
+//! ([`CostMatrix::reader`]) cost configurations lock-free against a pinned
+//! generation while the writer keeps mutating — the reader hot path
+//! touches no lock and no optimizer. [`MatrixView`] abstracts over the
+//! live matrix and a snapshot for analysis code that reads either.
+//!
 //! The *partition extension* mentioned by the paper lives at **both**
 //! levels. At the first level, access costing consults the design's
 //! vertical/horizontal partitionings, so cached skeletons serve
@@ -92,10 +100,12 @@
 mod inum;
 mod key;
 mod matrix;
+mod snapshot;
 
 pub use inum::{interesting_orders_per_slot, order_combinations, Inum, InumStats};
 pub use key::query_cell_key;
 pub use matrix::{
     build_threads, CandidateBitset, CostMatrix, FragmentBitset, JointConfig, JointToggle,
-    MatrixStats, SplitBitset,
+    MatrixBuilder, MatrixStats, SplitBitset,
 };
+pub use snapshot::{MatrixReader, MatrixSnapshot, MatrixView};

@@ -25,9 +25,21 @@
 //! assert this within 1e-6). [`CostMatrix::delta_add`] /
 //! [`CostMatrix::delta_remove`] evaluate the cost change of toggling one
 //! candidate without materializing the toggled configuration.
+//!
+//! The matrix additionally serves **concurrent readers**: all cells and
+//! registries live in an owned [`MatrixCore`] payload with no borrow of
+//! the owning [`Inum`], so the writer-side [`CostMatrix`] (alias
+//! [`MatrixBuilder`]) can [`CostMatrix::publish`] its state as an
+//! immutable [`crate::MatrixSnapshot`] behind an `Arc`. Any number of
+//! [`crate::MatrixReader`] handles then cost configurations lock-free
+//! against a consistent generation while the writer keeps mutating; query
+//! and split payloads are `Arc`-shared between the writer and its
+//! snapshots (copy-on-write at the mutation sites), so a publish pays for
+//! the epoch's drift, not for the matrix size.
 
 use crate::inum::Inum;
 use crate::key::query_key;
+use crate::snapshot::{MatrixReader, PublishSlot};
 use pgdesign_catalog::design::{
     HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning,
 };
@@ -35,9 +47,11 @@ use pgdesign_catalog::schema::TableId;
 use pgdesign_catalog::sizing;
 use pgdesign_optimizer::access::{self, AccessContext, FetchTarget, IndexPathProfile, SlotProfile};
 use pgdesign_optimizer::plan::order_satisfies;
+use pgdesign_optimizer::CostParams;
 use pgdesign_query::ast::{Query, QueryColumn};
 use pgdesign_query::Workload;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Number of worker threads for matrix builds: the `PGDESIGN_THREADS`
@@ -354,7 +368,7 @@ impl JointToggle {
         }
     }
 
-    fn is_noop(&self) -> bool {
+    pub(crate) fn is_noop(&self) -> bool {
         *self == JointToggle::default()
     }
 }
@@ -362,6 +376,7 @@ impl JointToggle {
 /// One access path of a candidate index on a slot, kept in its
 /// target-parameterized form so partitioned configurations can re-cost it
 /// against any fetch target.
+#[derive(Clone)]
 struct CandPath {
     /// The partition-independent path skeleton.
     profile: IndexPathProfile,
@@ -371,6 +386,7 @@ struct CandPath {
 }
 
 /// Precomputed access costs of one candidate index on one slot.
+#[derive(Clone)]
 struct CandCosts {
     /// Candidate id (position in the matrix's candidate list).
     id: usize,
@@ -386,6 +402,7 @@ struct CandCosts {
 }
 
 /// Per-slot cost row: the empty-design base plus per-candidate columns.
+#[derive(Clone)]
 struct SlotCosts {
     /// The slot's table.
     table: TableId,
@@ -412,6 +429,7 @@ struct SlotCosts {
 }
 
 /// Everything needed to cost one query against any candidate subset.
+#[derive(Clone)]
 struct QueryMatrix {
     /// Workload weight.
     weight: f64,
@@ -430,6 +448,7 @@ struct QueryMatrix {
 }
 
 /// A registered vertical-fragment candidate.
+#[derive(Clone)]
 struct Fragment {
     /// Fragmented table.
     table: TableId,
@@ -443,6 +462,7 @@ struct Fragment {
 }
 
 /// A registered horizontal-split candidate.
+#[derive(Clone)]
 struct Split {
     /// The partitioning.
     hp: HorizontalPartitioning,
@@ -468,6 +488,31 @@ struct Split {
 /// disjoint slots.
 pub struct CostMatrix<'a> {
     inum: &'a Inum<'a>,
+    /// The owned cell payload — everything a lookup needs, with no borrow
+    /// of the INUM instance, so snapshots of it can outlive `'a`.
+    core: MatrixCore,
+    /// The publication slot this matrix's snapshots rotate through; shared
+    /// with every [`MatrixReader`] handed out by [`Self::reader`].
+    slot: Arc<PublishSlot>,
+}
+
+/// Writer-side name for [`CostMatrix`]: the mutable half of the
+/// reader/writer split. Advisors and COLT mutate a `MatrixBuilder` and
+/// [`CostMatrix::publish`] immutable [`crate::MatrixSnapshot`] generations
+/// for concurrent readers.
+pub type MatrixBuilder<'a> = CostMatrix<'a>;
+
+/// The owned payload of a [`CostMatrix`]: cells, candidate registry,
+/// partition registries and the query mirror — everything a configuration
+/// lookup touches, and nothing borrowed from the owning [`Inum`]. Cloning
+/// is cheap relative to a rebuild: per-query cell blocks and per-split
+/// fraction tables are behind `Arc`s and shared with previous clones
+/// (copy-on-write at the writer's mutation sites).
+#[derive(Clone)]
+pub(crate) struct MatrixCore {
+    /// Optimizer cost parameters (copied from the INUM's optimizer), so
+    /// partition re-costing needs no `Inum` borrow.
+    params: CostParams,
     /// Query mirror: entry `i` is query slot `i`'s query (entries of
     /// retired slots are stale until the slot is reused).
     workload: Workload,
@@ -475,10 +520,10 @@ pub struct CostMatrix<'a> {
     /// matched by lookups).
     indexes: Vec<Option<Index>>,
     /// Live candidate id per index — the O(1) dedupe behind
-    /// [`Self::candidate_id`]/[`Self::add_candidate`] (first registration
-    /// wins when `build` was handed duplicates).
+    /// [`CostMatrix::candidate_id`]/[`CostMatrix::add_candidate`] (first
+    /// registration wins when `build` was handed duplicates).
     id_by_index: HashMap<Index, usize>,
-    queries: Vec<QueryMatrix>,
+    queries: Vec<Arc<QueryMatrix>>,
     /// Removed candidate ids available for reuse.
     free_candidates: Vec<usize>,
     /// Retired query slots available for reuse.
@@ -487,10 +532,11 @@ pub struct CostMatrix<'a> {
     /// install); weight edits and candidate edits do not count. Lets
     /// consumers cache per-slot derived values and revalidate in O(1).
     generation: u64,
-    /// Registered vertical-fragment candidates (id = position).
-    fragments: Vec<Fragment>,
+    /// Registered vertical-fragment candidates (id = position; never
+    /// mutated after registration, so clones share them plainly).
+    fragments: Vec<Arc<Fragment>>,
     /// Registered horizontal-split candidates (id = position).
-    splits: Vec<Split>,
+    splits: Vec<Arc<Split>>,
     /// Fragment ids per table (indexed by `TableId.0`), for the
     /// replication set-cover path and `joint_design_of`.
     frags_by_table: Vec<Vec<usize>>,
@@ -710,6 +756,85 @@ fn compute_query_matrices(
     })
 }
 
+/// Compute the new cells a candidate batch adds to each active query:
+/// per query, the `(slot index, CandCosts)` pairs to append (in batch
+/// order, so per-slot candidate order matches one-at-a-time registration)
+/// plus the number of cells costed. The per-query unit the bulk
+/// [`CostMatrix::add_candidates`] distributes over scoped workers — cells
+/// are bit-identical to the serial path because each depends on nothing
+/// but its own `(query, slot, candidate)` inputs.
+fn compute_candidate_cells(
+    inum: &Inum<'_>,
+    core: &MatrixCore,
+    active: &[usize],
+    new: &[(usize, Index)],
+    threads: usize,
+) -> Vec<(Vec<(usize, CandCosts)>, u64)> {
+    let one = |qi: usize| -> (Vec<(usize, CandCosts)>, u64) {
+        let q = &core.workload.entries[qi].query;
+        let qm = &core.queries[qi];
+        let catalog = inum.catalog();
+        let params = &inum.optimizer().params;
+        let empty = PhysicalDesign::empty();
+        let ctx = AccessContext {
+            catalog,
+            design: &empty,
+            params,
+            query: q,
+        };
+        let mut out = Vec::new();
+        let mut cells = 0u64;
+        for (s, slot) in qm.slots.iter().enumerate() {
+            if !new.iter().any(|(_, idx)| idx.table == slot.table) {
+                continue;
+            }
+            let slot_u16 = s as u16;
+            let prof = SlotProfile::build(&ctx, slot_u16, &[]);
+            let required: Vec<Vec<QueryColumn>> = slot
+                .slot_orders
+                .iter()
+                .map(|o| o.iter().map(|&c| QueryColumn::new(slot_u16, c)).collect())
+                .collect();
+            for (id, idx) in new {
+                if idx.table != slot.table {
+                    continue;
+                }
+                cells += 1;
+                if let Some(cc) = cost_candidate_on_slot(
+                    params,
+                    &ctx,
+                    &prof,
+                    &required,
+                    slot.base_target,
+                    *id,
+                    idx,
+                ) {
+                    out.push((s, cc));
+                }
+            }
+        }
+        (out, cells)
+    };
+    let nt = threads.clamp(1, active.len().max(1));
+    if nt <= 1 {
+        return active.iter().map(|&qi| one(qi)).collect();
+    }
+    let chunk = active.len().div_ceil(nt);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = active
+            .chunks(chunk)
+            .map(|ch| {
+                let one = &one;
+                scope.spawn(move || ch.iter().map(|&qi| one(qi)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("candidate build worker panicked"))
+            .collect()
+    })
+}
+
 impl<'a> CostMatrix<'a> {
     /// Build the matrix: for every query, fetch (or build) its cached
     /// skeletons, then cost the base access and each candidate index's
@@ -736,7 +861,7 @@ impl<'a> CostMatrix<'a> {
         let mut queries = Vec::with_capacity(computed.len());
         for (qm, c) in computed {
             cells += c;
-            queries.push(qm);
+            queries.push(Arc::new(qm));
         }
         inum.note_matrix_build(cells, t0.elapsed().as_nanos() as u64);
         let n_tables = inum.catalog().schema.tables().count();
@@ -746,8 +871,8 @@ impl<'a> CostMatrix<'a> {
                 id_by_index.entry(i.clone()).or_insert(id);
             }
         }
-        CostMatrix {
-            inum,
+        let core = MatrixCore {
+            params: inum.optimizer().params,
             workload: workload.clone(),
             indexes: idx,
             id_by_index,
@@ -758,7 +883,11 @@ impl<'a> CostMatrix<'a> {
             fragments: Vec::new(),
             splits: Vec::new(),
             frags_by_table: vec![Vec::new(); n_tables],
-        }
+        };
+        // Generation 0 is published at build time, so readers acquired
+        // before the first explicit `publish` still see a complete matrix.
+        let slot = Arc::new(PublishSlot::new(core.clone()));
+        CostMatrix { inum, core, slot }
     }
 
     /// The owning INUM instance (the slow-path oracle). The returned
@@ -775,38 +904,35 @@ impl<'a> CostMatrix<'a> {
     /// zeroed); on a freshly built matrix this is exactly the workload the
     /// matrix was built for.
     pub fn workload(&self) -> &Workload {
-        &self.workload
+        self.core.workload()
     }
 
     /// Number of query slots (active + retired); `cost` accepts any id
     /// below this.
     pub fn n_queries(&self) -> usize {
-        self.queries.len()
+        self.core.n_queries()
     }
 
     /// Number of candidate id slots (live + removed) — the id space
     /// [`CandidateBitset`]s range over.
     pub fn n_candidates(&self) -> usize {
-        self.indexes.len()
+        self.core.n_candidates()
     }
 
     /// The live candidates as `(id, index)` pairs, ascending by id.
     pub fn candidates(&self) -> impl Iterator<Item = (usize, &Index)> {
-        self.indexes
-            .iter()
-            .enumerate()
-            .filter_map(|(id, idx)| idx.as_ref().map(|i| (id, i)))
+        self.core.candidates()
     }
 
     /// The live candidate with id `id` (`None` for removed ids).
     pub fn candidate(&self, id: usize) -> Option<&Index> {
-        self.indexes.get(id).and_then(|i| i.as_ref())
+        self.core.candidate(id)
     }
 
     /// The id of the live candidate equal to `index`, if registered
     /// (O(1) hash lookup).
     pub fn candidate_id(&self, index: &Index) -> Option<usize> {
-        self.id_by_index.get(index).copied()
+        self.core.candidate_id(index)
     }
 
     /// The *active* queries as an owned `(query, weight)` snapshot — what
@@ -814,31 +940,23 @@ impl<'a> CostMatrix<'a> {
     /// retired slots are excluded, so the stale queries of a long-lived
     /// session matrix cannot steer candidate analyses.
     pub fn active_workload(&self) -> Workload {
-        let mut w = Workload::new();
-        for qid in self.active_query_ids() {
-            w.push(self.workload.query(qid).clone(), self.query_weight(qid));
-        }
-        w
+        self.core.active_workload()
     }
 
     /// Ids of the active (non-retired) queries, ascending.
     pub fn active_query_ids(&self) -> impl Iterator<Item = usize> + '_ {
-        self.queries
-            .iter()
-            .enumerate()
-            .filter(|(_, qm)| qm.active)
-            .map(|(id, _)| id)
+        self.core.active_query_ids()
     }
 
     /// Whether query slot `id` is active (false for retired slots and
     /// out-of-range ids).
     pub fn query_active(&self, id: usize) -> bool {
-        self.queries.get(id).is_some_and(|qm| qm.active)
+        self.core.query_active(id)
     }
 
     /// Workload weight of query slot `id` (0 for retired slots).
     pub fn query_weight(&self, id: usize) -> f64 {
-        self.queries.get(id).map_or(0.0, |qm| qm.weight)
+        self.core.query_weight(id)
     }
 
     /// Overwrite the weight of an active query slot (no-op on retired or
@@ -846,12 +964,50 @@ impl<'a> CostMatrix<'a> {
     /// a rotating consumer that wants per-epoch rather than cumulative
     /// weights resets them with this after each rotation (COLT does).
     pub fn set_query_weight(&mut self, id: usize, weight: f64) {
-        if let Some(qm) = self.queries.get_mut(id) {
+        if let Some(qm) = self.core.queries.get_mut(id) {
             if qm.active {
-                qm.weight = weight;
-                self.workload.entries[id].weight = weight;
+                Arc::make_mut(qm).weight = weight;
+                self.core.workload.entries[id].weight = weight;
             }
         }
+    }
+
+    // ---- Snapshot publication (the reader/writer split) ----
+
+    /// Publish the current matrix state as a new immutable snapshot
+    /// generation and return it. Readers acquired via [`Self::reader`]
+    /// keep serving their pinned generation until they
+    /// [`MatrixReader::refresh`]; the swap itself is guarded by the
+    /// writer-side lock, readers never block. Generations are strictly
+    /// monotonic, starting from 0 at build time.
+    pub fn publish(&mut self) -> u64 {
+        self.slot.publish(self.core.clone())
+    }
+
+    /// A cheap, `Clone + Send` read handle pinned to the latest published
+    /// generation. Lookups through the handle are lock-free (no `Inum`
+    /// involvement at all) and internally consistent until the holder
+    /// chooses to [`MatrixReader::refresh`].
+    pub fn reader(&self) -> MatrixReader {
+        MatrixReader::new(self.slot.current(), Arc::clone(&self.slot))
+    }
+
+    /// The latest published snapshot generation (0 right after build).
+    pub fn published_generation(&self) -> u64 {
+        self.slot.published()
+    }
+
+    /// Configuration-cost lookups served from published snapshots (all
+    /// reader handles combined) — the reader-side analogue of
+    /// [`MatrixStats::lookups`].
+    pub fn reader_lookups(&self) -> u64 {
+        self.slot.reader_lookups()
+    }
+
+    /// The subset of [`Self::reader_lookups`] that costed at least one
+    /// partition candidate.
+    pub fn reader_partition_lookups(&self) -> u64 {
+        self.slot.reader_partition_lookups()
     }
 
     // ---- Incremental maintenance ----
@@ -863,65 +1019,74 @@ impl<'a> CostMatrix<'a> {
     /// existing id with every resident cell counted as reused. Removed ids
     /// are recycled.
     pub fn add_candidate(&mut self, index: &Index) -> usize {
-        if let Some(id) = self.candidate_id(index) {
-            let reused: u64 = self
-                .queries
-                .iter()
-                .filter(|qm| qm.active)
-                .flat_map(|qm| qm.slots.iter())
-                .filter(|s| s.table == index.table)
-                .count() as u64;
-            self.inum.note_matrix_incremental(0, reused, 0);
-            return id;
+        self.add_candidates(std::slice::from_ref(index))[0]
+    }
+
+    /// Bulk [`Self::add_candidate`]: register a batch of candidate indexes
+    /// in one pass, fanning the cell work out over [`build_threads`]
+    /// scoped workers (one unit per active query, like the cold build).
+    /// Returns the id per input, aligned. Semantics match a one-at-a-time
+    /// loop exactly — same dedupe (against residents *and* within the
+    /// batch), same LIFO id recycling, same per-slot candidate order, and
+    /// bit-identical cells (each cell is a pure function of its own
+    /// `(query, slot, candidate)` inputs).
+    pub fn add_candidates(&mut self, indexes: &[Index]) -> Vec<usize> {
+        self.add_candidates_with_threads(indexes, build_threads())
+    }
+
+    /// [`Self::add_candidates`] with an explicit worker count (1 =
+    /// serial). The suite pins serial-vs-parallel equality through this
+    /// entry.
+    pub fn add_candidates_with_threads(&mut self, indexes: &[Index], threads: usize) -> Vec<usize> {
+        if indexes.is_empty() {
+            return Vec::new();
         }
         let t0 = Instant::now();
-        let id = match self.free_candidates.pop() {
-            Some(id) => id,
-            None => {
-                self.indexes.push(None);
-                self.indexes.len() - 1
-            }
-        };
-        self.indexes[id] = Some(index.clone());
-        self.id_by_index.insert(index.clone(), id);
-        let catalog = self.inum.catalog();
-        let params = &self.inum.optimizer().params;
-        let empty = PhysicalDesign::empty();
-        let mut cells = 0u64;
-        for qi in 0..self.queries.len() {
-            if !self.queries[qi].active {
+        let mut ids = Vec::with_capacity(indexes.len());
+        let mut reused = 0u64;
+        // Registration order matters: ids are handed out (LIFO from the
+        // free list, then fresh) in input order, and later duplicates in
+        // the batch dedupe against earlier entries, exactly as sequential
+        // `add_candidate` calls would.
+        let mut new: Vec<(usize, Index)> = Vec::new();
+        for index in indexes {
+            if let Some(id) = self.core.candidate_id(index) {
+                reused += self.core.active_slots_on(index.table);
+                ids.push(id);
                 continue;
             }
-            let q = &self.workload.entries[qi].query;
-            let ctx = AccessContext {
-                catalog,
-                design: &empty,
-                params,
-                query: q,
+            let id = match self.core.free_candidates.pop() {
+                Some(id) => id,
+                None => {
+                    self.core.indexes.push(None);
+                    self.core.indexes.len() - 1
+                }
             };
-            for s in 0..self.queries[qi].slots.len() {
-                if self.queries[qi].slots[s].table != index.table {
-                    continue;
-                }
-                let slot = s as u16;
-                let prof = SlotProfile::build(&ctx, slot, &[]);
-                let required: Vec<Vec<QueryColumn>> = self.queries[qi].slots[s]
-                    .slot_orders
-                    .iter()
-                    .map(|o| o.iter().map(|&c| QueryColumn::new(slot, c)).collect())
-                    .collect();
-                cells += 1;
-                let base_target = self.queries[qi].slots[s].base_target;
-                if let Some(cc) =
-                    cost_candidate_on_slot(params, &ctx, &prof, &required, base_target, id, index)
-                {
-                    self.queries[qi].slots[s].cands.push(cc);
-                }
+            self.core.indexes[id] = Some(index.clone());
+            self.core.id_by_index.insert(index.clone(), id);
+            ids.push(id);
+            new.push((id, index.clone()));
+        }
+        if new.is_empty() {
+            self.inum.note_matrix_incremental(0, reused, 0);
+            return ids;
+        }
+        let active: Vec<usize> = self.core.active_query_ids().collect();
+        let computed = compute_candidate_cells(self.inum, &self.core, &active, &new, threads);
+        let mut cells = 0u64;
+        for (&qi, (additions, c)) in active.iter().zip(computed) {
+            cells += c;
+            if additions.is_empty() {
+                continue;
+            }
+            let qm = Arc::make_mut(&mut self.core.queries[qi]);
+            for (s, cc) in additions {
+                qm.slots[s].cands.push(cc);
             }
         }
         self.inum
-            .note_matrix_incremental(cells, 0, t0.elapsed().as_nanos() as u64);
-        id
+            .note_matrix_incremental(cells, reused, t0.elapsed().as_nanos() as u64);
+        ids
     }
 
     /// Remove a candidate: its cells are dropped from every query slot and
@@ -930,30 +1095,43 @@ impl<'a> CostMatrix<'a> {
     /// still holding the removed id simply no longer matches any cell).
     /// No-op for already-removed or out-of-range ids.
     pub fn remove_candidate(&mut self, id: usize) {
-        if self.indexes.get(id).is_none_or(|i| i.is_none()) {
+        if self.core.indexes.get(id).is_none_or(|i| i.is_none()) {
             return;
         }
-        if let Some(idx) = self.indexes[id].take() {
+        if let Some(idx) = self.core.indexes[id].take() {
             // Only unmap if this id owns the entry (a duplicate handed to
             // `build` maps to its first id) — and if another live duplicate
             // exists, re-point the map so the index stays findable.
-            if self.id_by_index.get(&idx) == Some(&id) {
-                let other = self.indexes.iter().position(|i| i.as_ref() == Some(&idx));
+            if self.core.id_by_index.get(&idx) == Some(&id) {
+                let other = self
+                    .core
+                    .indexes
+                    .iter()
+                    .position(|i| i.as_ref() == Some(&idx));
                 match other {
                     Some(oid) => {
-                        self.id_by_index.insert(idx, oid);
+                        self.core.id_by_index.insert(idx, oid);
                     }
                     None => {
-                        self.id_by_index.remove(&idx);
+                        self.core.id_by_index.remove(&idx);
                     }
                 }
             }
         }
-        self.free_candidates.push(id);
-        for qm in &mut self.queries {
-            for slot in &mut qm.slots {
-                if let Some(pos) = slot.cands.iter().position(|c| c.id == id) {
-                    slot.cands.remove(pos);
+        self.core.free_candidates.push(id);
+        for qm in &mut self.core.queries {
+            // Copy-on-write: leave queries that never held the candidate
+            // shared with published snapshots.
+            if qm
+                .slots
+                .iter()
+                .any(|slot| slot.cands.iter().any(|c| c.id == id))
+            {
+                let qm = Arc::make_mut(qm);
+                for slot in &mut qm.slots {
+                    if let Some(pos) = slot.cands.iter().position(|c| c.id == id) {
+                        slot.cands.remove(pos);
+                    }
                 }
             }
         }
@@ -992,6 +1170,7 @@ impl<'a> CostMatrix<'a> {
         }
         let keys: Vec<u64> = entries.iter().map(|(q, _)| query_key(q)).collect();
         let resident: HashMap<u64, usize> = self
+            .core
             .queries
             .iter()
             .enumerate()
@@ -1015,7 +1194,8 @@ impl<'a> CostMatrix<'a> {
 
         // Compute the misses (the bulk) in parallel.
         let refs: Vec<(&Query, f64)> = pending.iter().map(|&i| entries[i]).collect();
-        let computed = compute_query_matrices(self.inum, &refs, &self.indexes, build_threads());
+        let computed =
+            compute_query_matrices(self.inum, &refs, &self.core.indexes, build_threads());
 
         // Install the computed matrices (retired slots first), then wire
         // up ids for every input entry.
@@ -1031,7 +1211,7 @@ impl<'a> CostMatrix<'a> {
         for (_, idx) in self.candidates() {
             *cands_on.entry(idx.table).or_insert(0) += 1;
         }
-        let cell_work = |queries: &[QueryMatrix], id: usize| -> u64 {
+        let cell_work = |queries: &[Arc<QueryMatrix>], id: usize| -> u64 {
             queries[id]
                 .slots
                 .iter()
@@ -1041,18 +1221,20 @@ impl<'a> CostMatrix<'a> {
         for (i, r) in resolved.iter().enumerate() {
             match *r {
                 Resolved::Existing(id) => {
-                    self.queries[id].weight += entries[i].1;
-                    self.workload.entries[id].weight = self.queries[id].weight;
-                    reused += cell_work(&self.queries, id);
+                    let w = self.core.queries[id].weight + entries[i].1;
+                    Arc::make_mut(&mut self.core.queries[id]).weight = w;
+                    self.core.workload.entries[id].weight = w;
+                    reused += cell_work(&self.core.queries, id);
                     ids[i] = id;
                 }
                 Resolved::SameAs(j) => {
                     let id = ids[j];
-                    self.queries[id].weight += entries[i].1;
-                    self.workload.entries[id].weight = self.queries[id].weight;
+                    let w = self.core.queries[id].weight + entries[i].1;
+                    Arc::make_mut(&mut self.core.queries[id]).weight = w;
+                    self.core.workload.entries[id].weight = w;
                     // A fresh build would have costed this duplicate entry
                     // separately; sharing the slot avoids that work.
-                    reused += cell_work(&self.queries, id);
+                    reused += cell_work(&self.core.queries, id);
                     ids[i] = id;
                 }
                 Resolved::Pending => {}
@@ -1070,24 +1252,25 @@ impl<'a> CostMatrix<'a> {
     /// leftovers — recurring queries then dedupe against their still-active
     /// slots instead of being recomputed. No-op on inactive ids.
     pub fn retire_query(&mut self, id: usize) {
-        let Some(qm) = self.queries.get_mut(id) else {
+        let Some(qm) = self.core.queries.get_mut(id) else {
             return;
         };
         if !qm.active {
             return;
         }
-        self.generation += 1;
+        self.core.generation += 1;
+        let qm = Arc::make_mut(qm);
         qm.active = false;
         qm.key = 0;
         qm.weight = 0.0;
         qm.internal = Vec::new();
         qm.reqs = Vec::new();
         qm.slots = Vec::new();
-        self.workload.entries[id].weight = 0.0;
-        for sp in &mut self.splits {
-            sp.frac[id] = Vec::new();
+        self.core.workload.entries[id].weight = 0.0;
+        for sp in &mut self.core.splits {
+            Arc::make_mut(sp).frac[id] = Vec::new();
         }
-        self.free_queries.push(id);
+        self.core.free_queries.push(id);
     }
 
     /// The query-rotation generation: changes exactly when some slot id's
@@ -1095,41 +1278,43 @@ impl<'a> CostMatrix<'a> {
     /// [`Self::add_queries`]). Equal generations guarantee every slot id
     /// still denotes the same query, so per-slot caches stay valid.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.core.generation
     }
 
     /// Place a computed query matrix in a slot (retired first), keeping
     /// the workload mirror and every split's fraction rows aligned.
     fn install_query(&mut self, query: Query, qm: QueryMatrix) -> usize {
-        self.generation += 1;
-        let id = match self.free_queries.pop() {
+        let core = &mut self.core;
+        core.generation += 1;
+        let id = match core.free_queries.pop() {
             Some(id) => {
-                self.workload.entries[id].query = query;
+                core.workload.entries[id].query = query;
                 id
             }
             None => {
-                self.queries.push(QueryMatrix {
+                core.queries.push(Arc::new(QueryMatrix {
                     weight: 0.0,
                     key: 0,
                     active: false,
                     internal: Vec::new(),
                     reqs: Vec::new(),
                     slots: Vec::new(),
-                });
-                self.workload.push(query, 0.0);
-                for sp in &mut self.splits {
-                    sp.frac.push(Vec::new());
+                }));
+                core.workload.push(query, 0.0);
+                for sp in &mut core.splits {
+                    Arc::make_mut(sp).frac.push(Vec::new());
                 }
-                self.queries.len() - 1
+                core.queries.len() - 1
             }
         };
-        self.workload.entries[id].weight = qm.weight;
-        self.queries[id] = qm;
+        core.workload.entries[id].weight = qm.weight;
+        core.queries[id] = Arc::new(qm);
         // Extend every registered split with this query's surviving
         // fractions so joint lookups stay pure.
-        let q = &self.workload.entries[id].query;
+        let q = &core.workload.entries[id].query;
         let mut cells = 0u64;
-        for sp in &mut self.splits {
+        for sp in &mut core.splits {
+            let sp = Arc::make_mut(sp);
             let mut per_slot = Vec::with_capacity(q.slot_count() as usize);
             for slot in 0..q.slot_count() {
                 per_slot.push(if q.table_of(slot) == sp.hp.table {
@@ -1150,19 +1335,19 @@ impl<'a> CostMatrix<'a> {
 
     /// An empty configuration sized for this matrix.
     pub fn empty_config(&self) -> CandidateBitset {
-        CandidateBitset::new(self.indexes.len())
+        self.core.empty_config()
     }
 
     /// A configuration holding exactly `ids`.
     pub fn config_of<I: IntoIterator<Item = usize>>(&self, ids: I) -> CandidateBitset {
-        CandidateBitset::from_ids(self.indexes.len(), ids)
+        self.core.config_of(ids)
     }
 
     /// The [`PhysicalDesign`] a configuration denotes (slow-path bridge).
     /// Removed candidate ids in the bitset are skipped, matching how the
     /// cost lookups treat them.
     pub fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
-        PhysicalDesign::with_indexes(config.ids().filter_map(|id| self.indexes[id].clone()))
+        self.core.design_of(config)
     }
 
     /// Cost of `query_id` under the configuration — pure lookups.
@@ -1197,14 +1382,14 @@ impl<'a> CostMatrix<'a> {
     /// only; retired slots contribute nothing).
     pub fn workload_cost(&self, config: &CandidateBitset) -> f64 {
         self.active_query_ids()
-            .map(|qi| self.queries[qi].weight * self.cost(qi, config))
+            .map(|qi| self.core.queries[qi].weight * self.cost(qi, config))
             .sum()
     }
 
     /// Weighted workload cost under `config ∪ {extra}`.
     pub fn workload_cost_plus(&self, config: &CandidateBitset, extra: usize) -> f64 {
         self.active_query_ids()
-            .map(|qi| self.queries[qi].weight * self.cost_plus(qi, config, extra))
+            .map(|qi| self.core.queries[qi].weight * self.cost_plus(qi, config, extra))
             .sum()
     }
 
@@ -1219,6 +1404,7 @@ impl<'a> CostMatrix<'a> {
         cols.sort_unstable();
         cols.dedup();
         if let Some(id) = self
+            .core
             .fragments
             .iter()
             .position(|f| f.table == table && f.columns == cols)
@@ -1230,14 +1416,14 @@ impl<'a> CostMatrix<'a> {
         assert!(tdef.width() <= 128, "fragment masks support 128 columns");
         let mask = column_mask(&cols);
         let pages = sizing::heap_pages(catalog.row_count(table), tdef.byte_width_of(&cols) + 8);
-        let id = self.fragments.len();
-        self.fragments.push(Fragment {
+        let id = self.core.fragments.len();
+        self.core.fragments.push(Arc::new(Fragment {
             table,
             columns: cols,
             mask,
             pages,
-        });
-        self.frags_by_table[table.0 as usize].push(id);
+        }));
+        self.core.frags_by_table[table.0 as usize].push(id);
         self.inum.note_partition_cells(1);
         id
     }
@@ -1247,13 +1433,13 @@ impl<'a> CostMatrix<'a> {
     /// on [`Self::add_query`]), so applying the split in a configuration
     /// is a pure lookup.
     pub fn register_split(&mut self, hp: HorizontalPartitioning) -> usize {
-        if let Some(id) = self.splits.iter().position(|s| s.hp == hp) {
+        if let Some(id) = self.core.splits.iter().position(|s| s.hp == hp) {
             return id;
         }
-        let mut frac = Vec::with_capacity(self.queries.len());
+        let mut frac = Vec::with_capacity(self.core.queries.len());
         let mut cells = 0u64;
-        for (qi, entry) in self.workload.entries.iter().enumerate() {
-            if !self.queries[qi].active {
+        for (qi, entry) in self.core.workload.entries.iter().enumerate() {
+            if !self.core.queries[qi].active {
                 frac.push(Vec::new()); // retired slot: filled on reuse
                 continue;
             }
@@ -1270,66 +1456,46 @@ impl<'a> CostMatrix<'a> {
             }
             frac.push(per_slot);
         }
-        let id = self.splits.len();
-        self.splits.push(Split { hp, frac });
+        let id = self.core.splits.len();
+        self.core.splits.push(Arc::new(Split { hp, frac }));
         self.inum.note_partition_cells(cells);
         id
     }
 
     /// Number of registered fragment candidates.
     pub fn n_fragments(&self) -> usize {
-        self.fragments.len()
+        self.core.n_fragments()
     }
 
     /// Number of registered split candidates.
     pub fn n_splits(&self) -> usize {
-        self.splits.len()
+        self.core.n_splits()
     }
 
     /// The (normalised) column group of a registered fragment.
     pub fn fragment_columns(&self, id: usize) -> &[u16] {
-        &self.fragments[id].columns
+        self.core.fragment_columns(id)
     }
 
     /// The table a registered fragment belongs to.
     pub fn fragment_table(&self, id: usize) -> TableId {
-        self.fragments[id].table
+        self.core.fragment_table(id)
     }
 
     /// The partitioning of a registered split candidate.
     pub fn split(&self, id: usize) -> &HorizontalPartitioning {
-        &self.splits[id].hp
+        self.core.split(id)
     }
 
     /// An empty joint configuration sized for this matrix.
     pub fn empty_joint(&self) -> JointConfig {
-        JointConfig {
-            indexes: self.empty_config(),
-            fragments: FragmentBitset::new(self.fragments.len()),
-            splits: SplitBitset::new(self.splits.len()),
-        }
+        self.core.empty_joint()
     }
 
     /// The [`PhysicalDesign`] a joint configuration denotes (slow-path
     /// bridge, for validation and for materializing a finished search).
     pub fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign {
-        let mut d = self.design_of(&cfg.indexes);
-        for (ti, frag_ids) in self.frags_by_table.iter().enumerate() {
-            let groups: Vec<Vec<u16>> = frag_ids
-                .iter()
-                .filter(|&&f| cfg.fragments.contains(f))
-                .map(|&f| self.fragments[f].columns.clone())
-                .collect();
-            if !groups.is_empty() {
-                d.set_vertical(VerticalPartitioning::new(TableId(ti as u32), groups));
-            }
-        }
-        for (sid, s) in self.splits.iter().enumerate() {
-            if cfg.splits.contains(sid) {
-                d.set_horizontal(s.hp.clone());
-            }
-        }
-        d
+        self.core.joint_design_of(cfg)
     }
 
     /// Cost of `query_id` under a joint configuration — pure lookups plus
@@ -1342,7 +1508,7 @@ impl<'a> CostMatrix<'a> {
     /// only).
     pub fn joint_workload_cost(&self, cfg: &JointConfig) -> f64 {
         self.active_query_ids()
-            .map(|qi| self.queries[qi].weight * self.joint_cost(qi, cfg))
+            .map(|qi| self.core.queries[qi].weight * self.joint_cost(qi, cfg))
             .sum()
     }
 
@@ -1350,7 +1516,7 @@ impl<'a> CostMatrix<'a> {
     /// applied — the merge/split trial hot path.
     pub fn joint_workload_cost_with(&self, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
         self.active_query_ids()
-            .map(|qi| self.queries[qi].weight * self.joint_cost_with(qi, cfg, toggle))
+            .map(|qi| self.core.queries[qi].weight * self.joint_cost_with(qi, cfg, toggle))
             .sum()
     }
 
@@ -1375,6 +1541,163 @@ impl<'a> CostMatrix<'a> {
     /// tests assert this within 1e-6).
     pub fn joint_cost_with(&self, query_id: usize, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
         self.inum.note_matrix_lookup();
+        if !cfg.partitions_empty() || !toggle.is_noop() {
+            self.inum.note_partition_lookup();
+        }
+        self.core.joint_cost_with(query_id, cfg, toggle)
+    }
+
+    /// The shared hot path: cost with one candidate virtually added
+    /// (`add`) and/or removed (`remove`); `usize::MAX` disables a toggle.
+    fn cost_toggled(
+        &self,
+        query_id: usize,
+        config: &CandidateBitset,
+        add: usize,
+        remove: usize,
+    ) -> f64 {
+        self.inum.note_matrix_lookup();
+        self.core.cost_toggled(query_id, config, add, remove)
+    }
+}
+
+impl MatrixCore {
+    pub(crate) fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    pub(crate) fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub(crate) fn n_candidates(&self) -> usize {
+        self.indexes.len()
+    }
+
+    pub(crate) fn candidates(&self) -> impl Iterator<Item = (usize, &Index)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, idx)| idx.as_ref().map(|i| (id, i)))
+    }
+
+    pub(crate) fn candidate(&self, id: usize) -> Option<&Index> {
+        self.indexes.get(id).and_then(|i| i.as_ref())
+    }
+
+    pub(crate) fn candidate_id(&self, index: &Index) -> Option<usize> {
+        self.id_by_index.get(index).copied()
+    }
+
+    pub(crate) fn active_workload(&self) -> Workload {
+        let mut w = Workload::new();
+        for qid in self.active_query_ids() {
+            w.push(self.workload.query(qid).clone(), self.query_weight(qid));
+        }
+        w
+    }
+
+    pub(crate) fn active_query_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter(|(_, qm)| qm.active)
+            .map(|(id, _)| id)
+    }
+
+    pub(crate) fn query_active(&self, id: usize) -> bool {
+        self.queries.get(id).is_some_and(|qm| qm.active)
+    }
+
+    pub(crate) fn query_weight(&self, id: usize) -> f64 {
+        self.queries.get(id).map_or(0.0, |qm| qm.weight)
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Cells a fresh build would compute for one candidate on `table`
+    /// (one per active slot on the table) — the reuse credit of a
+    /// duplicate registration.
+    fn active_slots_on(&self, table: TableId) -> u64 {
+        self.queries
+            .iter()
+            .filter(|qm| qm.active)
+            .flat_map(|qm| qm.slots.iter())
+            .filter(|s| s.table == table)
+            .count() as u64
+    }
+
+    pub(crate) fn empty_config(&self) -> CandidateBitset {
+        CandidateBitset::new(self.indexes.len())
+    }
+
+    pub(crate) fn config_of<I: IntoIterator<Item = usize>>(&self, ids: I) -> CandidateBitset {
+        CandidateBitset::from_ids(self.indexes.len(), ids)
+    }
+
+    pub(crate) fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
+        PhysicalDesign::with_indexes(config.ids().filter_map(|id| self.indexes[id].clone()))
+    }
+
+    pub(crate) fn n_fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    pub(crate) fn n_splits(&self) -> usize {
+        self.splits.len()
+    }
+
+    pub(crate) fn fragment_columns(&self, id: usize) -> &[u16] {
+        &self.fragments[id].columns
+    }
+
+    pub(crate) fn fragment_table(&self, id: usize) -> TableId {
+        self.fragments[id].table
+    }
+
+    pub(crate) fn split(&self, id: usize) -> &HorizontalPartitioning {
+        &self.splits[id].hp
+    }
+
+    pub(crate) fn empty_joint(&self) -> JointConfig {
+        JointConfig {
+            indexes: self.empty_config(),
+            fragments: FragmentBitset::new(self.fragments.len()),
+            splits: SplitBitset::new(self.splits.len()),
+        }
+    }
+
+    pub(crate) fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign {
+        let mut d = self.design_of(&cfg.indexes);
+        for (ti, frag_ids) in self.frags_by_table.iter().enumerate() {
+            let groups: Vec<Vec<u16>> = frag_ids
+                .iter()
+                .filter(|&&f| cfg.fragments.contains(f))
+                .map(|&f| self.fragments[f].columns.clone())
+                .collect();
+            if !groups.is_empty() {
+                d.set_vertical(VerticalPartitioning::new(TableId(ti as u32), groups));
+            }
+        }
+        for (sid, s) in self.splits.iter().enumerate() {
+            if cfg.splits.contains(sid) {
+                d.set_horizontal(s.hp.clone());
+            }
+        }
+        d
+    }
+
+    /// Cost of `query_id` under `cfg` with `toggle` applied — the pure
+    /// algorithm behind [`CostMatrix::joint_cost_with`] and the snapshot
+    /// read path (no counters, no `Inum` borrow).
+    pub(crate) fn joint_cost_with(
+        &self,
+        query_id: usize,
+        cfg: &JointConfig,
+        toggle: &JointToggle,
+    ) -> f64 {
         let qm = &self.queries[query_id];
 
         // Per-slot partition-adjusted minima, resolved once per query —
@@ -1386,22 +1709,19 @@ impl<'a> CostMatrix<'a> {
         let state_spill: Vec<Option<PartSlotMins>>;
         let slot_state: &[Option<PartSlotMins>] = if !partitions_active {
             &state_buf[..qm.slots.len().min(MAX_STACK_SLOTS)]
-        } else {
-            self.inum.note_partition_lookup();
-            if qm.slots.len() <= MAX_STACK_SLOTS {
-                for (s, slot) in qm.slots.iter().enumerate() {
-                    state_buf[s] = self.slot_partition_state(query_id, s, slot, cfg, toggle);
-                }
-                &state_buf[..qm.slots.len()]
-            } else {
-                state_spill = qm
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .map(|(s, slot)| self.slot_partition_state(query_id, s, slot, cfg, toggle))
-                    .collect();
-                &state_spill
+        } else if qm.slots.len() <= MAX_STACK_SLOTS {
+            for (s, slot) in qm.slots.iter().enumerate() {
+                state_buf[s] = self.slot_partition_state(query_id, s, slot, cfg, toggle);
             }
+            &state_buf[..qm.slots.len()]
+        } else {
+            state_spill = qm
+                .slots
+                .iter()
+                .enumerate()
+                .map(|(s, slot)| self.slot_partition_state(query_id, s, slot, cfg, toggle))
+                .collect();
+            &state_spill
         };
         let use_fast = |s: usize| slot_state.get(s).is_none_or(|st| st.is_none());
 
@@ -1538,7 +1858,7 @@ impl<'a> CostMatrix<'a> {
         // Re-derive the per-order minima against the new target: base scan
         // first, then every cached path of every selected candidate, each
         // costed exactly once.
-        let params = &self.inum.optimizer().params;
+        let params = &self.params;
         let base = access::seq_scan_cost(params, slot.base_rows, slot.n_filters, target, h_frac);
         let mut mins = PartSlotMins {
             unordered: base,
@@ -1584,7 +1904,7 @@ impl<'a> CostMatrix<'a> {
         let mut groups: Vec<&Fragment> = self.frags_by_table[table_idx]
             .iter()
             .filter(|&&fid| selected(fid))
-            .map(|&fid| &self.fragments[fid])
+            .map(|&fid| &*self.fragments[fid])
             .collect();
         // `VerticalPartitioning::new` sorts groups by column list; the
         // greedy cover's tie-breaking depends on that order.
@@ -1625,14 +1945,13 @@ impl<'a> CostMatrix<'a> {
     /// (`add`) and/or removed (`remove`); `usize::MAX` disables a toggle.
     /// Mirrors [`Inum::cost`]'s skeleton loop exactly so the two agree
     /// bit-for-bit on configurations the matrix covers.
-    fn cost_toggled(
+    pub(crate) fn cost_toggled(
         &self,
         query_id: usize,
         config: &CandidateBitset,
         add: usize,
         remove: usize,
     ) -> f64 {
-        self.inum.note_matrix_lookup();
         let qm = &self.queries[query_id];
         let mut best = f64::INFINITY;
         for (internal, reqs) in qm.internal.iter().zip(&qm.reqs) {
@@ -2016,6 +2335,53 @@ mod tests {
         assert_eq!(id, 0, "ids are stable");
         let after = inum.matrix_stats();
         assert_eq!(after.cells, before.cells, "no cells recomputed on reuse");
+        assert!(after.cells_reused > before.cells_reused);
+    }
+
+    #[test]
+    fn bulk_add_candidates_matches_one_at_a_time_and_serial() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 9, 115);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        assert!(cands.indexes.len() >= 3);
+        let split = cands.indexes.len() / 3;
+        let rest = &cands.indexes[split..];
+
+        // Bulk (parallel), bulk (pinned serial), and one-at-a-time growth
+        // from the same prefix must produce bit-identical cells and ids.
+        let mut bulk = CostMatrix::build(&inum, &w, &cands.indexes[..split]);
+        let bulk_ids = bulk.add_candidates_with_threads(rest, 4);
+        let mut serial = CostMatrix::build(&inum, &w, &cands.indexes[..split]);
+        let serial_ids = serial.add_candidates_with_threads(rest, 1);
+        let mut single = CostMatrix::build(&inum, &w, &cands.indexes[..split]);
+        let single_ids: Vec<usize> = rest.iter().map(|idx| single.add_candidate(idx)).collect();
+        assert_eq!(bulk_ids, single_ids, "bulk ids must match one-at-a-time");
+        assert_eq!(bulk_ids, serial_ids, "thread count must not affect ids");
+        for qi in 0..w.len() {
+            for id in 0..cands.indexes.len() {
+                let solo = bulk.config_of([id]);
+                let cb = bulk.cost(qi, &solo);
+                assert_eq!(cb, single.cost(qi, &solo), "bulk vs single {id} Q{qi}");
+                assert_eq!(cb, serial.cost(qi, &solo), "bulk vs serial {id} Q{qi}");
+            }
+            let all = bulk.config_of(0..cands.indexes.len());
+            assert_eq!(bulk.cost(qi, &all), single.cost(qi, &all));
+        }
+
+        // A batch containing duplicates (resident + within-batch) resolves
+        // them to one id without recomputing cells.
+        let before = inum.matrix_stats();
+        let dup_batch = [rest[0].clone(), cands.indexes[0].clone(), rest[0].clone()];
+        let dup_ids = bulk.add_candidates(&dup_batch);
+        assert_eq!(dup_ids[0], bulk_ids[0]);
+        assert_eq!(dup_ids[1], 0);
+        assert_eq!(
+            dup_ids[2], dup_ids[0],
+            "within-batch duplicate shares the id"
+        );
+        let after = inum.matrix_stats();
+        assert_eq!(after.cells, before.cells, "duplicates recompute nothing");
         assert!(after.cells_reused > before.cells_reused);
     }
 

@@ -1,0 +1,679 @@
+//! Lock-free reader snapshots of the cost matrix.
+//!
+//! A [`crate::CostMatrix`] is `&mut`-exclusive: one writer (COLT, an
+//! advisor, a session driver) mutates candidates and queries in place. The
+//! what-if *serving* story needs the opposite shape — many readers costing
+//! configurations concurrently while the writer keeps rotating epochs. The
+//! split here follows the classic read-copy-update idiom:
+//!
+//! - [`MatrixSnapshot`] is an immutable, self-contained copy of the
+//!   matrix's cells and registries (no borrow of the owning
+//!   [`crate::Inum`]), tagged with a strictly monotonic publication
+//!   generation. All read methods of the matrix are available on it.
+//! - [`PublishSlot`] is the shared mailbox: the writer swaps in a fresh
+//!   `Arc<MatrixSnapshot>` under a (vendored `parking_lot`) write lock —
+//!   writer-side only; readers never touch the lock on the lookup path.
+//! - [`MatrixReader`] is a cheap `Clone + Send + Sync` handle pinning one
+//!   generation. Lookups are pure arithmetic over the pinned cells —
+//!   zero optimizer calls, zero locks, zero allocation — and stay
+//!   consistent (same generation) for as long as the handle is held.
+//!   [`MatrixReader::is_stale`] is a single atomic load;
+//!   [`MatrixReader::refresh`] re-pins the latest generation.
+//!
+//! Publication is copy-on-write at the mutation sites: query and split
+//! payloads are `Arc`-shared between the writer and its snapshots, so
+//! [`crate::CostMatrix::publish`] clones `Arc`s plus the small registry
+//! vectors — it pays for the epoch's drift, not the matrix size.
+
+use crate::matrix::{
+    CandidateBitset, CostMatrix, FragmentBitset, JointConfig, JointToggle, MatrixCore, SplitBitset,
+};
+use parking_lot::RwLock;
+use pgdesign_catalog::design::{HorizontalPartitioning, Index, PhysicalDesign};
+use pgdesign_catalog::schema::TableId;
+use pgdesign_query::Workload;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lookup counters shared by every snapshot published through one slot.
+/// Reader-side increments are `Relaxed` — they are statistics, not
+/// synchronization — so the lookup hot path stays wait-free.
+#[derive(Debug, Default)]
+pub(crate) struct ReaderCounters {
+    lookups: AtomicU64,
+    partition_lookups: AtomicU64,
+}
+
+/// The writer→readers mailbox: holds the current published snapshot and
+/// its generation. The lock guards *publication only*; readers acquire it
+/// just to pin a snapshot (`Arc` clone, nanoseconds) and never on lookups.
+pub(crate) struct PublishSlot {
+    current: RwLock<Arc<MatrixSnapshot>>,
+    /// Generation of the snapshot in `current`, readable without the
+    /// lock — this is what makes [`MatrixReader::is_stale`] one atomic
+    /// load.
+    published: AtomicU64,
+    counters: Arc<ReaderCounters>,
+}
+
+impl PublishSlot {
+    /// A new slot with `core` published as generation 0, so readers
+    /// acquired before the first explicit publish still see a complete
+    /// matrix.
+    pub(crate) fn new(core: MatrixCore) -> Self {
+        let counters = Arc::new(ReaderCounters::default());
+        let snapshot = Arc::new(MatrixSnapshot {
+            core,
+            generation: 0,
+            counters: Arc::clone(&counters),
+        });
+        PublishSlot {
+            current: RwLock::new(snapshot),
+            published: AtomicU64::new(0),
+            counters,
+        }
+    }
+
+    /// Publish `core` as the next generation and return it. Existing
+    /// pinned snapshots are untouched — they keep serving their
+    /// generation until the last handle drops.
+    pub(crate) fn publish(&self, core: MatrixCore) -> u64 {
+        let mut guard = self.current.write();
+        let generation = self.published.load(Ordering::Relaxed) + 1;
+        *guard = Arc::new(MatrixSnapshot {
+            core,
+            generation,
+            counters: Arc::clone(&self.counters),
+        });
+        // Release-publish the generation *after* the swap so a reader that
+        // observes generation g through `published` finds (at least) g in
+        // `current`.
+        self.published.store(generation, Ordering::Release);
+        generation
+    }
+
+    /// Generation of the latest published snapshot (single atomic load).
+    pub(crate) fn published(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Pin the latest published snapshot.
+    pub(crate) fn current(&self) -> Arc<MatrixSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Total configuration-cost lookups served by snapshot readers.
+    pub(crate) fn reader_lookups(&self) -> u64 {
+        self.counters.lookups.load(Ordering::Relaxed)
+    }
+
+    /// The subset of reader lookups that costed a partition-touched
+    /// configuration.
+    pub(crate) fn reader_partition_lookups(&self) -> u64 {
+        self.counters.partition_lookups.load(Ordering::Relaxed)
+    }
+}
+
+/// An immutable, published generation of the cost matrix.
+///
+/// Carries every *read* method of [`CostMatrix`] — `cost`, `joint_cost`,
+/// deltas, registries — served from owned cells with no lock and no
+/// [`crate::Inum`] borrow, so it is freely `Send + Sync` across threads.
+/// Obtained via [`CostMatrix::reader`] (or a `TuningSession`'s reader) and
+/// normally accessed through the [`MatrixReader`] handle's `Deref`.
+pub struct MatrixSnapshot {
+    core: MatrixCore,
+    generation: u64,
+    counters: Arc<ReaderCounters>,
+}
+
+impl MatrixSnapshot {
+    /// The publication generation of this snapshot: 0 for the build-time
+    /// snapshot, then +1 per [`CostMatrix::publish`]. Strictly monotonic
+    /// across publishes of one matrix.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The writer's *rotation* generation at publish time (bumped by query
+    /// add/retire — the value [`CostMatrix::generation`] returns). Distinct
+    /// from [`Self::generation`], which counts publications.
+    pub fn rotation_generation(&self) -> u64 {
+        self.core.generation()
+    }
+
+    /// The workload this snapshot was computed over (retired entries
+    /// included; see [`Self::active_query_ids`]).
+    pub fn workload(&self) -> &Workload {
+        self.core.workload()
+    }
+
+    /// Total query slots (active + retired).
+    pub fn n_queries(&self) -> usize {
+        self.core.n_queries()
+    }
+
+    /// Total candidate slots (live + freed).
+    pub fn n_candidates(&self) -> usize {
+        self.core.n_candidates()
+    }
+
+    /// Live `(id, index)` candidates.
+    pub fn candidates(&self) -> impl Iterator<Item = (usize, &Index)> {
+        self.core.candidates()
+    }
+
+    /// The index registered under `id`, if live.
+    pub fn candidate(&self, id: usize) -> Option<&Index> {
+        self.core.candidate(id)
+    }
+
+    /// The id `index` is registered under, if any.
+    pub fn candidate_id(&self, index: &Index) -> Option<usize> {
+        self.core.candidate_id(index)
+    }
+
+    /// The active workload (retired slots dropped), weights included.
+    pub fn active_workload(&self) -> Workload {
+        self.core.active_workload()
+    }
+
+    /// Ids of the active (non-retired) query slots.
+    pub fn active_query_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.core.active_query_ids()
+    }
+
+    /// Whether query slot `id` is active.
+    pub fn query_active(&self, id: usize) -> bool {
+        self.core.query_active(id)
+    }
+
+    /// Weight of query slot `id` (0 if retired/out of range).
+    pub fn query_weight(&self, id: usize) -> f64 {
+        self.core.query_weight(id)
+    }
+
+    /// An empty configuration sized for this snapshot.
+    pub fn empty_config(&self) -> CandidateBitset {
+        self.core.empty_config()
+    }
+
+    /// A configuration holding exactly `ids`.
+    pub fn config_of<I: IntoIterator<Item = usize>>(&self, ids: I) -> CandidateBitset {
+        self.core.config_of(ids)
+    }
+
+    /// The [`PhysicalDesign`] a configuration denotes.
+    pub fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
+        self.core.design_of(config)
+    }
+
+    /// Cost of `query_id` under the configuration — pure lookups against
+    /// the pinned cells; no lock, no optimizer call.
+    pub fn cost(&self, query_id: usize, config: &CandidateBitset) -> f64 {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .cost_toggled(query_id, config, usize::MAX, usize::MAX)
+    }
+
+    /// Cost under `config ∪ {extra}` without materializing the union.
+    pub fn cost_plus(&self, query_id: usize, config: &CandidateBitset, extra: usize) -> f64 {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        self.core.cost_toggled(query_id, config, extra, usize::MAX)
+    }
+
+    /// Cost under `config ∖ {removed}` without materializing the
+    /// difference.
+    pub fn cost_minus(&self, query_id: usize, config: &CandidateBitset, removed: usize) -> f64 {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .cost_toggled(query_id, config, usize::MAX, removed)
+    }
+
+    /// Cost change from adding `cand` (negative = improvement).
+    pub fn delta_add(&self, query_id: usize, config: &CandidateBitset, cand: usize) -> f64 {
+        self.cost_plus(query_id, config, cand) - self.cost(query_id, config)
+    }
+
+    /// Cost change from removing `cand` (positive = regression).
+    pub fn delta_remove(&self, query_id: usize, config: &CandidateBitset, cand: usize) -> f64 {
+        self.cost_minus(query_id, config, cand) - self.cost(query_id, config)
+    }
+
+    /// Weighted workload cost under the configuration (active queries
+    /// only).
+    pub fn workload_cost(&self, config: &CandidateBitset) -> f64 {
+        self.active_query_ids()
+            .map(|qi| self.core.query_weight(qi) * self.cost(qi, config))
+            .sum()
+    }
+
+    /// Weighted workload cost under `config ∪ {extra}`.
+    pub fn workload_cost_plus(&self, config: &CandidateBitset, extra: usize) -> f64 {
+        self.active_query_ids()
+            .map(|qi| self.core.query_weight(qi) * self.cost_plus(qi, config, extra))
+            .sum()
+    }
+
+    /// Number of registered fragment candidates.
+    pub fn n_fragments(&self) -> usize {
+        self.core.n_fragments()
+    }
+
+    /// Number of registered split candidates.
+    pub fn n_splits(&self) -> usize {
+        self.core.n_splits()
+    }
+
+    /// The (normalised) column group of a registered fragment.
+    pub fn fragment_columns(&self, id: usize) -> &[u16] {
+        self.core.fragment_columns(id)
+    }
+
+    /// The table a registered fragment belongs to.
+    pub fn fragment_table(&self, id: usize) -> TableId {
+        self.core.fragment_table(id)
+    }
+
+    /// The partitioning of a registered split candidate.
+    pub fn split(&self, id: usize) -> &HorizontalPartitioning {
+        self.core.split(id)
+    }
+
+    /// An empty joint configuration sized for this snapshot.
+    pub fn empty_joint(&self) -> JointConfig {
+        self.core.empty_joint()
+    }
+
+    /// The [`PhysicalDesign`] a joint configuration denotes.
+    pub fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign {
+        self.core.joint_design_of(cfg)
+    }
+
+    /// Cost of `query_id` under a joint configuration.
+    pub fn joint_cost(&self, query_id: usize, cfg: &JointConfig) -> f64 {
+        self.joint_cost_with(query_id, cfg, &JointToggle::default())
+    }
+
+    /// Cost of `query_id` under `cfg` with `toggle`'s virtual edits
+    /// applied.
+    pub fn joint_cost_with(&self, query_id: usize, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        if !cfg.partitions_empty() || !toggle.is_noop() {
+            self.counters
+                .partition_lookups
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.core.joint_cost_with(query_id, cfg, toggle)
+    }
+
+    /// Weighted workload cost under a joint configuration.
+    pub fn joint_workload_cost(&self, cfg: &JointConfig) -> f64 {
+        self.active_query_ids()
+            .map(|qi| self.core.query_weight(qi) * self.joint_cost(qi, cfg))
+            .sum()
+    }
+
+    /// Weighted workload cost under `cfg` with `toggle` applied.
+    pub fn joint_workload_cost_with(&self, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
+        self.active_query_ids()
+            .map(|qi| self.core.query_weight(qi) * self.joint_cost_with(qi, cfg, toggle))
+            .sum()
+    }
+
+    /// Workload-cost change from replacing fragments `a`, `b` with their
+    /// merge `merged` (negative = improvement).
+    pub fn delta_merge(&self, cfg: &JointConfig, a: usize, b: usize, merged: usize) -> f64 {
+        self.joint_workload_cost_with(cfg, &JointToggle::merge(a, b, merged))
+            - self.joint_workload_cost(cfg)
+    }
+
+    /// Workload-cost change from applying horizontal split `split`
+    /// (negative = improvement).
+    pub fn delta_split(&self, cfg: &JointConfig, split: usize) -> f64 {
+        self.joint_workload_cost_with(cfg, &JointToggle::split(split))
+            - self.joint_workload_cost(cfg)
+    }
+}
+
+/// A cheap, cloneable handle on a published [`MatrixSnapshot`].
+///
+/// Dereferences to the pinned snapshot, so every read method is available
+/// directly (`reader.cost(..)`, `reader.joint_cost(..)`). The pinned
+/// generation never changes under the handle — clone-then-rotate keeps
+/// the clone on the old generation — which is what makes concurrent
+/// lookups consistent. Check [`Self::is_stale`] (one atomic load) and call
+/// [`Self::refresh`] at whatever staleness budget the caller tolerates.
+#[derive(Clone)]
+pub struct MatrixReader {
+    snapshot: Arc<MatrixSnapshot>,
+    slot: Arc<PublishSlot>,
+}
+
+impl MatrixReader {
+    pub(crate) fn new(snapshot: Arc<MatrixSnapshot>, slot: Arc<PublishSlot>) -> Self {
+        MatrixReader { snapshot, slot }
+    }
+
+    /// The pinned snapshot (also reachable through `Deref`).
+    pub fn snapshot(&self) -> &MatrixSnapshot {
+        &self.snapshot
+    }
+
+    /// Whether the writer has published a newer generation than the one
+    /// pinned here. One atomic load — safe to call per lookup.
+    pub fn is_stale(&self) -> bool {
+        self.slot.published() != self.snapshot.generation
+    }
+
+    /// Re-pin the latest published generation; returns the generation now
+    /// pinned. Takes the publish lock briefly (an `Arc` clone) — never on
+    /// the lookup path.
+    pub fn refresh(&mut self) -> u64 {
+        self.snapshot = self.slot.current();
+        self.snapshot.generation
+    }
+
+    /// Latest published generation (the writer side's counter) — what
+    /// [`Self::refresh`] would pin right now.
+    pub fn latest_generation(&self) -> u64 {
+        self.slot.published()
+    }
+}
+
+impl Deref for MatrixReader {
+    type Target = MatrixSnapshot;
+    fn deref(&self) -> &MatrixSnapshot {
+        &self.snapshot
+    }
+}
+
+/// Read-only view of a cost matrix — implemented by both the writer-side
+/// [`CostMatrix`] and the published [`MatrixSnapshot`], so analysis code
+/// (the interaction sweep, report helpers) can run unchanged against
+/// either: `&dyn MatrixView` at the call site picks the live matrix or a
+/// pinned snapshot.
+///
+/// Object-safe by construction: iterator-returning and generic methods of
+/// the concrete types appear here in owned/slice form
+/// ([`Self::active_query_ids_vec`], [`Self::config_with`]).
+pub trait MatrixView {
+    /// Total query slots (active + retired).
+    fn n_queries(&self) -> usize;
+    /// Total candidate slots (live + freed).
+    fn n_candidates(&self) -> usize;
+    /// Number of registered fragment candidates.
+    fn n_fragments(&self) -> usize;
+    /// Number of registered split candidates.
+    fn n_splits(&self) -> usize;
+    /// The index registered under `id`, if live.
+    fn candidate(&self, id: usize) -> Option<&Index>;
+    /// The id `index` is registered under, if any.
+    fn candidate_id(&self, index: &Index) -> Option<usize>;
+    /// Whether query slot `id` is active.
+    fn query_active(&self, id: usize) -> bool;
+    /// Weight of query slot `id` (0 if retired/out of range).
+    fn query_weight(&self, id: usize) -> f64;
+    /// Ids of the active (non-retired) query slots.
+    fn active_query_ids_vec(&self) -> Vec<usize>;
+    /// Cost of `query_id` under the configuration.
+    fn cost(&self, query_id: usize, config: &CandidateBitset) -> f64;
+    /// Cost under `config ∪ {extra}`.
+    fn cost_plus(&self, query_id: usize, config: &CandidateBitset, extra: usize) -> f64;
+    /// Cost under `config ∖ {removed}`.
+    fn cost_minus(&self, query_id: usize, config: &CandidateBitset, removed: usize) -> f64;
+    /// Cost of `query_id` under a joint configuration.
+    fn joint_cost(&self, query_id: usize, cfg: &JointConfig) -> f64;
+    /// Cost of `query_id` under `cfg` with `toggle` applied.
+    fn joint_cost_with(&self, query_id: usize, cfg: &JointConfig, toggle: &JointToggle) -> f64;
+    /// The [`PhysicalDesign`] a configuration denotes.
+    fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign;
+    /// The [`PhysicalDesign`] a joint configuration denotes.
+    fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign;
+
+    /// An empty configuration sized for this view.
+    fn empty_config(&self) -> CandidateBitset {
+        CandidateBitset::new(self.n_candidates())
+    }
+
+    /// A configuration holding exactly `ids`.
+    fn config_with(&self, ids: &[usize]) -> CandidateBitset {
+        CandidateBitset::from_ids(self.n_candidates(), ids.iter().copied())
+    }
+
+    /// An empty joint configuration sized for this view.
+    fn empty_joint(&self) -> JointConfig {
+        JointConfig {
+            indexes: self.empty_config(),
+            fragments: FragmentBitset::new(self.n_fragments()),
+            splits: SplitBitset::new(self.n_splits()),
+        }
+    }
+
+    /// Weighted workload cost under the configuration (active queries
+    /// only).
+    fn workload_cost(&self, config: &CandidateBitset) -> f64 {
+        self.active_query_ids_vec()
+            .into_iter()
+            .map(|qi| self.query_weight(qi) * self.cost(qi, config))
+            .sum()
+    }
+}
+
+impl MatrixView for CostMatrix<'_> {
+    fn n_queries(&self) -> usize {
+        CostMatrix::n_queries(self)
+    }
+    fn n_candidates(&self) -> usize {
+        CostMatrix::n_candidates(self)
+    }
+    fn n_fragments(&self) -> usize {
+        CostMatrix::n_fragments(self)
+    }
+    fn n_splits(&self) -> usize {
+        CostMatrix::n_splits(self)
+    }
+    fn candidate(&self, id: usize) -> Option<&Index> {
+        CostMatrix::candidate(self, id)
+    }
+    fn candidate_id(&self, index: &Index) -> Option<usize> {
+        CostMatrix::candidate_id(self, index)
+    }
+    fn query_active(&self, id: usize) -> bool {
+        CostMatrix::query_active(self, id)
+    }
+    fn query_weight(&self, id: usize) -> f64 {
+        CostMatrix::query_weight(self, id)
+    }
+    fn active_query_ids_vec(&self) -> Vec<usize> {
+        CostMatrix::active_query_ids(self).collect()
+    }
+    fn cost(&self, query_id: usize, config: &CandidateBitset) -> f64 {
+        CostMatrix::cost(self, query_id, config)
+    }
+    fn cost_plus(&self, query_id: usize, config: &CandidateBitset, extra: usize) -> f64 {
+        CostMatrix::cost_plus(self, query_id, config, extra)
+    }
+    fn cost_minus(&self, query_id: usize, config: &CandidateBitset, removed: usize) -> f64 {
+        CostMatrix::cost_minus(self, query_id, config, removed)
+    }
+    fn joint_cost(&self, query_id: usize, cfg: &JointConfig) -> f64 {
+        CostMatrix::joint_cost(self, query_id, cfg)
+    }
+    fn joint_cost_with(&self, query_id: usize, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
+        CostMatrix::joint_cost_with(self, query_id, cfg, toggle)
+    }
+    fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
+        CostMatrix::design_of(self, config)
+    }
+    fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign {
+        CostMatrix::joint_design_of(self, cfg)
+    }
+}
+
+impl MatrixView for MatrixSnapshot {
+    fn n_queries(&self) -> usize {
+        MatrixSnapshot::n_queries(self)
+    }
+    fn n_candidates(&self) -> usize {
+        MatrixSnapshot::n_candidates(self)
+    }
+    fn n_fragments(&self) -> usize {
+        MatrixSnapshot::n_fragments(self)
+    }
+    fn n_splits(&self) -> usize {
+        MatrixSnapshot::n_splits(self)
+    }
+    fn candidate(&self, id: usize) -> Option<&Index> {
+        MatrixSnapshot::candidate(self, id)
+    }
+    fn candidate_id(&self, index: &Index) -> Option<usize> {
+        MatrixSnapshot::candidate_id(self, index)
+    }
+    fn query_active(&self, id: usize) -> bool {
+        MatrixSnapshot::query_active(self, id)
+    }
+    fn query_weight(&self, id: usize) -> f64 {
+        MatrixSnapshot::query_weight(self, id)
+    }
+    fn active_query_ids_vec(&self) -> Vec<usize> {
+        MatrixSnapshot::active_query_ids(self).collect()
+    }
+    fn cost(&self, query_id: usize, config: &CandidateBitset) -> f64 {
+        MatrixSnapshot::cost(self, query_id, config)
+    }
+    fn cost_plus(&self, query_id: usize, config: &CandidateBitset, extra: usize) -> f64 {
+        MatrixSnapshot::cost_plus(self, query_id, config, extra)
+    }
+    fn cost_minus(&self, query_id: usize, config: &CandidateBitset, removed: usize) -> f64 {
+        MatrixSnapshot::cost_minus(self, query_id, config, removed)
+    }
+    fn joint_cost(&self, query_id: usize, cfg: &JointConfig) -> f64 {
+        MatrixSnapshot::joint_cost(self, query_id, cfg)
+    }
+    fn joint_cost_with(&self, query_id: usize, cfg: &JointConfig, toggle: &JointToggle) -> f64 {
+        MatrixSnapshot::joint_cost_with(self, query_id, cfg, toggle)
+    }
+    fn design_of(&self, config: &CandidateBitset) -> PhysicalDesign {
+        MatrixSnapshot::design_of(self, config)
+    }
+    fn joint_design_of(&self, cfg: &JointConfig) -> PhysicalDesign {
+        MatrixSnapshot::joint_design_of(self, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::CostMatrix;
+    use crate::Inum;
+    use pgdesign_catalog::samples::sdss_catalog;
+    use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
+    use pgdesign_optimizer::Optimizer;
+    use pgdesign_query::generators::sdss_workload;
+
+    // The whole point of the split: snapshots and readers cross threads.
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn snapshot_and_reader_are_send_sync() {
+        assert_send_sync::<MatrixSnapshot>();
+        assert_send_sync::<MatrixReader>();
+        assert_send_sync::<PublishSlot>();
+    }
+
+    #[test]
+    fn published_generation_is_immutable_and_monotonic() {
+        let catalog = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&catalog, &opt);
+        let w = sdss_workload(&catalog, 6, 77);
+        let cands = workload_candidates(&catalog, &w, &CandidateConfig::default());
+        let mut matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+
+        let gen0 = matrix.reader();
+        assert_eq!(gen0.generation(), 0, "build publishes generation 0");
+        let config = gen0.config_of(0..cands.indexes.len().min(4));
+        let baseline: Vec<f64> = (0..gen0.n_queries())
+            .map(|qi| gen0.cost(qi, &config))
+            .collect();
+
+        // Clone *before* rotation: both handles pin the old generation.
+        let cloned = gen0.clone();
+
+        // Writer mutates and publishes twice; generations must move
+        // strictly forward.
+        let extra = sdss_workload(&catalog, 2, 501);
+        matrix.add_queries(extra.iter());
+        let g1 = matrix.publish();
+        matrix.set_query_weight(0, 42.0);
+        let g2 = matrix.publish();
+        assert!(g1 >= 1 && g2 > g1, "publish generations strictly increase");
+        assert_eq!(matrix.published_generation(), g2);
+
+        // Old handles: same generation, same cells, bit-for-bit.
+        for handle in [&gen0, &cloned] {
+            assert_eq!(handle.generation(), 0);
+            assert!(handle.is_stale());
+            assert_eq!(handle.n_queries(), baseline.len());
+            for (qi, &c) in baseline.iter().enumerate() {
+                assert_eq!(handle.cost(qi, &config), c, "generation 0 cells moved");
+            }
+        }
+
+        // Refresh re-pins the latest generation and sees the new weight.
+        let mut fresh = cloned;
+        assert_eq!(fresh.refresh(), g2);
+        assert!(!fresh.is_stale());
+        assert_eq!(fresh.query_weight(0), 42.0);
+        assert_eq!(gen0.query_weight(0), w.entries[0].weight);
+    }
+
+    #[test]
+    fn reader_lookups_do_not_touch_the_inum() {
+        let catalog = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&catalog, &opt);
+        let w = sdss_workload(&catalog, 5, 99);
+        let cands = workload_candidates(&catalog, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+
+        let reader = matrix.reader();
+        let before = inum.stats();
+        let before_matrix = inum.matrix_stats();
+        let cfg = reader.config_of([0]);
+        let mut acc = 0.0;
+        for qi in 0..reader.n_queries() {
+            acc += reader.cost(qi, &cfg);
+            acc += reader.joint_cost(qi, &reader.empty_joint());
+        }
+        assert!(acc.is_finite());
+        // The reader hot path is pinned at zero optimizer/Inum traffic:
+        // snapshot lookups count on the shared reader counters instead.
+        assert_eq!(inum.stats(), before);
+        assert_eq!(inum.matrix_stats().lookups, before_matrix.lookups);
+        assert_eq!(matrix.reader_lookups(), 2 * reader.n_queries() as u64);
+    }
+
+    #[test]
+    fn view_trait_serves_matrix_and_snapshot_identically() {
+        let catalog = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&catalog, &opt);
+        let w = sdss_workload(&catalog, 5, 13);
+        let cands = workload_candidates(&catalog, &w, &CandidateConfig::default());
+        let matrix = CostMatrix::build(&inum, &w, &cands.indexes);
+        let reader = matrix.reader();
+
+        let views: [&dyn MatrixView; 2] = [&matrix, reader.snapshot()];
+        let ids: Vec<usize> = (0..cands.indexes.len().min(3)).collect();
+        let cfg = views[0].config_with(&ids);
+        for qi in views[0].active_query_ids_vec() {
+            let a = views[0].cost(qi, &cfg);
+            let b = views[1].cost(qi, &cfg);
+            assert_eq!(a, b, "matrix and snapshot disagree on Q{qi}");
+        }
+        assert_eq!(views[0].workload_cost(&cfg), views[1].workload_cost(&cfg));
+    }
+}

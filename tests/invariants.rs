@@ -661,3 +661,246 @@ fn duplicate_candidates_stay_findable_after_removal() {
     m.remove_candidate(1);
     assert_eq!(m.candidate_id(&x), None);
 }
+
+/// Lock-free reader snapshots agree with serial rebuilds under live
+/// rotation: N reader threads take snapshots through [`MatrixReader`] and
+/// issue random `cost`/`joint_cost` lookups while the writer interleaves
+/// `add_candidates`/`remove_candidate`/`add_query`/`retire_query` and
+/// publishes a new generation per round. The writer records the exact
+/// (active queries, live candidates) state behind every generation; after
+/// the threads join, each reader-observed (generation, lookup) pair must
+/// agree within 1e-12 with a fresh serial build of that generation's
+/// recorded state. Finally, a burst of snapshot lookups is pinned to zero
+/// [`Inum::cost`] traffic — the reader hot path is matrix-only.
+fn assert_concurrent_readers_match_serial(
+    catalog: &Catalog,
+    pool: &Workload,
+    cand_pool: &[Index],
+    seed: u64,
+) {
+    use rand::Rng;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let opt = optimizer();
+    let inum = Inum::new(catalog, &opt);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let nq0 = rng.random_range(1..pool.len().max(2)).min(pool.len());
+    let nc0 = rng.random_range(0..cand_pool.len().max(1));
+    let init_w = Workload::from_queries((0..nq0).map(|i| pool.query(i).clone()));
+    let mut matrix = CostMatrix::build(&inum, &init_w, &cand_pool[..nc0]);
+
+    // Everything needed to rebuild a generation serially: the ordered
+    // active (qid, query, weight) list and the ordered live (cand id,
+    // index) list at publish time. Generation g lives at `states[g]`.
+    type GenState = (
+        Vec<(usize, pgdesign_query::Query, f64)>,
+        Vec<(usize, Index)>,
+    );
+    fn record(m: &CostMatrix<'_>) -> GenState {
+        let actives = m
+            .active_query_ids()
+            .map(|qid| (qid, m.workload().query(qid).clone(), m.query_weight(qid)))
+            .collect();
+        let live = m.candidates().map(|(id, idx)| (id, idx.clone())).collect();
+        (actives, live)
+    }
+    let mut states: Vec<GenState> = vec![record(&matrix)];
+
+    // Each observation is (generation, qid, live cand ids, joint?, cost).
+    type Observation = (u64, usize, Vec<usize>, bool, f64);
+
+    let done = AtomicBool::new(false);
+    let reader0 = matrix.reader();
+
+    let observations: Vec<Observation> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3u64)
+            .map(|t| {
+                let mut reader = reader0.clone();
+                let done = &done;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0xBEEF + t));
+                    let mut obs: Vec<Observation> = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        reader.refresh();
+                        let snap = reader.snapshot();
+                        let generation = snap.generation();
+                        let actives: Vec<usize> = snap.active_query_ids().collect();
+                        let live: Vec<usize> = snap.candidates().map(|(id, _)| id).collect();
+                        if actives.is_empty() {
+                            continue;
+                        }
+                        let qid = actives[rng.random_range(0..actives.len())];
+                        let ids: Vec<usize> = live
+                            .iter()
+                            .copied()
+                            .filter(|_| rng.random_range(0..2usize) == 1)
+                            .collect();
+                        let joint = rng.random_range(0..2usize) == 1;
+                        let cost = if joint {
+                            let mut cfg = snap.empty_joint();
+                            for &id in &ids {
+                                cfg.indexes.insert(id);
+                            }
+                            snap.joint_cost(qid, &cfg)
+                        } else {
+                            snap.cost(qid, &snap.config_of(ids.iter().copied()))
+                        };
+                        if obs.len() < 160 {
+                            obs.push((generation, qid, ids, joint, cost));
+                        }
+                    }
+                    obs
+                })
+            })
+            .collect();
+
+        // The writer rotates the live state and publishes one generation
+        // per round, on this thread, while the readers hammer snapshots.
+        for _round in 0..5 {
+            for _ in 0..3 {
+                match rng.random_range(0..4usize) {
+                    0 if !cand_pool.is_empty() => {
+                        let idx = cand_pool[rng.random_range(0..cand_pool.len())].clone();
+                        matrix.add_candidates(&[idx]);
+                    }
+                    1 => {
+                        let live: Vec<usize> = matrix.candidates().map(|(id, _)| id).collect();
+                        if !live.is_empty() {
+                            matrix.remove_candidate(live[rng.random_range(0..live.len())]);
+                        }
+                    }
+                    2 => {
+                        let q = pool.query(rng.random_range(0..pool.len()));
+                        matrix.add_query(q, 1.0);
+                    }
+                    _ => {
+                        let active: Vec<usize> = matrix.active_query_ids().collect();
+                        if active.len() > 1 {
+                            matrix.retire_query(active[rng.random_range(0..active.len())]);
+                        }
+                    }
+                }
+            }
+            states.push(record(&matrix));
+            let generation = matrix.publish();
+            assert_eq!(
+                generation as usize,
+                states.len() - 1,
+                "publish must advance the generation by exactly one"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Release);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+    assert!(
+        !observations.is_empty(),
+        "readers must record at least one lookup"
+    );
+
+    // Reader hot-path pin: snapshot lookups are pure matrix arithmetic —
+    // no Inum::cost calls, no writer-side matrix-lookup counters, only
+    // the dedicated reader counter moves.
+    let stats_before = inum.stats();
+    let matrix_before = inum.matrix_stats();
+    let reader_before = matrix.reader_lookups();
+    let mut pin_reader = matrix.reader();
+    pin_reader.refresh();
+    let snap = pin_reader.snapshot();
+    let actives: Vec<usize> = snap.active_query_ids().collect();
+    let cfg = snap.empty_config();
+    for &qid in &actives {
+        let _ = snap.cost(qid, &cfg);
+    }
+    assert_eq!(
+        inum.stats(),
+        stats_before,
+        "snapshot lookups must issue zero Inum::cost calls"
+    );
+    assert_eq!(
+        inum.matrix_stats().lookups,
+        matrix_before.lookups,
+        "snapshot lookups must not move the writer-side lookup counter"
+    );
+    assert_eq!(
+        matrix.reader_lookups(),
+        reader_before + actives.len() as u64,
+        "every snapshot lookup lands on the reader counter"
+    );
+
+    // Verify every observed generation against a fresh serial build of
+    // its recorded state (ids translated through position maps, as in
+    // the incremental-vs-fresh invariant).
+    let mut by_gen: HashMap<u64, Vec<&Observation>> = HashMap::new();
+    for o in &observations {
+        by_gen.entry(o.0).or_default().push(o);
+    }
+    for (&generation, obs) in &by_gen {
+        let (actives, live) = &states[generation as usize];
+        let mut fresh_w = Workload::new();
+        for (_, q, wt) in actives {
+            fresh_w.push(q.clone(), *wt);
+        }
+        let fresh_cands: Vec<Index> = live.iter().map(|(_, idx)| idx.clone()).collect();
+        let fresh = CostMatrix::build_with_threads(&inum, &fresh_w, &fresh_cands, 1);
+        let qpos: HashMap<usize, usize> = actives
+            .iter()
+            .enumerate()
+            .map(|(p, (qid, _, _))| (*qid, p))
+            .collect();
+        let cpos: HashMap<usize, usize> = live
+            .iter()
+            .enumerate()
+            .map(|(p, (cid, _))| (*cid, p))
+            .collect();
+        for (_, qid, ids, joint, cost) in obs {
+            let pos_ids: Vec<usize> = ids.iter().map(|id| cpos[id]).collect();
+            let qp = qpos[qid];
+            let serial = if *joint {
+                let mut jcfg = fresh.empty_joint();
+                for &p in &pos_ids {
+                    jcfg.indexes.insert(p);
+                }
+                fresh.joint_cost(qp, &jcfg)
+            } else {
+                fresh.cost(qp, &fresh.config_of(pos_ids.iter().copied()))
+            };
+            assert!(
+                (cost - serial).abs() <= 1e-12 * serial.abs().max(1.0),
+                "reader saw {cost} at generation {generation}, serial rebuild says {serial} \
+                 (qid {qid}, cands {ids:?}, joint {joint})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// SDSS: concurrent snapshot readers agree with serial rebuilds of
+    /// every published generation, under live epoch rotation.
+    #[test]
+    fn concurrent_readers_match_serial_on_sdss(seed in 0u64..1000, n_queries in 4usize..9) {
+        let c = catalog();
+        let pool = sdss_workload(c, n_queries, seed);
+        let cands = workload_candidates(c, &pool, &CandidateConfig::default());
+        assert_concurrent_readers_match_serial(c, &pool, &cands.indexes, seed ^ 0xC0C0);
+    }
+
+    /// TPC-H: the same concurrent-agreement invariant on the other sample
+    /// catalog.
+    #[test]
+    fn concurrent_readers_match_serial_on_tpch(seed in 0u64..1000, n_queries in 4usize..7) {
+        use std::sync::OnceLock;
+        static TPCH: OnceLock<Catalog> = OnceLock::new();
+        let c = TPCH.get_or_init(|| tpch_catalog(0.01));
+        let pool = tpch_workload(c, n_queries, seed);
+        let cands = workload_candidates(c, &pool, &CandidateConfig::default());
+        assert_concurrent_readers_match_serial(c, &pool, &cands.indexes, seed ^ 0x1EAD);
+    }
+}
