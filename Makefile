@@ -3,7 +3,7 @@
 
 CARGO ?= cargo
 
-.PHONY: verify tier1 fmt lint doc bench bench-json examples
+.PHONY: verify tier1 fmt lint doc bench bench-json examples recovery-drill clean-state
 
 # Everything CI checks, in CI's order.
 verify: fmt lint tier1 doc examples
@@ -52,3 +52,24 @@ bench:
 bench-json:
 	BENCH_E4_JSON=$(CURDIR)/BENCH_e4.json $(CARGO) bench -p pgdesign-bench --bench e4_inum
 	BENCH_BUILD_JSON=$(CURDIR)/BENCH_build.json $(CARGO) bench -p pgdesign-bench --bench e_build
+
+# Crash-recovery drill over the real CLI and a real state directory:
+# run the scenario-3 stream with durable state, kill it hard (exit 137)
+# mid-epoch, then restart and require a warm matrix — zero builds,
+# restored cells reused from the first epoch. CI runs this after tier-1.
+recovery-drill:
+	$(CARGO) build --release
+	rm -rf target/recovery-drill
+	./target/release/pgdesign online --scale 0.005 --queries 120 --epoch 10 \
+	  --state target/recovery-drill --kill-after 33; \
+	  status=$$?; [ $$status -eq 137 ] || { echo "expected exit 137, got $$status"; exit 1; }
+	./target/release/pgdesign online --scale 0.005 --queries 120 --epoch 10 \
+	  --state target/recovery-drill --expect-warm --stats
+	rm -rf target/recovery-drill
+	@echo "recovery drill passed"
+
+# Remove durable session state (snapshot + edit-log directories created
+# via --state or TuningSession::open_or_create).
+clean-state:
+	find . -name '*.pgds' -delete -o -name '*.pgdl' -delete
+	rm -rf target/recovery-drill target/cli-drill

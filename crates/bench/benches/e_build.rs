@@ -28,7 +28,7 @@ use criterion::{criterion_group, criterion_main, test_mode, Criterion};
 use pgdesign_bench::SCALE;
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_catalog::Catalog;
-use pgdesign_inum::{CostMatrix, Inum};
+use pgdesign_inum::{decode_snapshot, encode_published, restore_matrix, CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::Optimizer;
 use pgdesign_query::ast::Query;
@@ -163,6 +163,40 @@ fn bench_build(c: &mut Criterion) {
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
+    // (e) Warm restart: encode the published matrix into snapshot
+    // records, then decode + restore onto a *second* INUM — the recovery
+    // path a durable session takes at open (`TuningSession::open_or_create`)
+    // — versus paying the cold build again. Restore adopts the persisted
+    // cells instead of recomputing them, so it is pure decode work.
+    serial.publish();
+    let records = encode_published(&serial);
+    let snapshot_bytes: usize = records.iter().map(|r| r.len()).sum();
+    let opt2 = Optimizer::new();
+    let inum2 = Inum::new(&catalog, &opt2);
+    let mut restore_total = f64::INFINITY;
+    let mut restore_cells = 0u64;
+    let mut restored_last = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let decoded = decode_snapshot(&records).expect("decode snapshot");
+        restore_cells = decoded.cells;
+        let (restored, _) = restore_matrix(&inum2, decoded).expect("restore");
+        restore_total = restore_total.min(t.elapsed().as_secs_f64());
+        restored_last = Some(restored);
+    }
+    let restored = restored_last.expect("REPS > 0");
+    assert_eq!(inum2.matrix_stats().builds, 0, "restore must not build");
+    let mut restore_agreement: f64 = 0.0;
+    {
+        let cfg = serial.config_of(0..cands.indexes.len());
+        for qi in 0..all.len() {
+            let a = serial.cost(qi, &cfg);
+            let b = restored.cost(qi, &cfg);
+            restore_agreement = restore_agreement.max((a - b).abs() / b.abs().max(1.0));
+        }
+    }
+    let restore_speedup = cold_serial / restore_total.max(1e-12);
+
     // (d) Concurrent what-if serving: sustained snapshot lookups/sec from
     // N lock-free readers while the writer keeps rotating epochs and
     // publishing generations — the tail-latency story behind the
@@ -246,6 +280,14 @@ fn bench_build(c: &mut Criterion) {
         par_agreement
     );
     println!(
+        "warm restart:    {:7.2} ms to decode+restore {} cells ({} snapshot bytes)   vs cold {:5.1}x   agreement {:.2e}",
+        restore_total * 1e3,
+        restore_cells,
+        snapshot_bytes,
+        restore_speedup,
+        restore_agreement
+    );
+    println!(
         "reader serving:  {:7.0} lookups/s from {reader_threads} threads during {} rotations ({:.0} ms window)",
         reader_rate,
         serve_generations,
@@ -270,7 +312,7 @@ fn bench_build(c: &mut Criterion) {
              {{\"row\": \"cold-build\", \"serial_ms\": {:.3}, \"parallel_4t_ms\": {:.3}, \
              \"parallel_speedup_4t\": {:.2}, \"available_parallelism\": {cores}, \
              \"agreement_err\": {:.3e}}},\n    \
-             {{\"row\": \"reader-throughput\", \"reader_threads\": {reader_threads}, \
+             {{\"row\": \"warm-restart\", \"restore_ms\": {:.3}, \"cold_build_ms\": {:.3},              \"restore_vs_cold_speedup\": {:.2}, \"snapshot_bytes\": {snapshot_bytes},              \"cells_restored\": {restore_cells}, \"agreement_err\": {:.3e}}},\n                 {{\"row\": \"reader-throughput\", \"reader_threads\": {reader_threads}, \
              \"lookups_per_sec\": {:.0}, \"generations_published\": {serve_generations}, \
              \"window_ms\": {:.1}}}\n  ],\n  \
              \"cells_computed\": {},\n  \"cells_reused\": {}\n}}\n",
@@ -282,6 +324,10 @@ fn bench_build(c: &mut Criterion) {
             cold_parallel * 1e3,
             par_speedup,
             par_agreement,
+            restore_total * 1e3,
+            cold_serial * 1e3,
+            restore_speedup,
+            restore_agreement,
             reader_rate,
             serve_elapsed * 1e3,
             s.cells,

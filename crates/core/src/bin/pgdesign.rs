@@ -15,7 +15,7 @@
 //! (semicolons optional). Pass `--workload builtin:N` for an N-query
 //! generated SDSS/TPC-H workload.
 
-use pgdesign::Designer;
+use pgdesign::{Designer, InteractiveSession, OnlineSession};
 use pgdesign_catalog::samples::{sdss_catalog, tpch_catalog};
 use pgdesign_catalog::Catalog;
 use pgdesign_colt::ColtConfig;
@@ -39,8 +39,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F] [--joint] [--stats]
   pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
-  pgdesign session   --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index t:c1,c2]... [--vertical t:c1,c2|c3]... [--horizontal t:col:N]... [--stats]
-  pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N]
+  pgdesign session   --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index t:c1,c2]... [--vertical t:c1,c2|c3]... [--horizontal t:col:N]... [--state DIR] [--stats]
+  pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N] [--state DIR] [--kill-after N] [--expect-warm] [--stats]
   pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>
   pgdesign --help";
 
@@ -77,8 +77,20 @@ Per-subcommand flags:
               --vertical t:c1,c2|c3  Hypothetical vertical partitioning:
                                      column groups separated by '|'
               --horizontal t:col:N   Hypothetical N-way range partitioning
-              --stats                Print INUM/cost-matrix counters
+              --state DIR            Durable state directory: the cost matrix
+                                     persists as a checksummed snapshot + edit
+                                     log, and a reopened session resumes on it
+                                     without a rebuild
+              --stats                Print INUM/cost-matrix counters (plus
+                                     recovery counters when --state is set)
   online      --queries N --epoch N  Stream length and COLT epoch length
+              --state DIR            Durable state directory; a restarted
+                                     stream resumes on the persisted matrix
+              --kill-after N         Exit hard (code 137, no shutdown path)
+                                     after observing N queries — the crash
+                                     half of a recovery drill
+              --expect-warm          Fail unless this run warm-restored the
+                                     matrix (builds == 0, cells reused)
   explain     --sql QUERY            Statement to explain";
 
 /// Minimal flag parser: `--key value` pairs after the subcommand;
@@ -180,9 +192,9 @@ fn run(args: &[String]) -> Result<(), String> {
         while i < rest.len() {
             match rest[i].as_str() {
                 "--help" | "-h" => return true,
-                "--stats" | "--joint" => i += 1, // the valueless flags
-                s if s.starts_with("--") => i += 2, // skip the flag's value
-                _ => return false,               // malformed; let Flags::parse report it
+                "--stats" | "--joint" | "--expect-warm" => i += 1, // the valueless flags
+                s if s.starts_with("--") => i += 2,                // skip the flag's value
+                _ => return false, // malformed; let Flags::parse report it
             }
         }
         false
@@ -201,15 +213,16 @@ fn run(args: &[String]) -> Result<(), String> {
     ) {
         return Err(format!("unknown subcommand {cmd:?}"));
     }
-    // `--stats` and `--joint` are the valueless flags; extract them before
-    // the `--key value` pair parser sees the argument list. Only
-    // `recommend` honours them — elsewhere they would be silently ignored,
-    // so fail loudly.
+    // `--stats`, `--joint`, and `--expect-warm` are the valueless flags;
+    // extract them before the `--key value` pair parser sees the argument
+    // list. Each is honoured by specific subcommands — elsewhere they
+    // would be silently ignored, so fail loudly.
     let show_stats = rest.iter().any(|a| a == "--stats");
     let joint = rest.iter().any(|a| a == "--joint");
-    if show_stats && cmd != "recommend" && cmd != "session" {
+    let expect_warm = rest.iter().any(|a| a == "--expect-warm");
+    if show_stats && !matches!(cmd.as_str(), "recommend" | "session" | "online") {
         return Err(format!(
-            "--stats is only supported by `recommend` and `session`, not `{cmd}`"
+            "--stats is only supported by `recommend`, `session` and `online`, not `{cmd}`"
         ));
     }
     if joint && cmd != "recommend" {
@@ -217,12 +230,27 @@ fn run(args: &[String]) -> Result<(), String> {
             "--joint is only supported by `recommend`, not `{cmd}`"
         ));
     }
+    if expect_warm && cmd != "online" {
+        return Err(format!(
+            "--expect-warm is only supported by `online`, not `{cmd}`"
+        ));
+    }
     let rest: Vec<String> = rest
         .iter()
-        .filter(|a| *a != "--stats" && *a != "--joint")
+        .filter(|a| *a != "--stats" && *a != "--joint" && *a != "--expect-warm")
         .cloned()
         .collect();
     let flags = Flags::parse(&rest)?;
+    if flags.get("state").is_some() && !matches!(cmd.as_str(), "session" | "online") {
+        return Err(format!(
+            "--state is only supported by `session` and `online`, not `{cmd}`"
+        ));
+    }
+    if flags.get("kill-after").is_some() && cmd != "online" {
+        return Err(format!(
+            "--kill-after is only supported by `online`, not `{cmd}`"
+        ));
+    }
     let catalog = load_catalog(&flags)?;
     let designer = Designer::new(catalog);
 
@@ -287,7 +315,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "session" => {
             let workload = load_workload(&designer.catalog, &flags)?;
             let n_queries = workload.len();
-            let mut session = designer.session(workload);
+            let mut session = match flags.get("state") {
+                Some(dir) => InteractiveSession::open_or_create(&designer, workload, dir)
+                    .map_err(|e| format!("cannot open state dir {dir:?}: {e}"))?,
+                None => designer.session(workload),
+            };
             let baseline = session.evaluate();
             println!(
                 "warm-up: {n_queries} queries cached, workload cost {:.1}",
@@ -403,13 +435,55 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| format!("bad --epoch {s:?}")))
                 .transpose()?
                 .unwrap_or(25);
+            let kill_after: Option<usize> = flags
+                .get("kill-after")
+                .map(|s| s.parse().map_err(|_| format!("bad --kill-after {s:?}")))
+                .transpose()?;
+            if expect_warm && flags.get("state").is_none() {
+                return Err("--expect-warm requires --state".into());
+            }
             let mut stream = DriftingStream::sdss_default(designer.catalog.clone(), queries / 6, 7);
-            let mut session = designer.online_session(ColtConfig {
+            let config = ColtConfig {
                 epoch_length: epoch,
                 storage_budget_bytes: designer.catalog.data_bytes() / 4,
                 ..Default::default()
-            });
-            session.observe_all(stream.batch(queries));
+            };
+            let mut session = match flags.get("state") {
+                Some(dir) => OnlineSession::open_or_create(&designer, config, dir)
+                    .map_err(|e| format!("cannot open state dir {dir:?}: {e}"))?,
+                None => designer.online_session(config),
+            };
+            // The stream is seed-deterministic, so a restarted run re-draws
+            // the same query mix: its first epoch dedupes against the
+            // restored residents — that is the warm-restart contract
+            // `--expect-warm` checks.
+            let mut fed = 0usize;
+            for q in stream.batch(queries) {
+                let _ = session.observe(q);
+                fed += 1;
+                if kill_after == Some(fed) {
+                    // A real hard kill: no destructors, no final sync —
+                    // recovery must work from whatever the last epoch
+                    // boundary fsync'd.
+                    eprintln!("pgdesign: --kill-after {fed}: exiting hard (137)");
+                    std::process::exit(137);
+                }
+            }
+            if expect_warm {
+                let stats = session.tuning_stats();
+                let warm = stats.matrix.builds == 0 && stats.matrix.cells_reused > 0;
+                if !warm {
+                    return Err(format!(
+                        "--expect-warm: run was not warm (builds {}, cells_reused {}, recovery: {})",
+                        stats.matrix.builds,
+                        stats.matrix.cells_reused,
+                        stats
+                            .recovery
+                            .and_then(|r| r.cold_start)
+                            .map_or("none".to_string(), |c| c.to_string()),
+                    ));
+                }
+            }
             print!("{}", session.trajectory());
             let (untuned, tuned) = session.cumulative_costs();
             println!(

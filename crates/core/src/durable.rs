@@ -1,0 +1,231 @@
+//! Durable persistence of a [`crate::TuningSession`]'s cost matrix —
+//! snapshot + edit-log plumbing and the warm-restore policy.
+//!
+//! The layering: `pgdesign-durability` owns the storage mechanics (CRC'd
+//! record framing, atomic snapshot replacement, fsync-per-record log
+//! appends, torn-tail truncation); `pgdesign_inum::matrix::persist` owns
+//! the payload codec (what a cell or an edit means); this module owns
+//! *policy* — when a restore is trusted, when it degrades to a cold
+//! build, when the log is checkpointed into a fresh snapshot.
+//!
+//! ## What is on disk
+//!
+//! A state directory holds two files: `matrix.pgds`, a versioned
+//! checksummed snapshot of the last checkpointed *published* matrix
+//! generation, and `matrix.pgdl`, an append-only edit log whose header is
+//! bound to the snapshot's body CRC (a log can only replay against the
+//! exact snapshot it was written for — edits are positional, so replaying
+//! them against any other base would be wrong, not just stale).
+//!
+//! ## The recovery ladder
+//!
+//! Recovery degrades gracefully, never wrongly:
+//!
+//! 1. snapshot reads, decodes, and matches the catalog → warm restore;
+//!    cells whose table statistics changed are recomputed (counted in
+//!    [`RecoveryStats::cells_invalidated_stale`]), everything else is
+//!    adopted without a build.
+//! 2. the log replays on top — a torn or corrupt tail is detected by the
+//!    per-record CRC and dropped at the last good record.
+//! 3. anything structurally wrong with the snapshot (bad magic/CRC,
+//!    format-version skew, catalog shape change) → cold build, with the
+//!    reason recorded in [`RecoveryStats::cold_start`] and logged.
+//!
+//! After every open the session immediately checkpoints: the restored (or
+//! cold-built) state becomes a fresh snapshot and the log is truncated,
+//! so recovery work is never paid twice.
+
+use crate::report::{ColdStart, RecoveryStats};
+use pgdesign_durability::{
+    log_append, log_open, log_reset, read_snapshot, write_snapshot, DurableStore, LogState,
+    SnapshotFileError,
+};
+use pgdesign_inum::{
+    decode_edit, decode_snapshot, encode_edit, restore_matrix, CostMatrix, Inum, MatrixEdit,
+    PersistError,
+};
+use std::io;
+
+/// Snapshot file name within a state directory.
+pub(crate) const SNAPSHOT_NAME: &str = "matrix.pgds";
+/// Edit-log file name within a state directory.
+pub(crate) const LOG_NAME: &str = "matrix.pgdl";
+
+/// How many publishes may accumulate in the edit log before the session
+/// folds them into a fresh snapshot and truncates the log.
+const CHECKPOINT_EVERY_PUBLISHES: usize = 8;
+
+/// The durable half of a session: the store, the log-position bookkeeping,
+/// and the recovery counters from open time.
+pub(crate) struct DurableHandle {
+    store: Box<dyn DurableStore>,
+    /// Edits appended to the log after its last `Publish` marker — exactly
+    /// the writer state a checkpoint's published snapshot does *not*
+    /// capture, so a checkpoint re-appends them to the fresh log.
+    pending: Vec<MatrixEdit>,
+    publishes_since_checkpoint: usize,
+    /// Set when a log append fails: further appends are suppressed (a log
+    /// with a hole would replay to a *wrong* matrix) until the next
+    /// checkpoint rewrites the whole state atomically.
+    degraded: bool,
+    pub(crate) recovery: RecoveryStats,
+}
+
+impl DurableHandle {
+    pub(crate) fn new(
+        store: Box<dyn DurableStore>,
+        pending: Vec<MatrixEdit>,
+        recovery: RecoveryStats,
+    ) -> Self {
+        DurableHandle {
+            store,
+            pending,
+            publishes_since_checkpoint: 0,
+            degraded: false,
+            recovery,
+        }
+    }
+
+    /// Append drained journal edits to the log (fsync per record). On an
+    /// append failure the handle turns degraded — nothing further is
+    /// appended, but `pending` keeps tracking post-publish edits so the
+    /// healing checkpoint stays exact. Returns whether a checkpoint is due.
+    pub(crate) fn append_edits(&mut self, edits: &[MatrixEdit]) -> bool {
+        for edit in edits {
+            if !self.degraded {
+                if let Err(e) = log_append(&mut *self.store, LOG_NAME, &encode_edit(edit)) {
+                    eprintln!(
+                        "pgdesign: durable log append failed ({e}); \
+                         suspending the log until the next checkpoint"
+                    );
+                    self.degraded = true;
+                }
+            }
+            if matches!(edit, MatrixEdit::Publish) {
+                self.pending.clear();
+                self.publishes_since_checkpoint += 1;
+            } else {
+                self.pending.push(edit.clone());
+            }
+        }
+        self.degraded || self.publishes_since_checkpoint >= CHECKPOINT_EVERY_PUBLISHES
+    }
+
+    /// Write `records` (the published matrix state) as a fresh snapshot,
+    /// truncate the log against it, and re-append the pending post-publish
+    /// edits. Atomic at every step: a crash mid-checkpoint leaves either
+    /// the old state or the new one, both self-consistent.
+    pub(crate) fn checkpoint(&mut self, records: &[Vec<u8>]) -> io::Result<()> {
+        let crc = write_snapshot(&mut *self.store, SNAPSHOT_NAME, records)?;
+        log_reset(&mut *self.store, LOG_NAME, crc)?;
+        self.degraded = false;
+        for edit in &self.pending {
+            if let Err(e) = log_append(&mut *self.store, LOG_NAME, &encode_edit(edit)) {
+                self.degraded = true;
+                return Err(e);
+            }
+        }
+        self.publishes_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// A warm restore: the matrix (log already replayed) plus the edits after
+/// the last publish marker, which the next checkpoint must re-append.
+pub(crate) type Restored<'a> = (CostMatrix<'a>, Vec<MatrixEdit>);
+
+/// Attempt a warm restore from `store` against `inum`'s catalog. Returns
+/// the restored matrix (log already replayed) plus the edits after the
+/// last publish marker, or `None` for any cold-start condition — with the
+/// reason in the returned [`RecoveryStats`] either way. Only a real I/O
+/// error (unreadable device, not corrupt bytes) aborts the open.
+pub(crate) fn try_restore<'a>(
+    inum: &'a Inum<'a>,
+    store: &mut dyn DurableStore,
+) -> io::Result<(Option<Restored<'a>>, RecoveryStats)> {
+    let mut recovery = RecoveryStats::default();
+    let cold = |reason: ColdStart, detail: &str, recovery: &mut RecoveryStats| {
+        if reason != ColdStart::NoState {
+            eprintln!("pgdesign: cold start, {reason}: {detail}");
+        }
+        recovery.cold_start = Some(reason);
+    };
+
+    let file = match read_snapshot(store, SNAPSHOT_NAME) {
+        Ok(file) => file,
+        Err(SnapshotFileError::Missing) => {
+            cold(ColdStart::NoState, "", &mut recovery);
+            return Ok((None, recovery));
+        }
+        Err(SnapshotFileError::VersionSkew { found }) => {
+            cold(
+                ColdStart::VersionSkew,
+                &format!("snapshot has format version {found}"),
+                &mut recovery,
+            );
+            return Ok((None, recovery));
+        }
+        Err(e @ (SnapshotFileError::BadMagic | SnapshotFileError::Corrupt(_))) => {
+            cold(ColdStart::SnapshotCorrupt, &e.to_string(), &mut recovery);
+            return Ok((None, recovery));
+        }
+        Err(SnapshotFileError::Io(e)) => return Err(e),
+    };
+
+    let decoded = match decode_snapshot(&file.records) {
+        Ok(d) => d,
+        Err(e) => {
+            cold(ColdStart::SnapshotCorrupt, &e.to_string(), &mut recovery);
+            return Ok((None, recovery));
+        }
+    };
+    let (mut matrix, report) = match restore_matrix(inum, decoded) {
+        Ok(r) => r,
+        // The only restore-time failure is a catalog whose table set no
+        // longer matches the snapshot's — per-table *statistics* drift is
+        // handled by invalidation, not failure.
+        Err(e @ PersistError::Invalid(_)) => {
+            cold(ColdStart::CatalogChanged, &e.to_string(), &mut recovery);
+            return Ok((None, recovery));
+        }
+        Err(e @ PersistError::Codec(_)) => {
+            cold(ColdStart::SnapshotCorrupt, &e.to_string(), &mut recovery);
+            return Ok((None, recovery));
+        }
+    };
+    recovery.snapshot_cells_loaded = report.cells_loaded;
+    recovery.cells_invalidated_stale = report.cells_invalidated;
+
+    let mut pending = Vec::new();
+    match log_open(store, LOG_NAME, file.body_crc)? {
+        LogState::Replay(scan) => {
+            recovery.log_records_dropped += scan.dropped_records;
+            for (i, record) in scan.records.iter().enumerate() {
+                match decode_edit(record) {
+                    Ok(edit) => {
+                        matrix.apply_edit(&edit);
+                        recovery.log_records_replayed += 1;
+                        if matches!(edit, MatrixEdit::Publish) {
+                            pending.clear();
+                        } else {
+                            pending.push(edit);
+                        }
+                    }
+                    Err(_) => {
+                        // A CRC-valid but undecodable record: everything
+                        // from here is untrustworthy — treat it like a
+                        // torn tail.
+                        recovery.log_records_dropped += (scan.records.len() - i) as u64;
+                        break;
+                    }
+                }
+            }
+        }
+        // A log bound to a different snapshot (a crash between snapshot
+        // replacement and log truncation): its edits do not apply to this
+        // base, so the snapshot alone is the recovered state.
+        LogState::Mismatch(_) | LogState::Missing => {}
+    }
+
+    Ok((Some((matrix, pending)), recovery))
+}

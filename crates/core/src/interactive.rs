@@ -138,7 +138,26 @@ impl<'a> InteractiveSession<'a> {
     /// skeleton cache and base cells; the catalog's base design (if any)
     /// is registered and selected as the starting configuration.
     pub fn new(designer: &'a Designer, workload: Workload) -> Self {
-        let session = TuningSession::new(designer, workload);
+        Self::over(TuningSession::new(designer, workload))
+    }
+
+    /// Start an interactive session over a *durable* [`TuningSession`]
+    /// (state directory at `dir`): a reopened session finds the previous
+    /// run's cells resident — the warm-up builds nothing for recurring
+    /// queries — and every published exploration step is journaled for the
+    /// next open. See [`TuningSession::open_or_create_on`] for the
+    /// recovery contract.
+    pub fn open_or_create(
+        designer: &'a Designer,
+        workload: Workload,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        Ok(Self::over(TuningSession::open_or_create(
+            designer, workload, dir,
+        )?))
+    }
+
+    fn over(session: TuningSession<'a>) -> Self {
         let matrix = session.matrix();
         let cfg = matrix.empty_joint();
         let empty = matrix.empty_joint();

@@ -78,6 +78,7 @@
 //! ```
 
 pub mod designer;
+mod durable;
 pub mod interactive;
 pub mod online;
 pub mod report;
@@ -86,7 +87,7 @@ pub mod session;
 pub use designer::{Designer, JointReport, OfflineReport};
 pub use interactive::{BenefitReport, InteractiveSession};
 pub use online::OnlineSession;
-pub use report::TuningStats;
+pub use report::{ColdStart, RecoveryStats, TuningStats};
 pub use session::{
     Advisor, IndexAdvisor, InteractionAdvisor, JointAdvisor, OfflineAdvisor, PartitionAdvisor,
     SessionReader, TuningSession,

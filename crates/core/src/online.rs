@@ -42,9 +42,58 @@ impl<'a> OnlineSession<'a> {
         }
     }
 
-    /// Feed one query; epoch reports accumulate internally.
+    /// Start a *durable* session backed by the state directory at `dir`:
+    /// a restarted stream resumes on the previous run's resident matrix —
+    /// no matrix build, recurring queries reuse their cells from the first
+    /// epoch on (`tuning_stats().matrix` shows `builds == 0` and
+    /// `cells_reused > 0`). The COLT tuner's own profiling state (benefit
+    /// EWMA, current design) is deliberately *not* persisted: it re-warms
+    /// within an epoch or two, while the expensive state — the cells — is
+    /// what the snapshot carries. See [`TuningSession::open_or_create_on`]
+    /// for the recovery contract.
+    pub fn open_or_create(
+        designer: &'a Designer,
+        config: ColtConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let session = TuningSession::open_or_create(designer, Workload::new(), dir)?;
+        let tuner = ColtTuner::new(&designer.catalog, &designer.optimizer, config);
+        Ok(OnlineSession {
+            tuner,
+            reports: Vec::new(),
+            session,
+        })
+    }
+
+    /// [`Self::open_or_create`] over any
+    /// [`pgdesign_durability::DurableStore`] (fault-injection tests pass a
+    /// `MemStore`).
+    pub fn open_or_create_on(
+        designer: &'a Designer,
+        config: ColtConfig,
+        store: Box<dyn pgdesign_durability::DurableStore>,
+    ) -> std::io::Result<Self> {
+        let session = TuningSession::open_or_create_on(designer, Workload::new(), store)?;
+        let tuner = ColtTuner::new(&designer.catalog, &designer.optimizer, config);
+        Ok(OnlineSession {
+            tuner,
+            reports: Vec::new(),
+            session,
+        })
+    }
+
+    /// Feed one query; epoch reports accumulate internally. On a durable
+    /// session, each epoch boundary (the only point the matrix mutates)
+    /// syncs the journaled edits to the edit log before the report is
+    /// returned — a crash between epochs replays to exactly the published
+    /// epoch state.
     pub fn observe(&mut self, query: Query) -> Option<&EpochReport> {
         if let Some(r) = self.tuner.observe(query, self.session.matrix_mut()) {
+            if self.session.is_durable() {
+                if let Err(e) = self.session.sync_durable() {
+                    eprintln!("pgdesign: durable sync failed ({e}); continuing in memory");
+                }
+            }
             self.reports.push(r);
             self.reports.last()
         } else {
@@ -219,6 +268,55 @@ mod tests {
         // The stream continues unharmed after the handoff.
         s.observe_all(std::iter::repeat_with(|| q.clone()).take(10));
         assert_eq!(s.reports().len(), 4);
+    }
+
+    #[test]
+    fn durable_restart_resumes_without_a_build() {
+        // The PR's acceptance pin: kill an online session mid-stream,
+        // reopen on the same store, and the restarted stream's first epoch
+        // runs entirely on restored cells — no matrix build at all.
+        use pgdesign_durability::SharedMemStore;
+
+        let d = Designer::new(sdss_catalog(0.01));
+        let q = parse_query(
+            &d.catalog.schema,
+            "SELECT ra FROM photoobj WHERE objid = 42",
+        )
+        .unwrap();
+        let config = || ColtConfig {
+            epoch_length: 5,
+            ..Default::default()
+        };
+
+        let disk = SharedMemStore::new();
+        {
+            let mut s = OnlineSession::open_or_create_on(&d, config(), Box::new(disk.clone()))
+                .expect("first open");
+            assert_eq!(
+                s.tuning_stats().recovery.and_then(|r| r.cold_start),
+                Some(crate::report::ColdStart::NoState)
+            );
+            // 9 epochs: enough publishes to cross the checkpoint
+            // threshold, so the reopened state spans a snapshot *and* a
+            // log tail; two queries are left mid-epoch (never published,
+            // correctly absent after the "kill").
+            s.observe_all(std::iter::repeat_with(|| q.clone()).take(47));
+            assert_eq!(s.reports().len(), 9);
+        } // kill -9: the session is dropped without any shutdown path
+
+        let mut s = OnlineSession::open_or_create_on(&d, config(), Box::new(disk))
+            .expect("reopen after kill");
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(5));
+        let stats = s.tuning_stats();
+        let recovery = stats.recovery.expect("durable session reports recovery");
+        assert_eq!(recovery.cold_start, None, "second open must be warm");
+        assert!(recovery.snapshot_cells_loaded > 0);
+        assert!(recovery.log_records_replayed > 0);
+        assert_eq!(stats.matrix.builds, 0, "restored matrix, no build");
+        assert!(
+            stats.matrix.cells_reused > 0,
+            "the recurring query's cells come from the snapshot"
+        );
     }
 
     #[test]

@@ -20,6 +20,74 @@ pub struct TuningStats {
     /// Configuration-cost lookups served to concurrent snapshot readers
     /// (lock-free; not included in `matrix.lookups`).
     pub reader_lookups: u64,
+    /// What recovery did at session open — `Some` only for sessions opened
+    /// through a durable entry point (`TuningSession::open_or_create` and
+    /// friends).
+    pub recovery: Option<RecoveryStats>,
+}
+
+/// Why a durable session open fell back to a cold matrix build instead of
+/// a warm restore. Recovery *degrades, never fails*: every variant here
+/// means "started like a non-durable session", not an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdStart {
+    /// No snapshot on disk — first run against this state directory.
+    NoState,
+    /// The snapshot failed its magic/CRC/payload checks.
+    SnapshotCorrupt,
+    /// The snapshot was written by a different format version.
+    VersionSkew,
+    /// The catalog changed shape (table count) since the snapshot.
+    CatalogChanged,
+}
+
+impl fmt::Display for ColdStart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColdStart::NoState => "no durable state found",
+            ColdStart::SnapshotCorrupt => "snapshot failed verification",
+            ColdStart::VersionSkew => "snapshot format version mismatch",
+            ColdStart::CatalogChanged => "catalog shape changed",
+        })
+    }
+}
+
+/// What recovery did when a durable session opened: how much resident
+/// state the warm restart recovered, and what it had to drop or redo.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryStats {
+    /// Matrix cells adopted straight from the snapshot file.
+    pub snapshot_cells_loaded: u64,
+    /// Edit-log records replayed on top of the snapshot.
+    pub log_records_replayed: u64,
+    /// Log records dropped at a torn/corrupt tail (CRC or decode failure).
+    pub log_records_dropped: u64,
+    /// Cells recomputed because their table's catalog statistics changed
+    /// since the snapshot was written.
+    pub cells_invalidated_stale: u64,
+    /// `Some(reason)` when the open fell back to a cold build.
+    pub cold_start: Option<ColdStart>,
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.cold_start {
+            Some(reason) => writeln!(f, "   recovery: cold start ({reason})"),
+            None => {
+                writeln!(
+                    f,
+                    "   recovery: {} snapshot cells loaded, {} log records replayed \
+                     ({} dropped at torn tail)",
+                    self.snapshot_cells_loaded, self.log_records_replayed, self.log_records_dropped
+                )?;
+                writeln!(
+                    f,
+                    "   recovery: {} cells invalidated by catalog staleness",
+                    self.cells_invalidated_stale
+                )
+            }
+        }
+    }
 }
 
 impl fmt::Display for TuningStats {
@@ -60,7 +128,11 @@ impl fmt::Display for TuningStats {
             f,
             "   estimated what-if optimizer calls avoided: {}",
             self.matrix.whatif_calls_avoided()
-        )
+        )?;
+        if let Some(recovery) = &self.recovery {
+            write!(f, "{recovery}")?;
+        }
+        Ok(())
     }
 }
 

@@ -17,10 +17,15 @@
 //! `matrix.cells_reused`).
 
 use crate::designer::Designer;
+use crate::durable::{try_restore, DurableHandle};
 use crate::report::TuningStats;
-use pgdesign_inum::{CostMatrix, Inum, MatrixReader, MatrixSnapshot};
+use pgdesign_durability::{DurableStore, FsStore};
+use pgdesign_inum::{encode_published, CostMatrix, Inum, MatrixReader, MatrixSnapshot};
 use pgdesign_query::Workload;
+use std::collections::HashMap as StdHashMap;
+use std::io;
 use std::ops::Deref;
+use std::path::Path;
 
 /// A tuning session: one [`Inum`] skeleton cache plus one persistent,
 /// incrementally-maintained [`CostMatrix`], shared by every advisor and
@@ -41,6 +46,8 @@ pub struct TuningSession<'a> {
     matrix: CostMatrix<'a>,
     // Keeps the INUM alive (and heap-pinned) for the session's lifetime.
     _inum: Box<Inum<'a>>,
+    /// Durable snapshot + edit-log state; `None` for in-memory sessions.
+    durable: Option<DurableHandle>,
 }
 
 impl<'a> TuningSession<'a> {
@@ -61,6 +68,142 @@ impl<'a> TuningSession<'a> {
             designer,
             matrix,
             _inum: inum,
+            durable: None,
+        }
+    }
+
+    /// Open a durable session backed by the state directory at `dir`
+    /// (created if absent), or create a fresh one when no usable state
+    /// exists. See [`Self::open_or_create_on`] for the recovery contract.
+    pub fn open_or_create(
+        designer: &'a Designer,
+        workload: Workload,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<Self> {
+        let store = FsStore::open(dir.as_ref())?;
+        Self::open_or_create_on(designer, workload, Box::new(store))
+    }
+
+    /// Open a durable session against any [`DurableStore`] (the
+    /// fault-injection tests pass a `MemStore`).
+    ///
+    /// Warm path: the snapshot is decoded and verified, catalog-stale
+    /// cells are recomputed, the edit log replays on top (torn tail
+    /// dropped at the last CRC-valid record), and the requested `workload`
+    /// is reconciled against the resident queries — recurring queries
+    /// reuse their cells, no matrix build happens. Cold path (no state,
+    /// corrupt or version-skewed snapshot, changed catalog shape): exactly
+    /// [`Self::new`], with the reason recorded in the session's
+    /// [`TuningStats::recovery`]. Either way the session checkpoints
+    /// immediately, so the next open never re-pays this one's recovery,
+    /// and every later mutation is journaled to the edit log at publish
+    /// boundaries ([`Self::sync_durable`]).
+    ///
+    /// Only real I/O failure (an unreadable/unwritable store) returns
+    /// `Err`; corrupt state never does.
+    pub fn open_or_create_on(
+        designer: &'a Designer,
+        workload: Workload,
+        mut store: Box<dyn DurableStore>,
+    ) -> io::Result<Self> {
+        let inum = Box::new(Inum::new(&designer.catalog, &designer.optimizer));
+        // SAFETY: same invariant as `new` — the matrix's reference points
+        // into the boxed INUM, whose heap location is stable and which is
+        // dropped after the matrix.
+        let inum_ref: &'a Inum<'a> = unsafe { &*(inum.as_ref() as *const Inum<'a>) };
+
+        let (restored, recovery) = try_restore(inum_ref, &mut *store)?;
+        let (matrix, pending) = match restored {
+            Some((mut matrix, mut pending)) => {
+                if !workload.is_empty() {
+                    // Reconcile the requested workload against the resident
+                    // queries: recurring queries keep their cells (weights
+                    // forced to the request, not summed), residents not
+                    // requested are retired. Published so the reconciled
+                    // state is what the open-time checkpoint captures.
+                    let entries: Vec<_> = workload
+                        .entries
+                        .iter()
+                        .map(|e| (&e.query, e.weight))
+                        .collect();
+                    let ids = matrix.add_queries(entries.iter().map(|&(q, w)| (q, w)));
+                    let mut want: StdHashMap<usize, f64> = StdHashMap::new();
+                    for (&(_, w), &id) in entries.iter().zip(&ids) {
+                        *want.entry(id).or_insert(0.0) += w;
+                    }
+                    let resident: Vec<usize> = matrix.active_query_ids().collect();
+                    for id in resident {
+                        match want.get(&id) {
+                            Some(&w) => matrix.set_query_weight(id, w),
+                            None => matrix.retire_query(id),
+                        }
+                    }
+                    matrix.publish();
+                    pending.clear();
+                }
+                (matrix, pending)
+            }
+            None => {
+                inum_ref.prepare_workload(&workload);
+                (CostMatrix::build(inum_ref, &workload, &[]), Vec::new())
+            }
+        };
+
+        let mut session = TuningSession {
+            designer,
+            matrix,
+            _inum: inum,
+            durable: Some(DurableHandle::new(store, pending, recovery)),
+        };
+        // Fold whatever this open did (restore + replay, reconciliation,
+        // or a cold build) into a fresh snapshot, then start journaling.
+        session.checkpoint()?;
+        session.matrix.enable_journal();
+        Ok(session)
+    }
+
+    /// Whether this session persists its matrix to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Drain the matrix's edit journal to the durable log (fsync per
+    /// record) and checkpoint if enough publishes accumulated. No-op for
+    /// in-memory sessions. Called automatically by [`Self::advise`] and
+    /// [`Self::publish`]; call it manually after direct
+    /// [`Self::matrix_mut`] edits worth persisting early.
+    ///
+    /// A failed append degrades to suspended logging (never a log with a
+    /// hole) until a checkpoint heals it; a failed checkpoint leaves the
+    /// previous on-disk state intact.
+    pub fn sync_durable(&mut self) -> io::Result<()> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let edits = self.matrix.take_journal();
+        let handle = self.durable.as_mut().expect("checked above");
+        if handle.append_edits(&edits) {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Write the latest *published* matrix generation as a fresh snapshot
+    /// and truncate the edit log against it. No-op for in-memory sessions.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        let Some(handle) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let records = encode_published(&self.matrix);
+        handle.checkpoint(&records)
+    }
+
+    /// [`Self::sync_durable`], with I/O failure reported to stderr instead
+    /// of returned — the shape internal callers want: durability already
+    /// degrades gracefully, so a sync failure must not abort tuning.
+    fn sync_durable_logged(&mut self) {
+        if let Err(e) = self.sync_durable() {
+            eprintln!("pgdesign: durable sync failed ({e}); continuing in memory");
         }
     }
 
@@ -113,6 +256,7 @@ impl<'a> TuningSession<'a> {
             matrix: self._inum.matrix_stats(),
             published_generation: self.matrix.published_generation(),
             reader_lookups: self.matrix.reader_lookups(),
+            recovery: self.durable.as_ref().map(|d| d.recovery),
         }
     }
 
@@ -133,17 +277,21 @@ impl<'a> TuningSession<'a> {
     /// each advisor; call this after manual [`Self::matrix_mut`] edits
     /// that readers should observe. Returns the new generation.
     pub fn publish(&mut self) -> u64 {
-        self.matrix.publish()
+        let generation = self.matrix.publish();
+        self.sync_durable_logged();
+        generation
     }
 
     /// Run an advisor against this session (see [`Advisor`]).
     ///
     /// Publishes a fresh reader snapshot on completion: whatever the
     /// advisor registered or rotated becomes visible to
-    /// [`Self::reader`] handles as the next generation.
+    /// [`Self::reader`] handles as the next generation. Durable sessions
+    /// sync the journaled edits to the log at the same boundary.
     pub fn advise<A: Advisor + ?Sized>(&mut self, advisor: &mut A) -> A::Report {
         let report = advisor.advise(self);
         self.matrix.publish();
+        self.sync_durable_logged();
         report
     }
 }

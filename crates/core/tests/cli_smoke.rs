@@ -142,10 +142,13 @@ fn joint_flag_is_rejected_outside_recommend() {
 #[test]
 fn stats_flag_is_rejected_outside_recommend() {
     let out = pgdesign(&["explain", "--sql", "SELECT ra FROM photoobj", "--stats"]);
-    assert!(!out.status.success(), "--stats is recommend/session-only");
+    assert!(
+        !out.status.success(),
+        "--stats is recommend/session/online-only"
+    );
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(
-        err.contains("--stats is only supported by `recommend` and `session`"),
+        err.contains("--stats is only supported by `recommend`, `session` and `online`"),
         "{err}"
     );
 }

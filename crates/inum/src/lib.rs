@@ -104,6 +104,10 @@ mod snapshot;
 
 pub use inum::{interesting_orders_per_slot, order_combinations, Inum, InumStats};
 pub use key::query_cell_key;
+pub use matrix::persist::{
+    catalog_fingerprints, decode_edit, decode_snapshot, encode_edit, encode_published,
+    encode_snapshot, restore_matrix, DecodedSnapshot, MatrixEdit, PersistError, RestoreReport,
+};
 pub use matrix::{
     build_threads, CandidateBitset, CostMatrix, FragmentBitset, JointConfig, JointToggle,
     MatrixBuilder, MatrixStats, SplitBitset,

@@ -54,6 +54,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Durable snapshot/edit-log codec for the matrix. A child module so it
+/// can encode the private cell structures directly; the storage framing
+/// (CRC, magic headers, stores) lives in `pgdesign-durability`.
+#[path = "persist.rs"]
+pub mod persist;
+
+use persist::MatrixEdit;
+
 /// Number of worker threads for matrix builds: the `PGDESIGN_THREADS`
 /// environment variable when set to a positive integer, otherwise the
 /// machine's available parallelism. `PGDESIGN_THREADS=1` pins the build
@@ -494,6 +502,11 @@ pub struct CostMatrix<'a> {
     /// The publication slot this matrix's snapshots rotate through; shared
     /// with every [`MatrixReader`] handed out by [`Self::reader`].
     slot: Arc<PublishSlot>,
+    /// When `Some`, every mutation records a [`MatrixEdit`] here — the
+    /// source of the durable edit log. `None` (the default) makes
+    /// journaling free for non-durable sessions. Must be `None` while a
+    /// log is being replayed, or the replay would re-record itself.
+    journal: Option<Vec<MatrixEdit>>,
 }
 
 /// Writer-side name for [`CostMatrix`]: the mutable half of the
@@ -887,7 +900,85 @@ impl<'a> CostMatrix<'a> {
         // Generation 0 is published at build time, so readers acquired
         // before the first explicit `publish` still see a complete matrix.
         let slot = Arc::new(PublishSlot::new(core.clone()));
-        CostMatrix { inum, core, slot }
+        CostMatrix {
+            inum,
+            core,
+            slot,
+            journal: None,
+        }
+    }
+
+    /// Adopt an already-materialized core — the durable-restore entry.
+    /// Unlike [`Self::build`] this computes nothing and does **not**
+    /// count as a matrix build in [`crate::MatrixStats`]: the cells were
+    /// paid for in a previous process and arrive from disk.
+    pub(crate) fn from_core(inum: &'a Inum<'a>, core: MatrixCore, generation: u64) -> Self {
+        let slot = Arc::new(PublishSlot::new_at(core.clone(), generation));
+        CostMatrix {
+            inum,
+            core,
+            slot,
+            journal: None,
+        }
+    }
+
+    // ---- Edit journaling (the durable edit-log source) ----
+
+    /// Start recording mutations as [`MatrixEdit`]s (idempotent).
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Stop recording and drop anything recorded.
+    pub fn disable_journal(&mut self) {
+        self.journal = None;
+    }
+
+    /// Drain the recorded edits (journaling stays enabled). Empty when
+    /// journaling is off.
+    pub fn take_journal(&mut self) -> Vec<MatrixEdit> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    fn record<F: FnOnce() -> MatrixEdit>(&mut self, edit: F) {
+        if let Some(j) = &mut self.journal {
+            j.push(edit());
+        }
+    }
+
+    /// Re-apply one recorded edit through the same public mutations that
+    /// produced it. Given an identical starting state, applying a journal
+    /// in order reproduces the original matrix exactly: every mutation is
+    /// deterministic in its inputs (dedupe maps, LIFO free-list recycling
+    /// and parallel cell computation included). The journal must be
+    /// disabled while replaying.
+    pub fn apply_edit(&mut self, edit: &MatrixEdit) {
+        debug_assert!(self.journal.is_none(), "replaying into an active journal");
+        match edit {
+            MatrixEdit::AddCandidates(indexes) => {
+                self.add_candidates(indexes);
+            }
+            MatrixEdit::RemoveCandidate(id) => self.remove_candidate(*id),
+            MatrixEdit::AddQueries(entries) => {
+                self.add_queries(entries.iter().map(|(q, w)| (q, *w)));
+            }
+            MatrixEdit::RetireQuery(id) => self.retire_query(*id),
+            MatrixEdit::SetQueryWeight(id, w) => self.set_query_weight(*id, *w),
+            MatrixEdit::RegisterFragment(table, columns) => {
+                self.register_fragment(*table, columns);
+            }
+            MatrixEdit::RegisterSplit(hp) => {
+                self.register_split(hp.clone());
+            }
+            MatrixEdit::Publish => {
+                self.publish();
+            }
+        }
     }
 
     /// The owning INUM instance (the slow-path oracle). The returned
@@ -964,6 +1055,7 @@ impl<'a> CostMatrix<'a> {
     /// a rotating consumer that wants per-epoch rather than cumulative
     /// weights resets them with this after each rotation (COLT does).
     pub fn set_query_weight(&mut self, id: usize, weight: f64) {
+        self.record(|| MatrixEdit::SetQueryWeight(id, weight));
         if let Some(qm) = self.core.queries.get_mut(id) {
             if qm.active {
                 Arc::make_mut(qm).weight = weight;
@@ -981,6 +1073,7 @@ impl<'a> CostMatrix<'a> {
     /// writer-side lock, readers never block. Generations are strictly
     /// monotonic, starting from 0 at build time.
     pub fn publish(&mut self) -> u64 {
+        self.record(|| MatrixEdit::Publish);
         self.slot.publish(self.core.clone())
     }
 
@@ -1041,6 +1134,7 @@ impl<'a> CostMatrix<'a> {
         if indexes.is_empty() {
             return Vec::new();
         }
+        self.record(|| MatrixEdit::AddCandidates(indexes.to_vec()));
         let t0 = Instant::now();
         let mut ids = Vec::with_capacity(indexes.len());
         let mut reused = 0u64;
@@ -1098,6 +1192,7 @@ impl<'a> CostMatrix<'a> {
         if self.core.indexes.get(id).is_none_or(|i| i.is_none()) {
             return;
         }
+        self.record(|| MatrixEdit::RemoveCandidate(id));
         if let Some(idx) = self.core.indexes[id].take() {
             // Only unmap if this id owns the entry (a duplicate handed to
             // `build` maps to its first id) — and if another live duplicate
@@ -1157,6 +1252,9 @@ impl<'a> CostMatrix<'a> {
         if entries.is_empty() {
             return Vec::new();
         }
+        self.record(|| {
+            MatrixEdit::AddQueries(entries.iter().map(|&(q, w)| (q.clone(), w)).collect())
+        });
         let t0 = Instant::now();
         let mut reused = 0u64;
         let mut computed_cells = 0u64;
@@ -1252,14 +1350,12 @@ impl<'a> CostMatrix<'a> {
     /// leftovers — recurring queries then dedupe against their still-active
     /// slots instead of being recomputed. No-op on inactive ids.
     pub fn retire_query(&mut self, id: usize) {
-        let Some(qm) = self.core.queries.get_mut(id) else {
-            return;
-        };
-        if !qm.active {
+        if !self.core.queries.get(id).is_some_and(|qm| qm.active) {
             return;
         }
+        self.record(|| MatrixEdit::RetireQuery(id));
         self.core.generation += 1;
-        let qm = Arc::make_mut(qm);
+        let qm = Arc::make_mut(&mut self.core.queries[id]);
         qm.active = false;
         qm.key = 0;
         qm.weight = 0.0;
@@ -1400,6 +1496,7 @@ impl<'a> CostMatrix<'a> {
     /// group twice returns the existing id. The fragment's heap pages are
     /// precomputed here — the one-off cell work of this cache level.
     pub fn register_fragment(&mut self, table: TableId, columns: &[u16]) -> usize {
+        self.record(|| MatrixEdit::RegisterFragment(table, columns.to_vec()));
         let mut cols: Vec<u16> = columns.to_vec();
         cols.sort_unstable();
         cols.dedup();
@@ -1433,6 +1530,7 @@ impl<'a> CostMatrix<'a> {
     /// on [`Self::add_query`]), so applying the split in a configuration
     /// is a pure lookup.
     pub fn register_split(&mut self, hp: HorizontalPartitioning) -> usize {
+        self.record(|| MatrixEdit::RegisterSplit(hp.clone()));
         if let Some(id) = self.core.splits.iter().position(|s| s.hp == hp) {
             return id;
         }

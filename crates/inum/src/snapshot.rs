@@ -62,15 +62,23 @@ impl PublishSlot {
     /// acquired before the first explicit publish still see a complete
     /// matrix.
     pub(crate) fn new(core: MatrixCore) -> Self {
+        Self::new_at(core, 0)
+    }
+
+    /// A new slot with `core` published as `generation` — used by a warm
+    /// restore ([`crate::matrix::persist`]) so publication numbering
+    /// continues where the durable snapshot left off instead of
+    /// restarting at 0.
+    pub(crate) fn new_at(core: MatrixCore, generation: u64) -> Self {
         let counters = Arc::new(ReaderCounters::default());
         let snapshot = Arc::new(MatrixSnapshot {
             core,
-            generation: 0,
+            generation,
             counters: Arc::clone(&counters),
         });
         PublishSlot {
             current: RwLock::new(snapshot),
-            published: AtomicU64::new(0),
+            published: AtomicU64::new(generation),
             counters,
         }
     }
@@ -134,6 +142,13 @@ impl MatrixSnapshot {
     /// across publishes of one matrix.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The owned cell payload, for the durable-snapshot codec
+    /// ([`crate::matrix::persist`]) — a published snapshot is exactly the
+    /// consistent, generation-numbered state worth writing to disk.
+    pub(crate) fn core(&self) -> &MatrixCore {
+        &self.core
     }
 
     /// The writer's *rotation* generation at publish time (bumped by query

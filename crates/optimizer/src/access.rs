@@ -360,6 +360,45 @@ impl IndexPathProfile {
         };
         self.pre + heap_io + self.post
     }
+
+    /// The five private cost terms, exposed for the durable-snapshot
+    /// codec in `pgdesign-inum` (the vendored `serde` is a no-op shim, so
+    /// persistence is hand-rolled): `(pre, post, heap_rows, corr2,
+    /// row_count)`.
+    pub fn persist_parts(&self) -> (f64, f64, f64, f64, f64) {
+        (
+            self.pre,
+            self.post,
+            self.heap_rows,
+            self.corr2,
+            self.row_count,
+        )
+    }
+
+    /// Rebuild a profile from its public fields plus the
+    /// [`persist_parts`](Self::persist_parts) tuple, in that order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_persist_parts(
+        bitmap: bool,
+        matched: usize,
+        index_only: bool,
+        parameterized: bool,
+        order: Vec<QueryColumn>,
+        parts: (f64, f64, f64, f64, f64),
+    ) -> Self {
+        IndexPathProfile {
+            bitmap,
+            matched,
+            index_only,
+            parameterized,
+            order,
+            pre: parts.0,
+            post: parts.1,
+            heap_rows: parts.2,
+            corr2: parts.3,
+            row_count: parts.4,
+        }
+    }
 }
 
 /// Profile an index scan (plain or index-only) with `matched` prefix

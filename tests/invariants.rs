@@ -904,3 +904,372 @@ proptest! {
         assert_concurrent_readers_match_serial(c, &pool, &cands.indexes, seed ^ 0x1EAD);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Durability: snapshot + edit-log round trips, crash and corruption recovery
+// ---------------------------------------------------------------------------
+
+use pgdesign::{ColdStart, Designer, TuningSession};
+use pgdesign_catalog::design::HorizontalPartitioning;
+use pgdesign_catalog::TableId;
+use pgdesign_durability::{
+    log_append, log_open, log_reset, read_snapshot, write_snapshot, DurableStore, Failpoint,
+    LogState, MemStore, SharedMemStore,
+};
+use pgdesign_inum::{decode_edit, decode_snapshot, encode_edit, encode_published, restore_matrix};
+
+/// Every cost the two matrices can produce agrees within 1e-12 (in
+/// practice bit-identically — replayed edits and restored cells run the
+/// same arithmetic as the live mutations did).
+fn assert_matrices_agree(live: &CostMatrix, restored: &CostMatrix, seed: u64) {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let close = |a: f64, b: f64, what: &str| {
+        assert!(
+            (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+            "{what}: live {a} vs restored {b}"
+        );
+    };
+    assert_eq!(live.n_queries(), restored.n_queries());
+    assert_eq!(live.n_candidates(), restored.n_candidates());
+    let live_ids: Vec<usize> = live.candidates().map(|(id, _)| id).collect();
+    let restored_ids: Vec<usize> = restored.candidates().map(|(id, _)| id).collect();
+    assert_eq!(live_ids, restored_ids, "stable candidate ids must survive");
+    for _ in 0..6 {
+        let picked: Vec<usize> = live_ids
+            .iter()
+            .copied()
+            .filter(|_| rng.random_range(0..2usize) == 1)
+            .collect();
+        let cfg = live.config_of(picked.iter().copied());
+        for qid in live.active_query_ids() {
+            assert!(restored.query_active(qid));
+            close(live.cost(qid, &cfg), restored.cost(qid, &cfg), "cost");
+        }
+        close(
+            live.workload_cost(&cfg),
+            restored.workload_cost(&cfg),
+            "workload cost",
+        );
+    }
+    if live.n_fragments() > 0 || live.n_splits() > 0 {
+        let mut joint = live.empty_joint();
+        for f in 0..live.n_fragments() {
+            joint.fragments.insert(f);
+        }
+        for s in 0..live.n_splits() {
+            joint.splits.insert(s);
+        }
+        close(
+            live.joint_workload_cost(&joint),
+            restored.joint_workload_cost(&joint),
+            "joint workload cost",
+        );
+    }
+}
+
+/// The durable round trip as the session performs it, at a random cut: a
+/// live matrix absorbs a random op interleaving (journaled); somewhere in
+/// the middle a checkpoint folds the state into a fresh snapshot; the
+/// remaining edits land in the log. Decoding the snapshot and replaying
+/// the log on a *second* INUM must agree with the live matrix on every
+/// cost, within 1e-12.
+fn assert_durable_roundtrip_matches_live(
+    catalog: &Catalog,
+    pool: &Workload,
+    cand_pool: &[Index],
+    seed: u64,
+) {
+    use rand::Rng;
+    let opt = optimizer();
+    let inum = Inum::new(catalog, &opt);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let nq0 = rng.random_range(1..pool.len().max(2)).min(pool.len());
+    let init_w = Workload::from_queries((0..nq0).map(|i| pool.query(i).clone()));
+    let nc0 = rng.random_range(0..cand_pool.len().max(1));
+    let mut live = CostMatrix::build(&inum, &init_w, &cand_pool[..nc0]);
+    live.publish();
+
+    let mut store = MemStore::new();
+    let mut crc = write_snapshot(&mut store, "m.pgds", &encode_published(&live)).unwrap();
+    log_reset(&mut store, "m.pgdl", crc).unwrap();
+    live.enable_journal();
+
+    let n_ops = 14;
+    let cut = rng.random_range(0..n_ops);
+    for i in 0..n_ops {
+        match rng.random_range(0..7usize) {
+            0 if !cand_pool.is_empty() => {
+                live.add_candidate(&cand_pool[rng.random_range(0..cand_pool.len())]);
+            }
+            1 => {
+                let ids: Vec<usize> = live.candidates().map(|(id, _)| id).collect();
+                if !ids.is_empty() {
+                    live.remove_candidate(ids[rng.random_range(0..ids.len())]);
+                }
+            }
+            2 => {
+                let q = pool.query(rng.random_range(0..pool.len()));
+                live.add_query(q, 1.0 + rng.random_range(0..3) as f64);
+            }
+            3 => {
+                let active: Vec<usize> = live.active_query_ids().collect();
+                if active.len() > 1 {
+                    live.retire_query(active[rng.random_range(0..active.len())]);
+                }
+            }
+            4 => {
+                live.register_fragment(TableId(0), &[0, 1]);
+            }
+            5 => {
+                live.register_split(HorizontalPartitioning {
+                    table: TableId(0),
+                    column: 0,
+                    bounds: vec![0.25, 0.5],
+                });
+            }
+            _ => {
+                live.publish();
+            }
+        }
+        if i == cut {
+            // Checkpoint exactly as the session does: publish, fold the
+            // published state into a fresh snapshot, truncate the log.
+            live.publish();
+            let _ = live.take_journal();
+            crc = write_snapshot(&mut store, "m.pgds", &encode_published(&live)).unwrap();
+            log_reset(&mut store, "m.pgdl", crc).unwrap();
+        }
+    }
+    live.publish();
+    for edit in live.take_journal() {
+        log_append(&mut store, "m.pgdl", &encode_edit(&edit)).unwrap();
+    }
+
+    // Recover on a second INUM over the same catalog.
+    let opt2 = optimizer();
+    let inum2 = Inum::new(catalog, &opt2);
+    let file = read_snapshot(&mut store, "m.pgds").unwrap();
+    let decoded = decode_snapshot(&file.records).unwrap();
+    let (mut restored, _) = restore_matrix(&inum2, decoded).unwrap();
+    match log_open(&mut store, "m.pgdl", file.body_crc).unwrap() {
+        LogState::Replay(scan) => {
+            assert_eq!(scan.dropped_records, 0, "clean log has no torn tail");
+            for rec in &scan.records {
+                restored.apply_edit(&decode_edit(rec).unwrap());
+            }
+        }
+        other => panic!("expected a replayable log, got {other:?}"),
+    }
+    assert_eq!(inum2.matrix_stats().builds, 0, "restore must not build");
+    assert_eq!(
+        live.published_generation(),
+        restored.published_generation(),
+        "publication numbering continues across the round trip"
+    );
+    assert_matrices_agree(&live, &restored, seed ^ 0xD17A);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// SDSS: durable snapshot + replayed edit log equals the live matrix.
+    #[test]
+    fn durable_roundtrip_matches_live_on_sdss(seed in 0u64..1000, n_queries in 3usize..8) {
+        let c = catalog();
+        let w = sdss_workload(c, n_queries, seed);
+        let cands = workload_candidates(c, &w, &CandidateConfig::default());
+        assert_durable_roundtrip_matches_live(c, &w, &cands.indexes, seed ^ 0x5EED);
+    }
+
+    /// TPC-H: same invariant on the other catalog family.
+    #[test]
+    fn durable_roundtrip_matches_live_on_tpch(seed in 0u64..1000, n_queries in 3usize..6) {
+        use std::sync::OnceLock;
+        static TPCH: OnceLock<Catalog> = OnceLock::new();
+        let c = TPCH.get_or_init(|| tpch_catalog(0.01));
+        let w = tpch_workload(c, n_queries, seed);
+        let cands = workload_candidates(c, &w, &CandidateConfig::default());
+        assert_durable_roundtrip_matches_live(c, &w, &cands.indexes, seed ^ 0x7C4);
+    }
+}
+
+/// A restored session's costs must equal a cold build over whatever state
+/// it recovered — the "never a wrong cost" half of the recovery contract.
+/// (Which prefix of the edits survived the crash is allowed to vary; a
+/// matrix inconsistent with *any* committed state is not.)
+fn assert_restored_is_consistent(session: &mut TuningSession, seed: u64) {
+    use rand::Rng;
+    let matrix = session.matrix_mut();
+    let opt = optimizer();
+    let inum = Inum::new(catalog(), &opt);
+    let live: Vec<(usize, Index)> = matrix
+        .candidates()
+        .map(|(id, idx)| (id, idx.clone()))
+        .collect();
+    let active: Vec<usize> = matrix.active_query_ids().collect();
+    let mut w = Workload::new();
+    for &qid in &active {
+        w.push(
+            matrix.workload().query(qid).clone(),
+            matrix.query_weight(qid),
+        );
+    }
+    let fresh_cands: Vec<Index> = live.iter().map(|(_, idx)| idx.clone()).collect();
+    let fresh = CostMatrix::build(&inum, &w, &fresh_cands);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..6 {
+        let mut rec_cfg = matrix.empty_config();
+        let mut fresh_cfg = fresh.empty_config();
+        for (pos, (id, _)) in live.iter().enumerate() {
+            if rng.random_range(0..2usize) == 1 {
+                rec_cfg.insert(*id);
+                fresh_cfg.insert(pos);
+            }
+        }
+        for (pos, &qid) in active.iter().enumerate() {
+            let a = matrix.cost(qid, &rec_cfg);
+            let b = fresh.cost(pos, &fresh_cfg);
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "restored {a} vs cold {b} (qid {qid})"
+            );
+        }
+        let wa = matrix.workload_cost(&rec_cfg);
+        let wb = fresh.workload_cost(&fresh_cfg);
+        assert!(
+            (wa - wb).abs() <= 1e-12 * wb.abs().max(1.0),
+            "workload: restored {wa} vs cold {wb}"
+        );
+    }
+}
+
+/// Crash mid-append at many byte offsets: whatever prefix of the log
+/// survives, the reopened session is internally consistent — its costs
+/// equal a cold build over the state it recovered. No failpoint may ever
+/// produce a *wrong* cost.
+#[test]
+fn crash_mid_append_never_yields_a_wrong_cost() {
+    let c = catalog();
+    let designer = Designer::new(c.clone());
+    let w = sdss_workload(c, 5, 4242);
+    let cands = workload_candidates(c, &w, &CandidateConfig::default());
+
+    for (round, crash_after) in [3usize, 9, 17, 40, 90, 400].into_iter().enumerate() {
+        let disk = SharedMemStore::new();
+        {
+            let mut s =
+                TuningSession::open_or_create_on(&designer, w.clone(), Box::new(disk.clone()))
+                    .expect("first open");
+            disk.lock()
+                .arm(Failpoint::CrashAfterBytes { n: crash_after });
+            // Mutations after arming: the log append crashes partway
+            // through one of these records. The session degrades and keeps
+            // running in memory; we then drop it — the kill.
+            let m = s.matrix_mut();
+            for idx in cands.indexes.iter().take(3) {
+                m.add_candidate(idx);
+            }
+            m.register_fragment(TableId(0), &[0, 1]);
+            s.publish();
+        }
+        // Restart: an arbitrary prefix of the un-fsync'd tail made it out.
+        disk.lock().power_cut(round % 3);
+        let mut s =
+            TuningSession::open_or_create_on(&designer, Workload::new(), Box::new(disk.clone()))
+                .expect("reopen after crash");
+        let stats = s.stats();
+        let recovery = stats.recovery.expect("durable session");
+        assert_eq!(recovery.cold_start, None, "snapshot survived the crash");
+        assert_restored_is_consistent(&mut s, 0xC0FE ^ crash_after as u64);
+    }
+}
+
+/// A flipped byte in the log's tail record: the per-record CRC catches it,
+/// the tail is dropped, and recovery lands on the last good record.
+#[test]
+fn flipped_byte_in_log_tail_is_dropped_at_last_good_record() {
+    let c = catalog();
+    let designer = Designer::new(c.clone());
+    let w = sdss_workload(c, 4, 777);
+    let disk = SharedMemStore::new();
+    {
+        let mut s = TuningSession::open_or_create_on(&designer, w.clone(), Box::new(disk.clone()))
+            .expect("first open");
+        let m = s.matrix_mut();
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        m.add_candidate(&Index::new(photo, vec![0]));
+        s.publish();
+        s.matrix_mut().add_candidate(&Index::new(photo, vec![1]));
+        s.publish();
+    }
+    // Flip a byte inside the last appended record.
+    let len = disk.lock().durable_len("matrix.pgdl");
+    disk.lock().corrupt("matrix.pgdl", len - 2);
+
+    let mut s =
+        TuningSession::open_or_create_on(&designer, Workload::new(), Box::new(disk.clone()))
+            .expect("reopen");
+    let stats = s.stats();
+    let recovery = stats.recovery.expect("durable session");
+    assert_eq!(recovery.cold_start, None);
+    assert!(
+        recovery.log_records_dropped > 0,
+        "the corrupt tail record must be counted as dropped"
+    );
+    assert_restored_is_consistent(&mut s, 0xBADC);
+}
+
+/// A flipped byte in the snapshot body: the whole-body CRC rejects it and
+/// the session degrades to a cold build — with the reason on record —
+/// rather than costing from corrupt cells.
+#[test]
+fn flipped_byte_in_snapshot_degrades_to_cold_build() {
+    let c = catalog();
+    let designer = Designer::new(c.clone());
+    let w = sdss_workload(c, 4, 778);
+    let disk = SharedMemStore::new();
+    {
+        let _s = TuningSession::open_or_create_on(&designer, w.clone(), Box::new(disk.clone()))
+            .expect("first open");
+    }
+    let len = disk.lock().durable_len("matrix.pgds");
+    disk.lock().corrupt("matrix.pgds", len / 2);
+
+    let mut s = TuningSession::open_or_create_on(&designer, w.clone(), Box::new(disk.clone()))
+        .expect("reopen never fails on corruption");
+    let stats = s.stats();
+    assert_eq!(
+        stats.recovery.and_then(|r| r.cold_start),
+        Some(ColdStart::SnapshotCorrupt)
+    );
+    assert_eq!(stats.matrix.builds, 1, "cold build replaces the bad state");
+    assert_restored_is_consistent(&mut s, 0xC01D);
+}
+
+/// A snapshot from a future (or past) format version is refused up front —
+/// cold build with `VersionSkew` on record, never a misdecoded matrix.
+#[test]
+fn version_skewed_snapshot_degrades_to_cold_build() {
+    let c = catalog();
+    let designer = Designer::new(c.clone());
+    let w = sdss_workload(c, 4, 779);
+    let disk = SharedMemStore::new();
+    {
+        let _s = TuningSession::open_or_create_on(&designer, w.clone(), Box::new(disk.clone()))
+            .expect("first open");
+    }
+    // The format version is the u32 after the 4-byte magic; rewrite it.
+    let mut bytes = disk.lock().read("matrix.pgds").unwrap().unwrap();
+    bytes[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    disk.lock().write_atomic("matrix.pgds", &bytes).unwrap();
+
+    let s = TuningSession::open_or_create_on(&designer, w.clone(), Box::new(disk.clone()))
+        .expect("reopen never fails on skew");
+    assert_eq!(
+        s.stats().recovery.and_then(|r| r.cold_start),
+        Some(ColdStart::VersionSkew)
+    );
+}
