@@ -3,10 +3,10 @@
 
 CARGO ?= cargo
 
-.PHONY: verify tier1 fmt lint doc bench bench-json examples recovery-drill clean-state
+.PHONY: verify tier1 fmt lint lint-arch doc bench bench-json examples recovery-drill clean-state
 
 # Everything CI checks, in CI's order.
-verify: fmt lint tier1 doc examples
+verify: fmt lint lint-arch tier1 doc examples
 
 # The tier-1 gate from ROADMAP.md.
 tier1:
@@ -18,6 +18,13 @@ fmt:
 
 lint:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+# The architectural lint pass (crates/analyzer): cost-purity,
+# panic-freedom, fp-determinism, unsafe-audit, lock-discipline over every
+# crates/*/src/**.rs file. Non-zero exit on any violation; waivers need
+# `// analyzer:allow(<rule>): <reason>` with a written reason.
+lint-arch:
+	$(CARGO) run -q --release -p pgdesign-analyzer
 
 doc:
 	$(CARGO) doc --workspace --no-deps

@@ -1,0 +1,722 @@
+//! Fact extraction: from a token stream to a queryable fact base.
+//!
+//! Rules never look at raw source — they query the [`Facts`] produced
+//! here, in the Datalog spirit of lint-as-query-over-facts: the
+//! extractor materialises base relations (fn spans, call shapes, unsafe
+//! blocks, lock-guard live ranges, hash-ordered bindings) once per file,
+//! and each rule is a cheap scan over them. Extraction is deliberately
+//! heuristic — it runs on tokens, not a parse tree — and every heuristic
+//! is tuned to over-approximate (flag too much, never too little),
+//! because the `analyzer:allow` escape hatch makes a rare false positive
+//! cheap and a false negative silently erodes the invariant.
+
+use crate::lexer::{lex, Kind, Token};
+use std::collections::BTreeSet;
+
+/// Identifiers that are Rust keywords which may directly precede a `[`
+/// without the `[` being an index expression (`&mut [T]`, `let [a, b]`,
+/// `return [x]`...). An index site requires a value expression on the
+/// left, and these never end one.
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "in", "as", "return", "break", "continue", "else", "match", "if", "while",
+    "loop", "move", "dyn", "impl", "box", "const", "static", "where", "let", "fn", "pub", "use",
+    "mod", "enum", "struct", "trait", "type", "unsafe", "async", "await", "for", "yield",
+];
+
+/// Iterator-producing methods whose traversal order is the receiver's
+/// intrinsic order — the fp-determinism rule flags them on hash-ordered
+/// receivers.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// One function item: where it is and what the rules need to know about
+/// its body.
+#[derive(Debug)]
+pub struct FnFact {
+    pub name: String,
+    pub line: u32,
+    /// Half-open range over *significant* token indices covering the
+    /// body, braces included. `None` for bodyless trait-method decls.
+    pub body: Option<(usize, usize)>,
+    /// Whether any token between `fn` and the body's closing brace is the
+    /// identifier `f64` — the gate for the fp-determinism rule.
+    pub mentions_f64: bool,
+}
+
+/// One `// analyzer:allow(<rule>): <reason>` directive.
+#[derive(Debug)]
+pub struct AllowFact {
+    pub rule: String,
+    /// Source line of the comment itself.
+    pub line: u32,
+    pub has_reason: bool,
+}
+
+/// One `unsafe { ... }` block.
+#[derive(Debug)]
+pub struct UnsafeFact {
+    pub line: u32,
+    /// A `// SAFETY:` comment within the six lines above the block.
+    pub has_safety: bool,
+}
+
+/// A `let`-bound lock write guard (`let g = slot.write();`) and the
+/// significant-token range over which it is live.
+#[derive(Debug)]
+pub struct GuardFact {
+    pub name: String,
+    pub line: u32,
+    /// First significant index after the binding statement.
+    pub start: usize,
+    /// Exclusive end: the enclosing block's `}` or a `drop(g)` call.
+    pub end: usize,
+}
+
+/// A `for <pat> in <iterand> { ... }` loop.
+#[derive(Debug)]
+pub struct ForLoop {
+    pub line: u32,
+    /// Significant index of the `for` keyword.
+    pub at: usize,
+    /// Identifier tokens appearing in the iterand expression.
+    pub iterand_idents: Vec<String>,
+}
+
+/// A `recv.method(` chain link where `method` produces an iterator.
+#[derive(Debug)]
+pub struct IterCall {
+    pub line: u32,
+    /// Significant index of the method identifier.
+    pub at: usize,
+    pub receiver: String,
+    pub method: String,
+}
+
+/// The per-file fact base.
+pub struct Facts {
+    /// The full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant (non-comment) tokens. Rules
+    /// index token positions through this view.
+    pub sig: Vec<usize>,
+    /// Brace depth of the context each significant token sits in.
+    pub depth: Vec<u32>,
+    /// Inclusive line spans of test-only code: `#[cfg(test)]` mods and
+    /// `#[test]` fns.
+    pub test_spans: Vec<(u32, u32)>,
+    pub fns: Vec<FnFact>,
+    pub allows: Vec<AllowFact>,
+    /// Names bound (anywhere in the file: fields, params, lets) to a
+    /// `HashMap`/`HashSet`-typed value.
+    pub hashy_names: BTreeSet<String>,
+    pub unsafe_blocks: Vec<UnsafeFact>,
+    pub guards: Vec<GuardFact>,
+    pub for_loops: Vec<ForLoop>,
+    pub iter_calls: Vec<IterCall>,
+}
+
+impl Facts {
+    /// The significant token at view index `i`.
+    pub fn tok(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&j| &self.tokens[j])
+    }
+
+    /// Is line `line` inside any test span?
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The innermost fn whose body contains significant index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnFact> {
+        self.fns
+            .iter()
+            .rfind(|f| f.body.is_some_and(|(a, b)| a <= i && i < b))
+    }
+}
+
+/// Extract the full fact base from one source file.
+pub fn extract(src: &str) -> Facts {
+    let tokens = lex(src);
+    let mut sig = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != Kind::Comment {
+            sig.push(i);
+        }
+    }
+    let depth = depths(&tokens, &sig);
+    let mut facts = Facts {
+        test_spans: Vec::new(),
+        fns: Vec::new(),
+        allows: Vec::new(),
+        hashy_names: BTreeSet::new(),
+        unsafe_blocks: Vec::new(),
+        guards: Vec::new(),
+        for_loops: Vec::new(),
+        iter_calls: Vec::new(),
+        tokens,
+        sig,
+        depth,
+    };
+    extract_allows(&mut facts);
+    extract_test_spans(&mut facts);
+    extract_fns(&mut facts);
+    extract_hashy_names(&mut facts);
+    extract_unsafe(&mut facts);
+    extract_guards(&mut facts);
+    extract_loops_and_iter_calls(&mut facts);
+    facts
+}
+
+/// Context brace depth per significant token: a `{` is recorded at the
+/// depth of the block *containing* it, and its matching `}` comes back at
+/// that same depth.
+fn depths(tokens: &[Token], sig: &[usize]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(sig.len());
+    let mut d: u32 = 0;
+    for &j in sig {
+        let t = &tokens[j];
+        if t.is_punct("}") {
+            d = d.saturating_sub(1);
+        }
+        out.push(d);
+        if t.is_punct("{") {
+            d += 1;
+        }
+    }
+    out
+}
+
+fn extract_allows(facts: &mut Facts) {
+    for t in &facts.tokens {
+        if t.kind != Kind::Comment {
+            continue;
+        }
+        let body = t.text.trim();
+        let Some(rest) = body.strip_prefix("analyzer:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            facts.allows.push(AllowFact {
+                rule: String::new(),
+                line: t.line,
+                has_reason: false,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        let has_reason = tail.strip_prefix(':').is_some_and(|r| !r.trim().is_empty());
+        facts.allows.push(AllowFact {
+            rule,
+            line: t.line,
+            has_reason,
+        });
+    }
+}
+
+/// Find `#[...]` attributes containing the bare identifier `test` (and
+/// not `not`, so `#[cfg(not(test))]` stays live code) and record the line
+/// span of the `mod`/`fn` item they annotate.
+fn extract_test_spans(facts: &mut Facts) {
+    let n = facts.sig.len();
+    let mut i = 0;
+    while i < n {
+        if !(facts.tok(i).is_some_and(|t| t.is_punct("#"))
+            && facts.tok(i + 1).is_some_and(|t| t.is_punct("[")))
+        {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its closing `]`.
+        let mut j = i + 2;
+        let mut brackets = 1u32;
+        let mut saw_test = false;
+        let mut saw_not = false;
+        while j < n && brackets > 0 {
+            let t = facts.tok(j).expect("in range");
+            if t.is_punct("[") {
+                brackets += 1;
+            } else if t.is_punct("]") {
+                brackets -= 1;
+            } else if t.is_ident("test") {
+                saw_test = true;
+            } else if t.is_ident("not") {
+                saw_not = true;
+            }
+            j += 1;
+        }
+        if !saw_test || saw_not {
+            i = j;
+            continue;
+        }
+        // Skip further attributes and item qualifiers to the item keyword.
+        let mut k = j;
+        loop {
+            match facts.tok(k) {
+                Some(t) if t.is_punct("#") => {
+                    // Another attribute: skip it wholesale.
+                    k += 2;
+                    let mut b = 1u32;
+                    while k < n && b > 0 {
+                        let t = facts.tok(k).expect("in range");
+                        if t.is_punct("[") {
+                            b += 1;
+                        } else if t.is_punct("]") {
+                            b -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                Some(t)
+                    if t.is_ident("pub")
+                        || t.is_ident("crate")
+                        || t.is_ident("async")
+                        || t.is_ident("unsafe")
+                        || t.is_ident("const")
+                        || t.is_ident("extern")
+                        || t.is_punct("(")
+                        || t.is_punct(")")
+                        || t.is_ident("in")
+                        || t.is_ident("super")
+                        || t.is_ident("self")
+                        || t.kind == Kind::Str =>
+                {
+                    k += 1;
+                }
+                _ => break,
+            }
+        }
+        let item_is_testable = facts
+            .tok(k)
+            .is_some_and(|t| t.is_ident("mod") || t.is_ident("fn"));
+        if !item_is_testable {
+            i = j;
+            continue;
+        }
+        // Find the item's body braces and record its line span.
+        let mut open = k;
+        while open < n {
+            let t = facts.tok(open).expect("in range");
+            if t.is_punct("{") {
+                break;
+            }
+            if t.is_punct(";") {
+                // `#[cfg(test)] mod tests;` — no inline body.
+                open = n;
+                break;
+            }
+            open += 1;
+        }
+        if open < n {
+            let close = matching_brace(facts, open);
+            let start = facts.tok(i).map(|t| t.line).unwrap_or(1);
+            let end = facts
+                .tok(close)
+                .or_else(|| facts.tok(n - 1))
+                .map(|t| t.line)
+                .unwrap_or(start);
+            facts.test_spans.push((start, end));
+            i = close.max(j);
+        } else {
+            i = j;
+        }
+    }
+}
+
+/// Significant index of the `}` matching the `{` at significant index
+/// `open` (returns the last index if unbalanced).
+fn matching_brace(facts: &Facts, open: usize) -> usize {
+    let mut d = 0u32;
+    let mut i = open;
+    while let Some(t) = facts.tok(i) {
+        if t.is_punct("{") {
+            d += 1;
+        } else if t.is_punct("}") {
+            d -= 1;
+            if d == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    facts.sig.len().saturating_sub(1)
+}
+
+fn extract_fns(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        if !facts.tok(i).is_some_and(|t| t.is_ident("fn")) {
+            continue;
+        }
+        // `fn` in a fn-pointer type (`fn(u32) -> u32`) has no name.
+        let Some(name_tok) = facts.tok(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        // Scan the signature for the body `{` (or `;` for decls),
+        // ignoring braces nested in parens (closure defaults etc.).
+        let mut j = i + 2;
+        let mut parens = 0u32;
+        let mut body = None;
+        while j < n {
+            let t = facts.tok(j).expect("in range");
+            if t.is_punct("(") {
+                parens += 1;
+            } else if t.is_punct(")") {
+                parens = parens.saturating_sub(1);
+            } else if parens == 0 && t.is_punct(";") {
+                break;
+            } else if parens == 0 && t.is_punct("{") {
+                let close = matching_brace(facts, j);
+                body = Some((j, close + 1));
+                break;
+            }
+            j += 1;
+        }
+        let scan_end = body.map(|(_, e)| e).unwrap_or(j);
+        let mentions_f64 = (i..scan_end).any(|k| facts.tok(k).is_some_and(|t| t.is_ident("f64")));
+        facts.fns.push(FnFact {
+            name,
+            line,
+            body,
+            mentions_f64,
+        });
+    }
+}
+
+/// Two binding shapes make a name hash-ordered: an ascription whose type
+/// mentions `HashMap`/`HashSet` (covers struct fields, params, and typed
+/// lets), and an untyped `let` whose initialiser mentions them.
+fn extract_hashy_names(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        let name = match facts.tok(i) {
+            Some(t) if t.kind == Kind::Ident => t.text.clone(),
+            Some(_) => continue,
+            None => break,
+        };
+        if NON_INDEX_KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // `name : <type>` — scan the type to a depth-0 terminator.
+        if facts.tok(i + 1).is_some_and(|p| p.is_punct(":")) {
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            let mut hashy = false;
+            while j < n {
+                let u = facts.tok(j).expect("in range");
+                match u.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    // Nested generic closers lex as shift tokens.
+                    ">>" => angle -= 2,
+                    "(" | "[" => paren += 1,
+                    ")" | "]" if paren > 0 => paren -= 1,
+                    "," | "=" | ";" | "{" | "}" | ")" | "]" if angle <= 0 && paren == 0 => break,
+                    "HashMap" | "HashSet" if u.kind == Kind::Ident => hashy = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if hashy {
+                facts.hashy_names.insert(name.clone());
+            }
+        }
+        // `let [mut] name = <init>;` with a hash-typed initialiser.
+        let is_let = facts
+            .tok(i.wrapping_sub(1))
+            .is_some_and(|p| p.is_ident("let"))
+            || (facts
+                .tok(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_ident("mut"))
+                && facts
+                    .tok(i.wrapping_sub(2))
+                    .is_some_and(|p| p.is_ident("let")));
+        if is_let && facts.tok(i + 1).is_some_and(|p| p.is_punct("=")) {
+            let mut j = i + 2;
+            let mut hashy = false;
+            while j < n {
+                let u = facts.tok(j).expect("in range");
+                if u.is_punct(";") {
+                    break;
+                }
+                if u.is_ident("HashMap") || u.is_ident("HashSet") {
+                    hashy = true;
+                    break;
+                }
+                j += 1;
+            }
+            if hashy {
+                facts.hashy_names.insert(name);
+            }
+        }
+    }
+}
+
+fn extract_unsafe(facts: &mut Facts) {
+    for i in 0..facts.sig.len() {
+        if !facts.tok(i).is_some_and(|t| t.is_ident("unsafe")) {
+            continue;
+        }
+        // Blocks only: `unsafe fn` / `unsafe impl` declare, not perform.
+        if !facts.tok(i + 1).is_some_and(|t| t.is_punct("{")) {
+            continue;
+        }
+        let line = facts.tok(i).map(|t| t.line).unwrap_or(1);
+        // Look back through the raw stream for a SAFETY comment within
+        // six lines above the block (trailing-on-same-line also counts).
+        let raw_idx = facts.sig[i];
+        let floor = line.saturating_sub(6);
+        let has_safety = facts.tokens[..raw_idx]
+            .iter()
+            .rev()
+            .take_while(|t| t.line >= floor)
+            .any(|t| t.kind == Kind::Comment && t.text.contains("SAFETY"));
+        facts.unsafe_blocks.push(UnsafeFact { line, has_safety });
+    }
+}
+
+/// `let [mut] g = <expr containing .write()>;` — the RwLock write-guard
+/// idiom ([`PublishSlot::publish`] is the only workspace writer). The
+/// guard is live to the end of its block or an explicit `drop(g)`.
+fn extract_guards(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        if !facts.tok(i).is_some_and(|t| t.is_ident("let")) {
+            continue;
+        }
+        let mut j = i + 1;
+        if facts.tok(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = facts.tok(j) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        if !facts.tok(j + 1).is_some_and(|t| t.is_punct("=")) {
+            continue;
+        }
+        // Scan the initialiser to `;` looking for `.write()`.
+        let mut k = j + 2;
+        let mut is_guard = false;
+        while k < n {
+            let t = facts.tok(k).expect("in range");
+            if t.is_punct(";") {
+                break;
+            }
+            if t.is_punct(".")
+                && facts.tok(k + 1).is_some_and(|u| u.is_ident("write"))
+                && facts.tok(k + 2).is_some_and(|u| u.is_punct("("))
+                && facts.tok(k + 3).is_some_and(|u| u.is_punct(")"))
+            {
+                is_guard = true;
+            }
+            k += 1;
+        }
+        if !is_guard {
+            continue;
+        }
+        let stmt_end = k; // the `;`
+        let let_depth = facts.depth[i];
+        // Live until the enclosing block closes or `drop(name)`.
+        let mut end = n;
+        let mut m = stmt_end + 1;
+        while m < n {
+            let t = facts.tok(m).expect("in range");
+            if t.is_punct("}") && facts.depth[m] < let_depth {
+                end = m;
+                break;
+            }
+            if t.is_ident("drop")
+                && facts.tok(m + 1).is_some_and(|u| u.is_punct("("))
+                && facts.tok(m + 2).is_some_and(|u| u.is_ident(&name))
+            {
+                end = m;
+                break;
+            }
+            m += 1;
+        }
+        facts.guards.push(GuardFact {
+            name,
+            line,
+            start: stmt_end + 1,
+            end,
+        });
+    }
+}
+
+fn extract_loops_and_iter_calls(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        let (t_text, t_kind, t_line) = match facts.tok(i) {
+            Some(t) => (t.text.clone(), t.kind, t.line),
+            None => break,
+        };
+        // `for <pat> in <iterand> {` — `impl T for U` and `for<'a>` have
+        // no depth-0 `in` before the `{`.
+        if t_kind == Kind::Ident
+            && t_text == "for"
+            && !facts.tok(i + 1).is_some_and(|u| u.is_punct("<"))
+        {
+            let line = t_line;
+            let mut j = i + 1;
+            let mut nest = 0i32;
+            let mut in_at = None;
+            while j < n {
+                let u = facts.tok(j).expect("in range");
+                match u.text.as_str() {
+                    "(" | "[" => nest += 1,
+                    ")" | "]" => nest -= 1,
+                    "{" if nest == 0 => break,
+                    ";" if nest == 0 => break,
+                    "in" if nest == 0 && u.kind == Kind::Ident => {
+                        in_at = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(start) = in_at {
+                let mut idents = Vec::new();
+                let mut k = start + 1;
+                let mut nest2 = 0i32;
+                while k < n {
+                    let u = facts.tok(k).expect("in range");
+                    match u.text.as_str() {
+                        "(" | "[" => nest2 += 1,
+                        ")" | "]" => nest2 -= 1,
+                        "{" if nest2 == 0 => break,
+                        _ => {
+                            if u.kind == Kind::Ident {
+                                idents.push(u.text.clone());
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                facts.for_loops.push(ForLoop {
+                    line,
+                    at: i,
+                    iterand_idents: idents,
+                });
+            }
+        }
+        // `recv.method(` with an iterator-producing method.
+        if t_kind == Kind::Ident
+            && facts.tok(i + 1).is_some_and(|u| u.is_punct("."))
+            && facts.tok(i + 3).is_some_and(|u| u.is_punct("("))
+        {
+            let method = match facts.tok(i + 2) {
+                Some(m) if m.kind == Kind::Ident && ITER_METHODS.contains(&m.text.as_str()) => {
+                    Some((m.text.clone(), m.line))
+                }
+                _ => None,
+            };
+            if let Some((method, line)) = method {
+                facts.iter_calls.push(IterCall {
+                    line,
+                    at: i + 2,
+                    receiver: t_text,
+                    method,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_and_f64_flag() {
+        let f = extract("fn a(x: f64) -> f64 { x }\nfn b() {}\n");
+        assert_eq!(f.fns.len(), 2);
+        assert!(f.fns[0].mentions_f64);
+        assert!(!f.fns[1].mentions_f64);
+        assert!(f.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_fn_spans() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n#[test]\nfn tt() {}\n";
+        let f = extract(src);
+        assert_eq!(f.test_spans.len(), 2);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(4));
+        assert!(f.in_test(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let f = extract("#[cfg(not(test))]\nfn live() {}\n");
+        assert!(f.test_spans.is_empty());
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "// analyzer:allow(cost-purity): advisors go through the counted path\n\
+                   fn a() {}\n\
+                   // analyzer:allow(panic-freedom)\n\
+                   fn b() {}\n";
+        let f = extract(src);
+        assert_eq!(f.allows.len(), 2);
+        assert!(f.allows[0].has_reason);
+        assert_eq!(f.allows[0].rule, "cost-purity");
+        assert!(!f.allows[1].has_reason);
+    }
+
+    #[test]
+    fn hashy_names_from_field_param_and_let() {
+        let src = "struct S { m: HashMap<u32, f64> }\n\
+                   fn f(n: &HashSet<u32>) { let q = HashMap::new(); let v = Vec::new(); }\n";
+        let f = extract(src);
+        assert!(f.hashy_names.contains("m"));
+        assert!(f.hashy_names.contains("n"));
+        assert!(f.hashy_names.contains("q"));
+        assert!(!f.hashy_names.contains("v"));
+    }
+
+    #[test]
+    fn guard_live_span_ends_at_block_or_drop() {
+        let src = "fn f() {\n let g = slot.write();\n touch();\n}\n\
+                   fn h() {\n let g = slot.write();\n drop(g);\n after();\n}\n";
+        let f = extract(src);
+        assert_eq!(f.guards.len(), 2);
+        let touch_at = (0..f.sig.len())
+            .find(|&i| f.tok(i).is_some_and(|t| t.is_ident("touch")))
+            .unwrap();
+        assert!(f.guards[0].start <= touch_at && touch_at < f.guards[0].end);
+        let after_at = (0..f.sig.len())
+            .find(|&i| f.tok(i).is_some_and(|t| t.is_ident("after")))
+            .unwrap();
+        assert!(after_at >= f.guards[1].end);
+    }
+
+    #[test]
+    fn for_loops_vs_impl_for() {
+        let src = "impl Display for Foo { fn f(&self) { for x in self.items.iter() {} } }\n";
+        let f = extract(src);
+        assert_eq!(f.for_loops.len(), 1);
+        assert!(f.for_loops[0].iterand_idents.contains(&"items".to_string()));
+        assert_eq!(f.iter_calls.len(), 1);
+        assert_eq!(f.iter_calls[0].receiver, "items");
+    }
+}

@@ -1,0 +1,95 @@
+//! `pgdesign-analyzer` — an architectural lint pass over the workspace's
+//! own sources.
+//!
+//! The repo's load-bearing invariants (advisors cost via matrix lookups
+//! only; recovery never panics on corrupt bytes; f64 summation order is
+//! deterministic; every `unsafe` block argues its safety; no costing
+//! under a publish write guard) were previously enforced only by dynamic
+//! tests, which see the paths a test happens to execute. This crate
+//! makes them *structural*: a hand-rolled Rust lexer (same idiom as the
+//! SQL lexer in `pgdesign-query`, no external parser) tokenizes every
+//! `crates/*/src/**.rs` file into a fact base ([`facts`]), and each rule
+//! ([`rules`]) is a query over those facts — Datalog-style lint-as-query,
+//! evaluated per file.
+//!
+//! Run it with `cargo run -p pgdesign-analyzer` (or `make lint-arch`);
+//! it exits non-zero if any diagnostic survives the
+//! `// analyzer:allow(<rule>): <reason>` escape hatch.
+
+#![forbid(unsafe_code)]
+
+pub mod facts;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{analyze_source, Config, Diagnostic, RULE_NAMES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Analyze every `crates/*/src/**.rs` file under `root` (the workspace
+/// checkout) and return all diagnostics, sorted by path then line.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file)?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.extend(analyze_source(&rel, &text, cfg));
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(out)
+}
+
+/// How many `.rs` files `analyze_workspace` would visit — for the
+/// summary line.
+pub fn workspace_file_count(root: &Path) -> io::Result<usize> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let dir = entry?.path();
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    Ok(files.len())
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! CLI entry point: `pgdesign-analyzer [workspace-root]`.
+//!
+//! Analyzes every `crates/*/src/**.rs` file and prints one
+//! `path:line: rule: message` diagnostic per violation. Exits 0 on a
+//! clean workspace, 1 on any violation (including an `analyzer:allow`
+//! without a written reason), 2 on I/O failure.
+
+#![forbid(unsafe_code)]
+
+use pgdesign_analyzer::{analyze_workspace, workspace_file_count, Config, RULE_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let cfg = Config::workspace();
+    let diags = match analyze_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "pgdesign-analyzer: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        let files = workspace_file_count(&root).unwrap_or(0);
+        println!(
+            "pgdesign-analyzer: workspace clean ({files} files, {} rules)",
+            RULE_NAMES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!("pgdesign-analyzer: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

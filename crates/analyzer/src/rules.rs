@@ -1,0 +1,506 @@
+//! The rule set: five architectural invariants evaluated as queries over
+//! a file's [`Facts`], each returning `file:line` diagnostics.
+//!
+//! Every rule documents *why* the invariant is load-bearing for the
+//! design described in the paper reproduction (see each rule fn's
+//! rustdoc). Violations can be waived per-site with
+//! `// analyzer:allow(<rule>): <reason>` on the preceding line (or
+//! trailing on the same line); the reason is mandatory — an allow without
+//! one is itself a diagnostic.
+
+use crate::facts::{extract, Facts, NON_INDEX_KEYWORDS};
+use crate::lexer::Kind;
+
+/// The rule names recognised by `analyzer:allow(...)`.
+pub const RULE_NAMES: &[&str] = &[
+    "cost-purity",
+    "panic-freedom",
+    "fp-determinism",
+    "unsafe-audit",
+    "lock-discipline",
+];
+
+/// One finding, printed as `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Per-run scoping: which modules a rule covers or exempts. Paths are
+/// workspace-relative with `/` separators; a trailing `/` means "prefix".
+pub struct Config {
+    /// Modules allowed to call the costing entry points directly: the
+    /// matrix build internals, the colt probe path, and durable restore.
+    pub cost_purity_allowed: Vec<String>,
+    /// Modules held to panic-freedom: the decode/replay surface that must
+    /// turn corrupt bytes into `DecodeError`, never a panic.
+    pub panic_freedom_scope: Vec<String>,
+}
+
+impl Config {
+    /// The scoping for this workspace (the defaults `make lint-arch`
+    /// runs with).
+    pub fn workspace() -> Self {
+        Config {
+            cost_purity_allowed: vec![
+                "crates/inum/src/".to_string(),
+                "crates/colt/src/".to_string(),
+                "crates/core/src/durable.rs".to_string(),
+            ],
+            panic_freedom_scope: vec![
+                "crates/durability/src/".to_string(),
+                "crates/inum/src/persist.rs".to_string(),
+            ],
+        }
+    }
+}
+
+fn path_matches(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+/// Analyze one source file: extract facts, run every rule, apply the
+/// allow directives, and return the surviving diagnostics sorted by line.
+pub fn analyze_source(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let facts = extract(src);
+    let mut raw: Vec<(u32, &'static str, String)> = Vec::new();
+    cost_purity(path, &facts, cfg, &mut raw);
+    panic_freedom(path, &facts, cfg, &mut raw);
+    fp_determinism(&facts, &mut raw);
+    unsafe_audit(&facts, &mut raw);
+    lock_discipline(&facts, &mut raw);
+
+    // Resolve each allow to the first code line at or below its comment.
+    let sig_lines: Vec<u32> = facts.sig.iter().map(|&j| facts.tokens[j].line).collect();
+    let target_of =
+        |allow_line: u32| -> Option<u32> { sig_lines.iter().copied().find(|&l| l >= allow_line) };
+    let mut valid_allows: Vec<(String, u32)> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for a in &facts.allows {
+        if !RULE_NAMES.contains(&a.rule.as_str()) {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: a.line,
+                rule: "allow-syntax",
+                msg: format!(
+                    "unknown rule `{}` in analyzer:allow (known: {})",
+                    a.rule,
+                    RULE_NAMES.join(", ")
+                ),
+            });
+            continue;
+        }
+        if !a.has_reason {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: a.line,
+                rule: "allow-syntax",
+                msg: format!(
+                    "analyzer:allow({}) without a reason — write \
+                     `// analyzer:allow({}): <why this site is sound>`",
+                    a.rule, a.rule
+                ),
+            });
+            continue;
+        }
+        if let Some(t) = target_of(a.line) {
+            valid_allows.push((a.rule.clone(), t));
+        }
+    }
+
+    raw.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    raw.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    for (line, rule, msg) in raw {
+        let waived = valid_allows.iter().any(|(r, l)| r == rule && *l == line);
+        if !waived {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// **cost-purity** — advisors, interactive sessions, and snapshot readers
+/// must price candidates from cost-*matrix lookups*, never by invoking
+/// the what-if optimizer themselves. The whole economics of the design
+/// (PRs 2–5 pin "zero `Inum::cost` calls" in advisor steady state with
+/// runtime counters) rests on costing being a build-time event captured
+/// in the matrix; a stray `.inum()`/`Inum::cost`/`inum_longlived` call on
+/// a read path silently reintroduces per-question optimizer latency and
+/// breaks the journaled-edit accounting that durability replays. Only
+/// the matrix build internals, the colt probe path, and durable restore
+/// are costed on purpose — everything else needs an explicit allow.
+fn cost_purity(
+    path: &str,
+    facts: &Facts,
+    cfg: &Config,
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    if path_matches(path, &cfg.cost_purity_allowed) {
+        return;
+    }
+    let n = facts.sig.len();
+    for i in 0..n {
+        let Some(t) = facts.tok(i) else { break };
+        if facts.in_test(t.line) {
+            continue;
+        }
+        let hit = if t.is_punct(".")
+            && facts.tok(i + 1).is_some_and(|u| u.is_ident("inum"))
+            && facts.tok(i + 2).is_some_and(|u| u.is_punct("("))
+        {
+            Some((
+                facts.tokens[facts.sig[i]].line,
+                ".inum() grants raw optimizer access",
+            ))
+        } else if t.is_ident("inum_longlived")
+            && facts.tok(i + 1).is_some_and(|u| u.is_punct("("))
+            && !facts
+                .tok(i.wrapping_sub(1))
+                .is_some_and(|u| u.is_ident("fn"))
+        {
+            Some((t.line, "inum_longlived() costs via the optimizer"))
+        } else if t.is_ident("Inum")
+            && facts.tok(i + 1).is_some_and(|u| u.is_punct("::"))
+            && facts.tok(i + 2).is_some_and(|u| u.is_ident("cost"))
+        {
+            Some((t.line, "Inum::cost invokes the what-if optimizer"))
+        } else if t.is_ident("inum")
+            && facts.tok(i + 1).is_some_and(|u| u.is_punct("."))
+            && facts.tok(i + 2).is_some_and(|u| u.is_ident("cost"))
+            && facts.tok(i + 3).is_some_and(|u| u.is_punct("("))
+        {
+            Some((t.line, "direct cost() call on an Inum handle"))
+        } else {
+            None
+        };
+        if let Some((line, what)) = hit {
+            out.push((
+                line,
+                "cost-purity",
+                format!(
+                    "{what}; read paths must use cost-matrix lookups \
+                     (allowed modules: matrix build, colt probe, durable restore)"
+                ),
+            ));
+        }
+    }
+}
+
+/// **panic-freedom** — the decode/replay surface (`crates/durability`,
+/// `inum/src/persist.rs`) parses bytes that crashed mid-write, bit-rotted
+/// on disk, or were produced by a different build. The recovery ladder's
+/// contract (PR 7: "degrades gracefully, never wrongly") requires every
+/// malformed input to surface as a `DecodeError`/cold-start, because a
+/// panic during open takes down the session *before* it can fall back to
+/// a cold build. `unwrap`/`expect`/`panic!`/`unreachable!` and unchecked
+/// indexing are all panics waiting on the first corrupt byte.
+fn panic_freedom(
+    path: &str,
+    facts: &Facts,
+    cfg: &Config,
+    out: &mut Vec<(u32, &'static str, String)>,
+) {
+    if !path_matches(path, &cfg.panic_freedom_scope) {
+        return;
+    }
+    let n = facts.sig.len();
+    for i in 0..n {
+        let Some(t) = facts.tok(i) else { break };
+        if facts.in_test(t.line) {
+            continue;
+        }
+        if t.is_punct(".") && facts.tok(i + 2).is_some_and(|u| u.is_punct("(")) {
+            if let Some(m) = facts.tok(i + 1) {
+                if m.is_ident("unwrap") || m.is_ident("expect") {
+                    out.push((
+                        m.line,
+                        "panic-freedom",
+                        format!(
+                            ".{}() panics on corrupt input; return a decode error instead",
+                            m.text
+                        ),
+                    ));
+                }
+            }
+        }
+        if t.kind == Kind::Ident
+            && facts.tok(i + 1).is_some_and(|u| u.is_punct("!"))
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            out.push((
+                t.line,
+                "panic-freedom",
+                format!(
+                    "{}! is unreachable only until the first corrupt snapshot",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_punct("[") {
+            let prev = facts.tok(i.wrapping_sub(1));
+            let is_index = prev.is_some_and(|p| {
+                (p.kind == Kind::Ident && !NON_INDEX_KEYWORDS.contains(&p.text.as_str()))
+                    || p.kind == Kind::Number
+                    || p.is_punct("]")
+                    || p.is_punct(")")
+                    || p.is_punct("?")
+            });
+            if is_index {
+                out.push((
+                    t.line,
+                    "panic-freedom",
+                    "unchecked indexing panics out of range; use .get()/.get_mut() and map \
+                     the None to a decode error"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// **fp-determinism** — agreement proptests pin interactive-vs-offline
+/// and restore-vs-rebuild totals to ≤1e-12, which only holds if f64
+/// summation order is identical on every run. `HashMap`/`HashSet`
+/// iteration order is randomised per-process (std `RandomState`), so any
+/// f64 accumulation — or worse, MILP variable numbering — driven by hash
+/// iteration makes results run-dependent. Cost-accumulating functions
+/// must iterate `BTreeMap`/sorted vectors.
+fn fp_determinism(facts: &Facts, out: &mut Vec<(u32, &'static str, String)>) {
+    for f in &facts.fns {
+        let Some((a, b)) = f.body else { continue };
+        if !f.mentions_f64 || facts.in_test(f.line) {
+            continue;
+        }
+        for l in &facts.for_loops {
+            if l.at < a || l.at >= b || facts.in_test(l.line) {
+                continue;
+            }
+            let hashy = l
+                .iterand_idents
+                .iter()
+                .any(|id| id == "HashMap" || id == "HashSet" || facts.hashy_names.contains(id));
+            if hashy {
+                out.push((
+                    l.line,
+                    "fp-determinism",
+                    format!(
+                        "fn `{}` works with f64 costs but iterates a hash-ordered \
+                         collection; summation order must be fixed — use BTreeMap or \
+                         a sorted Vec",
+                        f.name
+                    ),
+                ));
+            }
+        }
+        for c in &facts.iter_calls {
+            if c.at < a || c.at >= b || facts.in_test(c.line) {
+                continue;
+            }
+            if facts.hashy_names.contains(&c.receiver) {
+                out.push((
+                    c.line,
+                    "fp-determinism",
+                    format!(
+                        "fn `{}` works with f64 costs but `{}.{}()` yields hash order; \
+                         use BTreeMap or a sorted Vec",
+                        f.name, c.receiver, c.method
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// **unsafe-audit** — the workspace's unsafe surface is tiny (the
+/// self-referential session core) and must stay explainable: every
+/// `unsafe` block carries a `// SAFETY:` comment within the six lines
+/// above it stating the invariant it relies on, so a reviewer can check
+/// the argument instead of re-deriving it.
+fn unsafe_audit(facts: &Facts, out: &mut Vec<(u32, &'static str, String)>) {
+    for u in &facts.unsafe_blocks {
+        if !u.has_safety {
+            out.push((
+                u.line,
+                "unsafe-audit",
+                "unsafe block without a `// SAFETY:` comment in the six lines above it".to_string(),
+            ));
+        }
+    }
+}
+
+/// **lock-discipline** — `PublishSlot::publish` holds the slot's RwLock
+/// write guard; every reader `refresh()` blocks on that guard. Costing
+/// work (optimizer calls) or a nested `publish()` while the guard is
+/// live turns a microsecond pointer swap into a reader-visible stall —
+/// and a nested publish on the same slot self-deadlocks. Compute first,
+/// then take the guard for the swap alone.
+fn lock_discipline(facts: &Facts, out: &mut Vec<(u32, &'static str, String)>) {
+    for g in &facts.guards {
+        for i in g.start..g.end {
+            let Some(t) = facts.tok(i) else { break };
+            let hit = if t.is_ident("publish")
+                && facts.tok(i + 1).is_some_and(|u| u.is_punct("("))
+                && !facts
+                    .tok(i.wrapping_sub(1))
+                    .is_some_and(|u| u.is_ident("fn"))
+            {
+                Some("publish() while a write guard is live can self-deadlock")
+            } else if t.is_punct(".")
+                && facts.tok(i + 1).is_some_and(|u| u.is_ident("inum"))
+                && facts.tok(i + 2).is_some_and(|u| u.is_punct("("))
+            {
+                Some("optimizer access while a write guard is live stalls every reader")
+            } else if t.is_ident("inum_longlived")
+                && facts.tok(i + 1).is_some_and(|u| u.is_punct("("))
+                && !facts
+                    .tok(i.wrapping_sub(1))
+                    .is_some_and(|u| u.is_ident("fn"))
+            {
+                Some("costing while a write guard is live stalls every reader")
+            } else if t.is_ident("Inum")
+                && facts.tok(i + 1).is_some_and(|u| u.is_punct("::"))
+                && facts.tok(i + 2).is_some_and(|u| u.is_ident("cost"))
+            {
+                Some("Inum::cost while a write guard is live stalls every reader")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push((
+                    t.line,
+                    "lock-discipline",
+                    format!("{what} (guard `{}` taken at line {})", g.name, g.line),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        analyze_source(path, src, &Config::workspace())
+    }
+
+    #[test]
+    fn cost_purity_flags_and_allows() {
+        let src = "fn advisor(m: &M) -> f64 { m.inum().cost(&q) }\n";
+        let d = run("crates/cophy/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "cost-purity");
+        assert_eq!(d[0].line, 1);
+        // Same site inside an allowed module: clean.
+        assert!(run("crates/inum/src/x.rs", src).is_empty());
+        // Same site with a reasoned allow: clean.
+        let allowed = "// analyzer:allow(cost-purity): counted probe path\n\
+                       fn advisor(m: &M) -> f64 { m.inum().cost(&q) }\n";
+        assert!(run("crates/cophy/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_diagnostic() {
+        let src = "// analyzer:allow(cost-purity)\n\
+                   fn advisor(m: &M) -> f64 { m.inum().cost(&q) }\n";
+        let d = run("crates/cophy/src/x.rs", src);
+        assert!(d.iter().any(|d| d.rule == "allow-syntax"));
+        // The bare allow does not waive the violation either.
+        assert!(d.iter().any(|d| d.rule == "cost-purity"));
+    }
+
+    #[test]
+    fn panic_freedom_scope_and_test_skip() {
+        let src = "fn decode(b: &[u8]) -> u32 { b[0] as u32 }\n\
+                   #[cfg(test)]\nmod tests { fn t(b: &[u8]) { b[0]; b.get(1).unwrap(); } }\n";
+        let d = run("crates/durability/src/codec.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic-freedom");
+        assert_eq!(d[0].line, 1);
+        // Out of scope: clean.
+        assert!(run("crates/cophy/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_freedom_ignores_types_attrs_and_macros() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\n\
+                   fn f() -> Vec<u8> { vec![1, 2] }\n\
+                   fn g(x: &mut [u8]) -> &[u8] { x }\n";
+        assert!(run("crates/durability/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fp_determinism_flags_hash_iteration_in_f64_fns() {
+        let src = "fn total(m: &HashMap<u32, f64>) -> f64 {\n\
+                     let mut s = 0.0f64;\n\
+                     for (_, v) in m.iter() { s += v; }\n\
+                     s\n\
+                   }\n\
+                   fn count(m: &HashMap<u32, u32>) -> usize { m.len() }\n";
+        let d = run("crates/cophy/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "fp-determinism");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn fp_determinism_accepts_btreemap() {
+        let src = "fn total(m: &BTreeMap<u32, f64>) -> f64 {\n\
+                     let mut s = 0.0f64;\n\
+                     for (_, v) in m.iter() { s += v; }\n\
+                     s\n\
+                   }\n";
+        assert!(run("crates/cophy/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_audit_wants_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let d = run("crates/core/src/x.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unsafe-audit");
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid for reads.\n    unsafe { *p }\n}\n";
+        assert!(run("crates/core/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_flags_costing_under_guard() {
+        let src = "fn publish_new(&self) {\n\
+                     let mut cur = self.current.write();\n\
+                     let c = self.matrix.inum().cost(&q);\n\
+                     *cur = c;\n\
+                   }\n";
+        let d = run("crates/inum/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "lock-discipline");
+        assert_eq!(d[0].line, 3);
+        let good = "fn publish_new(&self) {\n\
+                      let c = self.matrix.inum().cost(&q);\n\
+                      let mut cur = self.current.write();\n\
+                      *cur = c;\n\
+                    }\n";
+        assert!(run("crates/inum/src/x.rs", good).is_empty());
+    }
+}

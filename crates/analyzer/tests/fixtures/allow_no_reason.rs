@@ -1,0 +1,13 @@
+//! Seeded allow-syntax violations: a bare allow (no reason) does not
+//! waive the underlying diagnostic, and an unknown rule name is itself
+//! flagged. Not compiled — lexed by the golden test.
+
+pub fn bare_allow(bytes: &[u8]) -> u8 {
+    // analyzer:allow(panic-freedom)
+    bytes[0]
+}
+
+pub fn unknown_rule(bytes: &[u8]) -> u8 {
+    // analyzer:allow(made-up-rule): confidently wrong.
+    bytes.get(0).copied().unwrap()
+}

@@ -1,0 +1,22 @@
+//! A fixture every rule should pass: matrix lookups, checked access,
+//! ordered iteration, argued unsafe (none), guard taken for the swap
+//! alone. Not compiled — lexed by the golden test.
+
+use std::collections::BTreeMap;
+
+pub fn workload_total(costs: &BTreeMap<usize, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_q, c) in costs.iter() {
+        sum += c;
+    }
+    sum
+}
+
+pub fn decode(bytes: &[u8]) -> Result<u8, DecodeError> {
+    bytes.first().copied().ok_or(DecodeError::Short)
+}
+
+pub fn swap_only(slot: &PublishSlot, prepared: Snapshot) {
+    let guard = slot.write();
+    guard.swap(prepared);
+}

@@ -1,0 +1,16 @@
+//! Seeded fp-determinism violations: f64 accumulation driven by hash
+//! iteration order. Not compiled — lexed by the golden test.
+
+use std::collections::HashMap;
+
+pub fn workload_total(costs: &HashMap<usize, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_q, c) in costs.iter() {
+        sum += c;
+    }
+    sum
+}
+
+pub fn weighted(weights: HashMap<usize, f64>, scale: f64) -> f64 {
+    weights.values().map(|w| w * scale).sum()
+}

@@ -1,0 +1,23 @@
+//! Seeded panic-freedom violations: decode paths that die on the first
+//! corrupt byte. Not compiled — lexed by the golden test.
+
+pub fn decode(bytes: &[u8]) -> u8 {
+    let first = bytes[0];
+    let second = bytes.get(1).copied().unwrap();
+    first + second
+}
+
+pub fn replay(records: &[Vec<u8>]) -> Edit {
+    let head = records.first().expect("log never empty");
+    if head.is_empty() {
+        panic!("empty record");
+    }
+    parse(head)
+}
+
+pub fn finish(tag: u8) -> Edit {
+    match tag {
+        0 => Edit::Noop,
+        _ => unreachable!("tags are exhaustive"),
+    }
+}

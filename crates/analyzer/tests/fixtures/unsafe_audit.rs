@@ -1,0 +1,13 @@
+//! Seeded unsafe-audit violation: an unsafe block whose soundness
+//! argument was never written down. Not compiled — lexed by the golden
+//! test.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_argued(p: *const u8) -> u8 {
+    // SAFETY: fixture demonstrating a documented block; callers pass a
+    // pointer derived from a live reference.
+    unsafe { *p }
+}

@@ -28,6 +28,8 @@
 //! issues **zero** per-trial [`Inum::cost`] calls and never constructs a
 //! `PhysicalDesign` inside the loop (the suite asserts both).
 
+#![forbid(unsafe_code)]
+
 use pgdesign_catalog::design::{HorizontalPartitioning, PhysicalDesign, VerticalPartitioning};
 use pgdesign_catalog::schema::TableId;
 use pgdesign_inum::{CostMatrix, Inum, JointConfig, JointToggle};

@@ -7,6 +7,8 @@
 //! roughly what factor) are the reproduction targets recorded in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_catalog::Catalog;
 use pgdesign_optimizer::{JoinControl, Optimizer};

@@ -26,6 +26,8 @@
 //! Everything downstream treats [`Catalog`] as the single source of truth
 //! for schema, statistics and base physical design.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod datagen;
 pub mod design;

@@ -23,13 +23,15 @@
 //!   of demo scenario 3. Whether to adopt them remains the DBA's call; the
 //!   tuner here applies them to its own simulated design.
 
+#![forbid(unsafe_code)]
+
 use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_catalog::Catalog;
 use pgdesign_inum::CostMatrix;
 use pgdesign_optimizer::candidates::{query_candidates, CandidateConfig};
 use pgdesign_optimizer::Optimizer;
 use pgdesign_query::ast::Query;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// COLT knobs.
 #[derive(Debug, Clone, Copy)]
@@ -134,7 +136,7 @@ pub struct ColtTuner<'a> {
     optimizer: &'a Optimizer,
     config: ColtConfig,
     current: PhysicalDesign,
-    states: HashMap<Index, CandidateState>,
+    states: BTreeMap<Index, CandidateState>,
     epoch: usize,
     epoch_queries: Vec<Query>,
     epoch_untuned: f64,
@@ -149,7 +151,7 @@ impl<'a> ColtTuner<'a> {
             optimizer,
             config,
             current: PhysicalDesign::empty(),
-            states: HashMap::new(),
+            states: BTreeMap::new(),
             epoch: 0,
             epoch_queries: Vec::new(),
             epoch_untuned: 0.0,
@@ -220,7 +222,7 @@ impl<'a> ColtTuner<'a> {
         let catalog = self.catalog;
 
         // Harvest candidates and their relevant queries for this epoch.
-        let mut relevant: HashMap<Index, Vec<usize>> = HashMap::new();
+        let mut relevant: BTreeMap<Index, Vec<usize>> = BTreeMap::new();
         for (qi, q) in self.epoch_queries.iter().enumerate() {
             for cand in query_candidates(catalog, q, &cfg) {
                 relevant.entry(cand).or_default().push(qi);
@@ -292,7 +294,7 @@ impl<'a> ColtTuner<'a> {
             .map(|&qi| (&self.epoch_queries[qi], 1.0))
             .collect();
         let qids = matrix.add_queries(entries);
-        let keep: std::collections::HashSet<usize> = qids.iter().copied().collect();
+        let keep: BTreeSet<usize> = qids.iter().copied().collect();
         let to_retire: Vec<usize> = matrix
             .active_query_ids()
             .filter(|id| !keep.contains(id))
@@ -303,7 +305,7 @@ impl<'a> ColtTuner<'a> {
         // `add_queries` accumulates weights on reuse; reset each kept slot
         // to its occurrence count in *this* epoch so the matrix's workload
         // view stays an epoch snapshot, not a cumulative history.
-        let mut occurrences: HashMap<usize, f64> = HashMap::new();
+        let mut occurrences: BTreeMap<usize, f64> = BTreeMap::new();
         for &qid in &qids {
             *occurrences.entry(qid).or_insert(0.0) += 1.0;
         }
@@ -314,7 +316,7 @@ impl<'a> ColtTuner<'a> {
         // Bulk registration: the epoch's new candidates are costed in one
         // parallel fan-out (duplicates resolve to their resident ids).
         let cids = matrix.add_candidates(&desired);
-        let cid_of: HashMap<Index, usize> = desired.iter().cloned().zip(cids).collect();
+        let cid_of: BTreeMap<Index, usize> = desired.iter().cloned().zip(cids).collect();
         let qid_of = |qi: usize| qids[probed_queries.binary_search(&qi).expect("probed")];
 
         // Mutations for this epoch are done: publish the rotated state so
@@ -333,13 +335,13 @@ impl<'a> ColtTuner<'a> {
         // query, so they are computed once and shared by every candidate
         // probe (each probe still charges two what-if calls — one side is
         // served from this prefix, the other is the toggled lookup).
-        let current_costs: HashMap<usize, f64> = keep
+        let current_costs: BTreeMap<usize, f64> = keep
             .iter()
             .map(|&qid| (qid, matrix.cost(qid, &current_config)))
             .collect();
         let mut whatif_calls = 0usize;
         let mut candidates_dropped = 0usize;
-        let mut epoch_benefit: HashMap<Index, f64> = HashMap::new();
+        let mut epoch_benefit: BTreeMap<Index, f64> = BTreeMap::new();
         for (cand, probed, n_relevant) in plan.into_iter() {
             if probed.is_empty() {
                 // The budget truncated this candidate out of the plan
@@ -430,7 +432,7 @@ impl<'a> ColtTuner<'a> {
         let states = &self.states;
         let current = &self.current;
         let cfg_horizon = self.config.payback_horizon_epochs;
-        let build_costs: HashMap<Index, f64> = target
+        let build_costs: BTreeMap<Index, f64> = target
             .iter()
             .map(|i| (i.clone(), self.build_cost(i)))
             .collect();

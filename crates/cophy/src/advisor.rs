@@ -10,7 +10,7 @@ use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::maintenance::{index_maintenance_cost, WriteProfile};
 use pgdesign_query::Workload;
 use pgdesign_solver::{MilpOptions, MilpStatus};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Advisor configuration.
@@ -203,7 +203,7 @@ impl<'a> CophyAdvisor<'a> {
 
         // Sizes over every live candidate of the matrix, filtering out
         // candidates that alone exceed the budget.
-        let mut sizes: HashMap<usize, f64> = HashMap::new();
+        let mut sizes: BTreeMap<usize, f64> = BTreeMap::new();
         for (id, idx) in matrix.candidates() {
             let bytes = idx.size_bytes(&catalog.schema, catalog.table_stats(idx.table));
             if bytes <= self.config.storage_budget_bytes {
@@ -223,7 +223,7 @@ impl<'a> CophyAdvisor<'a> {
             .collect();
 
         // Per-candidate maintenance under the write profile.
-        let maintenance: HashMap<usize, f64> = match &self.config.write_profile {
+        let maintenance: BTreeMap<usize, f64> = match &self.config.write_profile {
             Some(profile) => sizes
                 .keys()
                 .map(|&id| {
@@ -238,7 +238,7 @@ impl<'a> CophyAdvisor<'a> {
                     )
                 })
                 .collect(),
-            None => HashMap::new(),
+            None => BTreeMap::new(),
         };
 
         let weights: Vec<f64> = configs

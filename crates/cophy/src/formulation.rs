@@ -18,7 +18,7 @@
 use crate::atomic::QueryConfigs;
 use pgdesign_solver::lp::Relation;
 use pgdesign_solver::Milp;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Mapping from ILP variables back to the design space.
 #[derive(Debug, Clone)]
@@ -26,7 +26,7 @@ pub struct IlpModel {
     /// The MILP instance.
     pub milp: Milp,
     /// `x` variable id per candidate id.
-    pub x_vars: HashMap<usize, usize>,
+    pub x_vars: BTreeMap<usize, usize>,
     /// `y` variable ids: `y_vars[q][k]` for workload query `q`,
     /// configuration `k`.
     pub y_vars: Vec<Vec<usize>>,
@@ -43,8 +43,8 @@ pub struct IlpModel {
 pub fn build_ilp(
     weights: &[f64],
     configs: &[QueryConfigs],
-    sizes: &HashMap<usize, f64>,
-    maintenance: &HashMap<usize, f64>,
+    sizes: &BTreeMap<usize, f64>,
+    maintenance: &BTreeMap<usize, f64>,
     storage_budget: f64,
 ) -> IlpModel {
     assert_eq!(weights.len(), configs.len(), "one weight per query");
@@ -52,7 +52,7 @@ pub fn build_ilp(
 
     // x variables (binary); the objective coefficient is the index's
     // maintenance cost — storage stays a constraint, not an objective term.
-    let mut x_vars: HashMap<usize, usize> = HashMap::new();
+    let mut x_vars: BTreeMap<usize, usize> = BTreeMap::new();
     for &cand in sizes.keys() {
         let v = milp.add_binary(maintenance.get(&cand).copied().unwrap_or(0.0));
         x_vars.insert(cand, v);
@@ -155,7 +155,7 @@ mod tests {
 
     /// A tiny hand-built instance: 2 queries, 2 candidate indexes.
     /// Query 0: empty=100, {A}=10. Query 1: empty=100, {B}=20, {A,B}=5.
-    fn tiny() -> (Vec<f64>, Vec<QueryConfigs>, HashMap<usize, f64>) {
+    fn tiny() -> (Vec<f64>, Vec<QueryConfigs>, BTreeMap<usize, f64>) {
         let weights = vec![1.0, 1.0];
         let configs = vec![
             QueryConfigs {
@@ -189,7 +189,7 @@ mod tests {
                 ],
             },
         ];
-        let mut sizes = HashMap::new();
+        let mut sizes = BTreeMap::new();
         sizes.insert(0usize, 10.0);
         sizes.insert(1usize, 10.0);
         (weights, configs, sizes)
@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn picks_both_indexes_when_budget_allows() {
         let (w, configs, sizes) = tiny();
-        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 100.0);
+        let model = build_ilp(&w, &configs, &sizes, &BTreeMap::new(), 100.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         let chosen = decode_solution(&model, &r.x);
@@ -210,7 +210,7 @@ mod tests {
     fn respects_tight_budget() {
         let (w, configs, sizes) = tiny();
         // Budget for one index only. A: 10+100=110; B: 100+20=120 → pick A.
-        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 10.0);
+        let model = build_ilp(&w, &configs, &sizes, &BTreeMap::new(), 10.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         let chosen = decode_solution(&model, &r.x);
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn zero_budget_forces_empty_configs() {
         let (w, configs, sizes) = tiny();
-        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 0.0);
+        let model = build_ilp(&w, &configs, &sizes, &BTreeMap::new(), 0.0);
         let r = model.milp.solve(&MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert!(decode_solution(&model, &r.x).is_empty());
@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn warm_start_is_feasible_and_decodes() {
         let (w, configs, sizes) = tiny();
-        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 100.0);
+        let model = build_ilp(&w, &configs, &sizes, &BTreeMap::new(), 100.0);
         let warm = warm_start_assignment(&model, &configs, &[0]);
         // Feasible: solve with warm start at zero nodes.
         let r = model.milp.solve_with_warm_start(
@@ -252,7 +252,7 @@ mod tests {
         // Index B saves q1 80 (100→20) but costs 90 to maintain → skip it;
         // A+B would save q1 95 but pay 90+0 maintenance: still worth it?
         // {A,B}: obj = 10 + 5 + 90 = 105 vs {A}: 10 + 100 = 110 → A,B wins.
-        let mut maint = HashMap::new();
+        let mut maint = BTreeMap::new();
         maint.insert(1usize, 90.0);
         let model = build_ilp(&w, &configs, &sizes, &maint, 100.0);
         let r = model.milp.solve(&MilpOptions::default());
@@ -260,7 +260,7 @@ mod tests {
         assert_eq!(decode_solution(&model, &r.x), vec![0, 1]);
         assert!((r.objective - 105.0).abs() < 1e-6, "{}", r.objective);
         // Raise maintenance to 100: now {A} alone (110) beats {A,B} (115).
-        let mut maint = HashMap::new();
+        let mut maint = BTreeMap::new();
         maint.insert(1usize, 100.0);
         let model = build_ilp(&w, &configs, &sizes, &maint, 100.0);
         let r = model.milp.solve(&MilpOptions::default());
@@ -271,7 +271,7 @@ mod tests {
     fn weights_scale_objective() {
         let (mut w, configs, sizes) = tiny();
         w[0] = 10.0;
-        let model = build_ilp(&w, &configs, &sizes, &HashMap::new(), 100.0);
+        let model = build_ilp(&w, &configs, &sizes, &BTreeMap::new(), 100.0);
         let r = model.milp.solve(&MilpOptions::default());
         // q0 cost 10 × weight 10 + q1 cost 5 = 105.
         assert!((r.objective - 105.0).abs() < 1e-6, "{}", r.objective);

@@ -24,7 +24,7 @@ pub struct GreedyResult {
 /// Classic greedy: repeatedly add the candidate with the best
 /// benefit-per-byte until the budget is exhausted or nothing improves.
 pub fn greedy_select(matrix: &CostMatrix<'_>, storage_budget_bytes: u64) -> GreedyResult {
-    let catalog = matrix.inum().catalog();
+    let catalog = matrix.catalog();
     // Sizes per candidate id; removed ids get `u64::MAX` so the budget
     // check below skips them.
     let sizes: Vec<u64> = (0..matrix.n_candidates())

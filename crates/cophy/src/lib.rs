@@ -25,6 +25,8 @@
 //! the candidate pool with pairwise index merges, the classic trick for
 //! tight storage budgets.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod atomic;
 pub mod formulation;

@@ -128,13 +128,27 @@ impl<'a> ByteReader<'a> {
         if self.remaining() < n {
             return Err(CodecError { what, at: self.pos });
         }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(CodecError { what, at: self.pos })?;
         self.pos += n;
         Ok(slice)
     }
 
+    /// Fixed-width read as an array — the panic-free backbone of every
+    /// integer getter (a short buffer is a [`CodecError`], never a slice
+    /// panic).
+    fn take_array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], CodecError> {
+        let at = self.pos;
+        self.take(N, what)?
+            .try_into()
+            .map_err(|_| CodecError { what, at })
+    }
+
     pub fn get_u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1, "u8")?[0])
+        let [b] = self.take_array::<1>("u8")?;
+        Ok(b)
     }
 
     pub fn get_bool(&mut self) -> Result<bool, CodecError> {
@@ -149,25 +163,23 @@ impl<'a> ByteReader<'a> {
     }
 
     pub fn get_u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array("u16")?))
     }
 
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array("u32")?))
     }
 
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array("u64")?))
     }
 
     pub fn get_u128(&mut self) -> Result<u128, CodecError> {
-        Ok(u128::from_le_bytes(
-            self.take(16, "u128")?.try_into().unwrap(),
-        ))
+        Ok(u128::from_le_bytes(self.take_array("u128")?))
     }
 
     pub fn get_i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_array("i64")?))
     }
 
     pub fn get_f64(&mut self) -> Result<f64, CodecError> {

@@ -21,6 +21,12 @@
 //! live upstream in `pgdesign-inum`; recovery policy (when to fall back
 //! to a cold build, how staleness is handled) lives in `pgdesign` core.
 
+#![forbid(unsafe_code)]
+// Recovery code must never panic on untrusted bytes; `.unwrap()` and
+// `.expect()` are compile errors here (tests are exempt — a failed
+// assertion is exactly what a test wants).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod codec;
 pub mod crc;
 pub mod file;

@@ -33,6 +33,8 @@
 //!   the chosen indexes so the workload reaps benefits as early as
 //!   possible while builds are in flight (greedy and exact-DP variants).
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod schedule;
 

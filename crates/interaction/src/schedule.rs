@@ -31,8 +31,17 @@ pub struct Schedule {
 
 /// Estimated build time of an index (same scan+sort model COLT charges).
 pub fn build_time(inum: &Inum<'_>, index: &Index) -> f64 {
-    let catalog = inum.catalog();
-    let params = &inum.optimizer().params;
+    build_time_with(inum.catalog(), &inum.optimizer().params, index)
+}
+
+/// [`build_time`] from raw catalog metadata and cost-model constants — the
+/// build-time model never needs what-if costing, so matrix-backed callers
+/// can use this without touching the optimizer at all.
+pub fn build_time_with(
+    catalog: &pgdesign_catalog::Catalog,
+    params: &pgdesign_optimizer::CostParams,
+    index: &Index,
+) -> f64 {
     let tdef = catalog.schema.table(index.table);
     let stats = catalog.table_stats(index.table);
     let pages = pgdesign_catalog::sizing::heap_pages(stats.row_count, tdef.row_byte_width());
@@ -94,12 +103,13 @@ pub fn schedule_pair_on(
     matrix: &pgdesign_inum::CostMatrix<'_>,
     candidate_ids: &[usize],
 ) -> (Schedule, Schedule) {
-    let inum = matrix.inum();
+    let (catalog, params) = (matrix.catalog(), matrix.cost_params());
     let times: Vec<f64> = candidate_ids
         .iter()
         .map(|&id| {
-            build_time(
-                inum,
+            build_time_with(
+                catalog,
+                params,
                 matrix
                     .candidate(id)
                     .expect("schedule_pair_on requires live candidate ids"),

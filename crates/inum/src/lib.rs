@@ -97,6 +97,8 @@
 //! plan is hash/merge-based. [`Inum::exact_cost`] falls through to the
 //! real optimizer for comparison and calibration.
 
+#![forbid(unsafe_code)]
+
 mod inum;
 mod key;
 mod matrix;

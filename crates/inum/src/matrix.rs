@@ -990,6 +990,21 @@ impl<'a> CostMatrix<'a> {
         self.inum
     }
 
+    /// The catalog the matrix's costs were computed against. Metadata-only
+    /// access (schema, statistics) for sizing and build-time models —
+    /// callers that only need this must not take [`CostMatrix::inum`],
+    /// which grants what-if costing.
+    pub fn catalog(&self) -> &pgdesign_catalog::Catalog {
+        self.inum.catalog()
+    }
+
+    /// The cost-model constants the matrix's cells were computed with
+    /// (scan/sort parameters for build-time estimates). Like
+    /// [`CostMatrix::catalog`], this is metadata, not costing.
+    pub fn cost_params(&self) -> &CostParams {
+        &self.inum.optimizer().params
+    }
+
     /// The matrix's queries, aligned with query ids: entry `i` is query
     /// slot `i`. Entries of retired slots are stale (their weight is
     /// zeroed); on a freshly built matrix this is exactly the workload the

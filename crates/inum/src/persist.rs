@@ -23,6 +23,10 @@
 //!   start, it never rejects the whole file and never serves a cost
 //!   computed from outdated statistics.
 
+// Decode/replay paths run on untrusted bytes; panicking escape hatches
+// are compile errors in this module (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use super::*;
 use crate::MatrixSnapshot;
 use pgdesign_catalog::types::Value;
@@ -691,9 +695,9 @@ fn encode_core(core: &MatrixCore, generation: u64, catalog: &Catalog) -> Vec<Vec
     reg.put_u64(core.queries.len() as u64);
     records.push(reg.into_bytes());
 
-    for (qi, qm) in core.queries.iter().enumerate() {
+    for (qm, entry) in core.queries.iter().zip(&core.workload.entries) {
         let mut w = ByteWriter::new();
-        put_query(&mut w, &core.workload.entries[qi].query);
+        put_query(&mut w, &entry.query);
         put_query_matrix(&mut w, qm);
         records.push(w.into_bytes());
     }
@@ -751,7 +755,14 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
     if records.len() < 4 {
         return Err(invalid("too few records"));
     }
-    let mut r = ByteReader::new(&records[0]);
+    // Positional record access that survives a lying record count.
+    let rec = |i: usize| -> Result<&[u8], PersistError> {
+        records
+            .get(i)
+            .map(Vec::as_slice)
+            .ok_or_else(|| invalid("missing record"))
+    };
+    let mut r = ByteReader::new(rec(0)?);
     let generation = r.get_u64()?;
     let n_tables = r.get_len()?;
     let mut stored_fingerprints = Vec::with_capacity(n_tables);
@@ -760,7 +771,7 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
     }
     r.expect_end("header record")?;
 
-    let mut r = ByteReader::new(&records[1]);
+    let mut r = ByteReader::new(rec(1)?);
     let params = get_params(&mut r)?;
     let rotation_generation = r.get_u64()?;
     let n = r.get_len()?;
@@ -772,10 +783,15 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
             _ => return Err(invalid("candidate tag")),
         });
     }
+    let n_candidates = indexes.len();
     let n = r.get_len()?;
     let mut free_candidates = Vec::with_capacity(n);
     for _ in 0..n {
-        free_candidates.push(r.get_u64()? as usize);
+        let id = r.get_u64()? as usize;
+        if id >= n_candidates {
+            return Err(invalid("free candidate id out of range"));
+        }
+        free_candidates.push(id);
     }
     let n = r.get_len()?;
     let mut free_queries = Vec::with_capacity(n);
@@ -784,6 +800,9 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
     }
     let n_queries = r.get_u64()? as usize;
     r.expect_end("registry record")?;
+    if free_queries.iter().any(|&id| id >= n_queries) {
+        return Err(invalid("free query id out of range"));
+    }
 
     if records.len() != 4 + n_queries {
         return Err(invalid("record count does not match query count"));
@@ -792,11 +811,21 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
     let mut workload = Workload::new();
     let mut queries = Vec::with_capacity(n_queries);
     let mut cells = 0u64;
-    for rec in &records[2..2 + n_queries] {
-        let mut r = ByteReader::new(rec);
+    let query_records = records
+        .get(2..2 + n_queries)
+        .ok_or_else(|| invalid("missing query records"))?;
+    for payload in query_records {
+        let mut r = ByteReader::new(payload);
         let query = get_query(&mut r)?;
         let qm = get_query_matrix(&mut r)?;
         r.expect_end("query record")?;
+        // Slot table ids index per-table state during restore
+        // (staleness masks, fragment lists); an id past the stored
+        // table count is structural corruption, caught here rather
+        // than as a panic later.
+        if qm.slots.iter().any(|s| s.table.0 as usize >= n_tables) {
+            return Err(invalid("query slot table out of range"));
+        }
         if qm.active {
             // Cells are keyed by the public FNV-1a cell key: a stored key
             // that does not match its own query is not the matrix it
@@ -814,15 +843,12 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
         queries.push(Arc::new(qm));
     }
 
-    let mut r = ByteReader::new(&records[2 + n_queries]);
+    let mut r = ByteReader::new(rec(2 + n_queries)?);
     let n = r.get_len()?;
     let mut fragments = Vec::with_capacity(n);
     let mut frags_by_table: Vec<Vec<usize>> = vec![Vec::new(); n_tables];
     for fid in 0..n {
         let table = TableId(r.get_u32()?);
-        if table.0 as usize >= n_tables {
-            return Err(invalid("fragment table out of range"));
-        }
         let nc = r.get_len()?;
         let mut columns = Vec::with_capacity(nc);
         for _ in 0..nc {
@@ -834,17 +860,20 @@ pub fn decode_snapshot(records: &[Vec<u8>]) -> Result<DecodedSnapshot, PersistEr
         }
         let pages = r.get_u64()?;
         let mask = column_mask(&columns);
+        frags_by_table
+            .get_mut(table.0 as usize)
+            .ok_or_else(|| invalid("fragment table out of range"))?
+            .push(fid);
         fragments.push(Arc::new(Fragment {
             table,
             columns,
             mask,
             pages,
         }));
-        frags_by_table[table.0 as usize].push(fid);
     }
     r.expect_end("fragment record")?;
 
-    let mut r = ByteReader::new(&records[3 + n_queries]);
+    let mut r = ByteReader::new(rec(3 + n_queries)?);
     let n = r.get_len()?;
     let mut splits = Vec::with_capacity(n);
     for _ in 0..n {
@@ -959,34 +988,30 @@ pub fn restore_matrix<'a>(
         for &t in &stale_tables {
             inum.invalidate_table(t);
         }
-        for qi in 0..core.queries.len() {
-            if !core.queries[qi].active {
+        // Decode has validated every slot/fragment table id against the
+        // stored table count, so an out-of-range lookup here cannot
+        // happen — `.get()` keeps that a local fact instead of a panic.
+        let is_stale = |t: TableId| stale.get(t.0 as usize).copied().unwrap_or(false);
+        let indexes = &core.indexes;
+        for (slot, entry) in core.queries.iter_mut().zip(&core.workload.entries) {
+            if !slot.active || !slot.slots.iter().any(|s| is_stale(s.table)) {
                 continue;
             }
-            if !core.queries[qi]
-                .slots
-                .iter()
-                .any(|s| stale[s.table.0 as usize])
-            {
-                continue;
-            }
-            let weight = core.queries[qi].weight;
-            let query = core.workload.entries[qi].query.clone();
-            let (qm, cells) = compute_query_matrix(inum, &query, weight, &core.indexes);
+            let (qm, cells) = compute_query_matrix(inum, &entry.query, slot.weight, indexes);
             invalidated += cells;
-            core.queries[qi] = Arc::new(qm);
+            *slot = Arc::new(qm);
         }
-        for fid in 0..core.fragments.len() {
-            let table = core.fragments[fid].table;
-            if !stale[table.0 as usize] {
+        for frag in core.fragments.iter_mut() {
+            let table = frag.table;
+            if !is_stale(table) {
                 continue;
             }
             let tdef = catalog.schema.table(table);
             let pages = sizing::heap_pages(
                 catalog.row_count(table),
-                tdef.byte_width_of(&core.fragments[fid].columns) + 8,
+                tdef.byte_width_of(&frag.columns) + 8,
             );
-            Arc::make_mut(&mut core.fragments[fid]).pages = pages;
+            Arc::make_mut(frag).pages = pages;
         }
         // Split surviving fractions depend only on the partitioning bounds
         // and the query predicates, not on statistics — nothing to redo.
@@ -1313,6 +1338,111 @@ mod tests {
         assert!(matches!(
             decode_snapshot(&records),
             Err(PersistError::Invalid(_))
+        ));
+    }
+
+    /// Decode record 1 into its parts and re-encode it with the free lists
+    /// replaced — the tamper harness for the registry-record validations.
+    fn reencode_registry(
+        bytes: &[u8],
+        free_candidates: &[usize],
+        free_queries: &[usize],
+    ) -> Vec<u8> {
+        let mut r = ByteReader::new(bytes);
+        let params = get_params(&mut r).unwrap();
+        let generation = r.get_u64().unwrap();
+        let n = r.get_len().unwrap();
+        let mut indexes: Vec<Option<Index>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            indexes.push(match r.get_u8().unwrap() {
+                0 => None,
+                _ => Some(get_index(&mut r).unwrap()),
+            });
+        }
+        for _ in 0..r.get_len().unwrap() {
+            r.get_u64().unwrap(); // original free candidate ids
+        }
+        for _ in 0..r.get_len().unwrap() {
+            r.get_u64().unwrap(); // original free query ids
+        }
+        let n_queries = r.get_u64().unwrap();
+
+        let mut w = ByteWriter::new();
+        put_params(&mut w, &params);
+        w.put_u64(generation);
+        w.put_len(indexes.len());
+        for idx in &indexes {
+            match idx {
+                None => w.put_u8(0),
+                Some(i) => {
+                    w.put_u8(1);
+                    put_index(&mut w, i);
+                }
+            }
+        }
+        w.put_len(free_candidates.len());
+        for &id in free_candidates {
+            w.put_u64(id as u64);
+        }
+        w.put_len(free_queries.len());
+        for &id in free_queries {
+            w.put_u64(id as u64);
+        }
+        w.put_u64(n_queries);
+        w.into_bytes()
+    }
+
+    fn published_records() -> Vec<Vec<u8>> {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 3, 101);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let mut live = CostMatrix::build(&inum, &w, &cands.indexes);
+        live.publish();
+        encode_published(&live)
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_slot_table() {
+        let mut records = published_records();
+        // CRC-valid framing, semantically impossible payload: a slot that
+        // claims a table past the stored table count. Before decode-time
+        // validation this panicked inside `restore_matrix`'s per-table
+        // lookups; now it must be a structured error.
+        let mut r = ByteReader::new(&records[2]);
+        let q = get_query(&mut r).unwrap();
+        let mut qm = get_query_matrix(&mut r).unwrap();
+        qm.slots[0].table = TableId(u32::MAX);
+        let mut wtr = ByteWriter::new();
+        put_query(&mut wtr, &q);
+        put_query_matrix(&mut wtr, &qm);
+        records[2] = wtr.into_bytes();
+        assert!(matches!(
+            decode_snapshot(&records),
+            Err(PersistError::Invalid("query slot table out of range"))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_free_candidate() {
+        let mut records = published_records();
+        records[1] = reencode_registry(&records[1], &[usize::MAX], &[]);
+        assert!(matches!(
+            decode_snapshot(&records),
+            Err(PersistError::Invalid("free candidate id out of range"))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_free_query() {
+        let mut records = published_records();
+        // Free query ids are validated against the stored query count; an
+        // id at the count (one past the last slot) must already fail.
+        records[1] = reencode_registry(&records[1], &[], &[3]);
+        assert!(matches!(
+            decode_snapshot(&records),
+            Err(PersistError::Invalid("free query id out of range"))
         ));
     }
 

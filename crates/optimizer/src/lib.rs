@@ -38,6 +38,8 @@
 //! indexes carry real size estimates (see `pgdesign_catalog::sizing`),
 //! avoiding the zero-size fallacy the paper criticises.
 
+#![forbid(unsafe_code)]
+
 pub mod access;
 pub mod candidates;
 pub mod exec;

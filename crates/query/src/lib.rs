@@ -17,6 +17,8 @@
 //! * [`generators`] — SDSS-style and TPC-H-style workload generators plus
 //!   the drifting stream used by the continuous-tuning scenario.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod compress;
 pub mod generators;

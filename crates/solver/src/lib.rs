@@ -20,6 +20,8 @@
 //! hundred to a few thousand variables, far below where sparse revised
 //! simplex pays off.
 
+#![forbid(unsafe_code)]
+
 pub mod knapsack;
 pub mod lp;
 pub mod milp;

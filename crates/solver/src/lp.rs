@@ -5,7 +5,7 @@
 //! infeasibility), phase 2 optimizes the real objective. Dantzig pricing
 //! with a Bland's-rule fallback guards against cycling.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Constraint relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,13 +94,13 @@ impl LinearProgram {
 
     /// Solve the LP.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
-        self.solve_with_fixed(&HashMap::new())
+        self.solve_with_fixed(&BTreeMap::new())
     }
 
     /// Solve with some variables fixed to constants (they are substituted
     /// out, keeping the tableau small — this is how branch-and-bound
     /// explores 0/1 branches).
-    pub fn solve_with_fixed(&self, fixed: &HashMap<usize, f64>) -> Result<LpSolution, LpError> {
+    pub fn solve_with_fixed(&self, fixed: &BTreeMap<usize, f64>) -> Result<LpSolution, LpError> {
         // Map free variables to dense columns.
         let n_all = self.num_vars();
         let mut col_of: Vec<Option<usize>> = vec![None; n_all];
@@ -441,7 +441,7 @@ mod tests {
         let x = lp.add_var(1.0);
         let y = lp.add_var(1.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
-        let mut fix = HashMap::new();
+        let mut fix = BTreeMap::new();
         fix.insert(y, 2.0);
         let s = lp.solve_with_fixed(&fix).unwrap();
         assert!(approx(s.objective, 5.0));
@@ -455,7 +455,7 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var(1.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
-        let mut fix = HashMap::new();
+        let mut fix = BTreeMap::new();
         fix.insert(x, 2.0);
         assert_eq!(lp.solve_with_fixed(&fix).unwrap_err(), LpError::Infeasible);
     }
@@ -465,7 +465,7 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var(3.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0);
-        let mut fix = HashMap::new();
+        let mut fix = BTreeMap::new();
         fix.insert(x, 4.0);
         let s = lp.solve_with_fixed(&fix).unwrap();
         assert!(approx(s.objective, 12.0));

@@ -7,7 +7,7 @@
 //! guarantee" and the time/quality trade-off knob the paper demonstrates.
 
 use crate::lp::{LinearProgram, LpError};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::time::{Duration, Instant};
 
 /// Solve status.
@@ -74,7 +74,7 @@ pub struct Milp {
 
 struct Node {
     bound: f64,
-    fixed: HashMap<usize, f64>,
+    fixed: BTreeMap<usize, f64>,
 }
 
 impl PartialEq for Node {
@@ -125,7 +125,7 @@ impl Milp {
         // The LP stores costs internally; recompute via a zero-fix solve
         // would be wasteful, so mirror the cost vector through solve():
         // we instead keep it simple and ask the LP for a fixed solve.
-        let fixed: HashMap<usize, f64> = x.iter().copied().enumerate().collect();
+        let fixed: BTreeMap<usize, f64> = x.iter().copied().enumerate().collect();
         match self.lp.solve_with_fixed(&fixed) {
             Ok(s) => s.objective,
             Err(_) => f64::INFINITY,
@@ -153,7 +153,7 @@ impl Milp {
         }
 
         // Root relaxation.
-        let root = match self.lp.solve_with_fixed(&HashMap::new()) {
+        let root = match self.lp.solve_with_fixed(&BTreeMap::new()) {
             Ok(s) => s,
             Err(LpError::Infeasible) => {
                 return MilpResult {
@@ -180,7 +180,7 @@ impl Milp {
         let mut heap: BinaryHeap<Node> = BinaryHeap::new();
         heap.push(Node {
             bound: root.objective,
-            fixed: HashMap::new(),
+            fixed: BTreeMap::new(),
         });
         let mut best_bound = root.objective;
         let mut exhausted = true;
