@@ -60,10 +60,14 @@ bench-json:
 	BENCH_E4_JSON=$(CURDIR)/BENCH_e4.json $(CARGO) bench -p pgdesign-bench --bench e4_inum
 	BENCH_BUILD_JSON=$(CURDIR)/BENCH_build.json $(CARGO) bench -p pgdesign-bench --bench e_build
 
-# Crash-recovery drill over the real CLI and a real state directory:
-# run the scenario-3 stream with durable state, kill it hard (exit 137)
-# mid-epoch, then restart and require a warm matrix — zero builds,
-# restored cells reused from the first epoch. CI runs this after tier-1.
+# Crash-recovery drill over the real CLI and a real state directory.
+# Leg 1: run the scenario-3 stream with durable state, kill it hard
+# (exit 137) mid-epoch, then restart and require a warm matrix — zero
+# builds, restored cells reused from the first epoch.
+# Leg 2: kill *during a checkpoint* (PGDESIGN_KILL_AT_CHECKPOINT dies
+# before the snapshot replace) — recovery must land on the prior
+# snapshot with every published edit replayed from the intact log and
+# nothing dropped at a torn tail. CI runs this after tier-1.
 recovery-drill:
 	$(CARGO) build --release
 	rm -rf target/recovery-drill
@@ -73,7 +77,16 @@ recovery-drill:
 	./target/release/pgdesign online --scale 0.005 --queries 120 --epoch 10 \
 	  --state target/recovery-drill --expect-warm --stats
 	rm -rf target/recovery-drill
-	@echo "recovery drill passed"
+	PGDESIGN_KILL_AT_CHECKPOINT=2 ./target/release/pgdesign online --scale 0.005 \
+	  --queries 120 --epoch 10 --state target/recovery-drill; \
+	  status=$$?; [ $$status -eq 137 ] || { echo "expected exit 137, got $$status"; exit 1; }
+	./target/release/pgdesign online --scale 0.005 --queries 120 --epoch 10 \
+	  --state target/recovery-drill --expect-warm --stats \
+	  | tee target/recovery-drill.out
+	grep -q '(0 dropped at torn tail)' target/recovery-drill.out \
+	  || { echo "checkpoint-kill recovery dropped published edits"; exit 1; }
+	rm -rf target/recovery-drill target/recovery-drill.out
+	@echo "recovery drill passed (mid-epoch and mid-checkpoint kills)"
 
 # Remove durable session state (snapshot + edit-log directories created
 # via --state or TuningSession::open_or_create).

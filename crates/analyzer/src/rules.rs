@@ -63,6 +63,7 @@ impl Config {
             panic_freedom_scope: vec![
                 "crates/durability/src/".to_string(),
                 "crates/inum/src/persist.rs".to_string(),
+                "crates/query/src/parser.rs".to_string(),
             ],
         }
     }

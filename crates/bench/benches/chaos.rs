@@ -1,0 +1,53 @@
+//! The randomized chaos sweep: many more seeded schedules than the
+//! tier-1 gate runs, for CI's non-gating robustness soak.
+//!
+//! ```text
+//! CHAOS_SCHEDULES=5000 CHAOS_SEED=123 cargo bench -p pgdesign-bench --bench chaos
+//! ```
+//!
+//! `CHAOS_SEED` defaults to a value derived from the calendar day, so
+//! successive CI runs sweep fresh seed ranges while any single run stays
+//! replayable from the seed it prints. Under `cargo test` (which passes
+//! `--test` to `harness = false` bench targets) this shrinks to a
+//! smoke-test handful — the real tier-1 gate is `tests/chaos.rs` with its
+//! fixed seed range.
+
+use criterion::test_mode;
+use pgdesign_bench::chaos;
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = if test_mode() {
+        8
+    } else {
+        env_u64("CHAOS_SCHEDULES", 2000) as usize
+    };
+    // Day-granular default seed: deterministic within a day's reruns,
+    // fresh coverage across days.
+    let day = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs() / 86_400);
+    let seed = env_u64("CHAOS_SEED", 0x5EED_0000 + day);
+    let t0 = Instant::now();
+    let out = chaos::run_schedules(seed, n);
+    let secs = t0.elapsed().as_secs_f64();
+    println!("=== chaos sweep: {n} schedules from seed {seed:#x} in {secs:.1}s ===");
+    println!("{out:#?}");
+    assert_eq!(out.schedules as usize, n);
+    assert!(
+        out.max_rel_err <= 1e-12,
+        "served costs drifted from fresh rebuilds: {:.3e}",
+        out.max_rel_err
+    );
+    println!(
+        "chaos sweep passed: zero panics, max_rel_err {:.3e}",
+        out.max_rel_err
+    );
+}

@@ -18,6 +18,7 @@ fn colt_config(designer: &Designer) -> ColtConfig {
         whatif_budget_per_epoch: 120,
         ewma_alpha: 0.6,
         payback_horizon_epochs: 6.0,
+        epoch_deadline: None,
     }
 }
 

@@ -25,10 +25,12 @@
 //! or use `make bench-json`).
 
 use criterion::{criterion_group, criterion_main, test_mode, Criterion};
+use pgdesign::Designer;
 use pgdesign_bench::SCALE;
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_catalog::Catalog;
-use pgdesign_inum::{decode_snapshot, encode_published, restore_matrix, CostMatrix, Inum};
+use pgdesign_colt::{ColtConfig, EpochMode};
+use pgdesign_inum::{decode_snapshot, encode_published, restore_matrix, Clock, CostMatrix, Inum};
 use pgdesign_optimizer::candidates::{workload_candidates, CandidateConfig};
 use pgdesign_optimizer::Optimizer;
 use pgdesign_query::ast::Query;
@@ -259,6 +261,101 @@ fn bench_build(c: &mut Criterion) {
     };
     let reader_rate = served as f64 / serve_elapsed.max(1e-12);
 
+    // (f) Degraded epochs: the drift stream pushed through the online
+    // daemon (`OnlineSession`) under epoch-deadline pressure on a ticking
+    // test clock, while snapshot readers keep serving. The deadline
+    // cycles one relaxed epoch, one tightly-deadlined epoch, one
+    // zero-deadline epoch — walking all three rungs of the degradation
+    // ladder — and the row records how service held up: every rung
+    // observed, staleness bounded and metered, reader throughput nonzero
+    // straight through `Stale` epochs.
+    struct TickClock {
+        step: u64,
+        nanos: std::sync::atomic::AtomicU64,
+    }
+    impl Clock for TickClock {
+        fn now_nanos(&self) -> u64 {
+            self.nanos
+                .fetch_add(self.step, std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+    let (d_epochs, d_len) = if test_mode() { (6, 8) } else { (9, 25) };
+    let designer = Designer::new(sdss_catalog(SCALE));
+    let mut session = designer.online_session(ColtConfig {
+        epoch_length: d_len,
+        whatif_budget_per_epoch: if test_mode() { 40 } else { 120 },
+        ..ColtConfig::default()
+    });
+    session.set_clock(std::sync::Arc::new(TickClock {
+        step: 200_000, // 0.2ms per clock read: a 4ms budget expires mid-epoch
+        nanos: std::sync::atomic::AtomicU64::new(0),
+    }));
+    let mut mode_counts = [0usize; 3]; // full / incremental-only / stale
+    let mut max_stale = 0u64;
+    let (served_degraded, degraded_elapsed) = {
+        use rand::Rng;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Duration;
+        let mut stream_rng = StdRng::seed_from_u64(0xDE6);
+        let stop = AtomicBool::new(false);
+        let reader0 = session.reader();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..reader_threads)
+                .map(|t| {
+                    let mut reader = reader0.clone();
+                    let stop = &stop;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0xFADE + t as u64);
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Acquire) {
+                            reader.refresh();
+                            let snap = reader.snapshot();
+                            let actives: Vec<usize> = snap.active_query_ids().collect();
+                            let n_cands = snap.n_candidates().max(1);
+                            let cfg = snap.config_of(
+                                (0..rng.random_range(0..4usize))
+                                    .map(|_| rng.random_range(0..n_cands)),
+                            );
+                            for &qid in &actives {
+                                let _ = snap.cost(qid, &cfg);
+                                n += 1;
+                            }
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let t5 = Instant::now();
+            for e in 0..d_epochs {
+                session.set_epoch_deadline(match e % 3 {
+                    0 => None,
+                    1 => Some(Duration::from_millis(4)),
+                    _ => Some(Duration::ZERO),
+                });
+                for _ in 0..d_len {
+                    let q = sdss_template(
+                        &designer.catalog,
+                        stream_rng.random_range(0..9usize),
+                        &mut stream_rng,
+                    );
+                    if let Some(r) = session.observe(q) {
+                        mode_counts[match r.mode {
+                            EpochMode::Full => 0,
+                            EpochMode::IncrementalOnly => 1,
+                            EpochMode::Stale => 2,
+                        }] += 1;
+                    }
+                }
+                max_stale = max_stale.max(session.staleness_generations());
+            }
+            stop.store(true, Ordering::Release);
+            let elapsed = t5.elapsed().as_secs_f64();
+            let total: u64 = handles.into_iter().map(|h| h.join().expect("reader")).sum();
+            (total, elapsed)
+        })
+    };
+    let degraded_rate = served_degraded as f64 / degraded_elapsed.max(1e-12);
+
     let incr_speedup = fresh_total / incr_total.max(1e-12);
     let par_speedup = cold_serial / cold_parallel.max(1e-12);
     println!(
@@ -293,6 +390,11 @@ fn bench_build(c: &mut Criterion) {
         serve_generations,
         serve_elapsed * 1e3
     );
+    println!(
+        "degraded rotate: {d_epochs} deadline-cycled epochs → {} full / {} incremental-only / {} stale, \
+         max staleness {max_stale} generations; readers held {:7.0} lookups/s",
+        mode_counts[0], mode_counts[1], mode_counts[2], degraded_rate
+    );
     let s = inum.matrix_stats();
     println!(
         "matrix counters: {} builds, {} cells computed, {} cells reused, {:.1} ms total build time",
@@ -303,6 +405,16 @@ fn bench_build(c: &mut Criterion) {
     );
 
     if let Ok(path) = std::env::var("BENCH_BUILD_JSON") {
+        let degraded_row = format!(
+            "{{\"row\": \"degraded-epoch\", \"epochs\": {d_epochs}, \"full\": {}, \
+             \"incremental_only\": {}, \"stale\": {}, \"max_staleness_generations\": {max_stale}, \
+             \"reader_threads\": {reader_threads}, \"lookups_per_sec\": {degraded_rate:.0}, \
+             \"window_ms\": {:.1}}}",
+            mode_counts[0],
+            mode_counts[1],
+            mode_counts[2],
+            degraded_elapsed * 1e3,
+        );
         let json = format!(
             "{{\n  \"experiment\": \"build\",\n  \"scale\": {SCALE},\n  \
              \"epochs\": {epochs},\n  \"epoch_len\": {epoch_len},\n  \"drift\": {drift},\n  \
@@ -314,7 +426,7 @@ fn bench_build(c: &mut Criterion) {
              \"agreement_err\": {:.3e}}},\n    \
              {{\"row\": \"warm-restart\", \"restore_ms\": {:.3}, \"cold_build_ms\": {:.3},              \"restore_vs_cold_speedup\": {:.2}, \"snapshot_bytes\": {snapshot_bytes},              \"cells_restored\": {restore_cells}, \"agreement_err\": {:.3e}}},\n                 {{\"row\": \"reader-throughput\", \"reader_threads\": {reader_threads}, \
              \"lookups_per_sec\": {:.0}, \"generations_published\": {serve_generations}, \
-             \"window_ms\": {:.1}}}\n  ],\n  \
+             \"window_ms\": {:.1}}},\n    {degraded_row}\n  ],\n  \
              \"cells_computed\": {},\n  \"cells_reused\": {}\n}}\n",
             fresh_total * 1e3,
             incr_total * 1e3,

@@ -9,6 +9,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
+
 use pgdesign_catalog::samples::sdss_catalog;
 use pgdesign_catalog::Catalog;
 use pgdesign_optimizer::{JoinControl, Optimizer};

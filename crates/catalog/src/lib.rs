@@ -38,7 +38,7 @@ pub mod sizing;
 pub mod stats;
 pub mod types;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, CatalogError};
 pub use design::{HorizontalPartitioning, Index, PhysicalDesign, VerticalPartitioning};
 pub use histogram::EquiDepthHistogram;
 pub use schema::{ColumnDef, ColumnRef, Schema, SchemaBuilder, TableDef, TableId};

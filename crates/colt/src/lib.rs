@@ -27,11 +27,13 @@
 
 use pgdesign_catalog::design::{Index, PhysicalDesign};
 use pgdesign_catalog::Catalog;
-use pgdesign_inum::CostMatrix;
+use pgdesign_inum::{Clock, CostMatrix, Deadline, SystemClock, WorkBudget};
 use pgdesign_optimizer::candidates::{query_candidates, CandidateConfig};
 use pgdesign_optimizer::Optimizer;
 use pgdesign_query::ast::Query;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// COLT knobs.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +50,15 @@ pub struct ColtConfig {
     /// An index is materialized when its per-epoch benefit × horizon
     /// exceeds its build cost.
     pub payback_horizon_epochs: f64,
+    /// Wall-clock bound on the maintenance work that closes an epoch
+    /// (`None` = unbounded). When the deadline trips mid-epoch the tuner
+    /// climbs a degradation ladder instead of stalling the writer: full
+    /// epoch → incremental-only (skip candidate enumeration and probing)
+    /// → publish nothing and let readers serve the previous generation.
+    /// Cancelled cell work is recorded as pending and resumed next
+    /// epoch. Time is read through the tuner's injectable clock
+    /// ([`ColtTuner::set_clock`]), so tests drive this deterministically.
+    pub epoch_deadline: Option<Duration>,
 }
 
 impl Default for ColtConfig {
@@ -58,8 +69,27 @@ impl Default for ColtConfig {
             whatif_budget_per_epoch: 200,
             ewma_alpha: 0.5,
             payback_horizon_epochs: 3.0,
+            epoch_deadline: None,
         }
     }
+}
+
+/// How an epoch actually closed — which rung of the degradation ladder
+/// the deadline left the tuner on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochMode {
+    /// Everything ran: rotation, candidate registration, probing,
+    /// selection.
+    Full,
+    /// The deadline tripped after the query rotation: candidate
+    /// registration and probing were skipped, but the rotated matrix was
+    /// published so readers follow the stream. EWMAs decayed (no
+    /// evidence this epoch); the design is unchanged.
+    IncrementalOnly,
+    /// The deadline tripped before any rotation work landed: nothing was
+    /// published and readers keep serving the previous generation. The
+    /// epoch's cell work is pending, resumed next epoch.
+    Stale,
 }
 
 /// A configuration-change event (scenario 3's alerts).
@@ -106,6 +136,14 @@ pub struct EpochReport {
     /// this epoch — a persistently high number means the budget is too
     /// tight for the candidate churn.
     pub candidates_dropped: usize,
+    /// Which rung of the degradation ladder this epoch closed on.
+    pub mode: EpochMode,
+    /// Query cell-work entries the epoch deadline cancelled; they are
+    /// pending on the tuner and resumed next epoch.
+    pub deferred_queries: usize,
+    /// Candidate registrations the epoch deadline cancelled; pending,
+    /// resumed next epoch.
+    pub deferred_candidates: usize,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -113,6 +151,190 @@ struct CandidateState {
     ewma_benefit: f64,
     observations: u64,
     last_seen_epoch: usize,
+}
+
+/// One candidate's adaptive state in a [`TunerState`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerCandidate {
+    /// The candidate index.
+    pub index: Index,
+    /// Smoothed per-epoch benefit.
+    pub ewma_benefit: f64,
+    /// Epochs this candidate received probe evidence in.
+    pub observations: u64,
+    /// Last epoch it was harvested.
+    pub last_seen_epoch: u64,
+}
+
+/// The tuner's exportable adaptive state (EWMAs, materialized set, epoch
+/// counter) — what a durable session persists alongside the matrix
+/// snapshot so a restarted daemon resumes with design continuity.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TunerState {
+    /// Epoch counter at export time.
+    pub epoch: u64,
+    /// The materialized on-line index set.
+    pub materialized: Vec<Index>,
+    /// Tracked candidates and their EWMA evidence.
+    pub candidates: Vec<TunerCandidate>,
+}
+
+/// Why a [`TunerState`] byte payload was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerStateError {
+    /// The payload ended before the declared structure did.
+    Truncated,
+    /// Encoded with a codec version this build does not speak.
+    Version(u32),
+    /// Structurally well-formed but semantically impossible (e.g. a
+    /// non-finite EWMA benefit).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for TunerStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerStateError::Truncated => write!(f, "tuner state payload truncated"),
+            TunerStateError::Version(v) => write!(f, "tuner state codec version {v} not supported"),
+            TunerStateError::Invalid(why) => write!(f, "tuner state invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TunerStateError {}
+
+/// Codec version for [`TunerState::encode`]. Old daemons that never
+/// wrote a tuner section simply have no sidecar payload; new daemons
+/// reading an unknown future version fall back to a cold EWMA rather
+/// than guessing.
+pub const TUNER_STATE_VERSION: u32 = 1;
+
+impl TunerState {
+    /// Serialize to a little-endian byte payload (CRC framing is the
+    /// durable store's job, not the codec's).
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_index(out: &mut Vec<u8>, idx: &Index) {
+            out.extend_from_slice(&idx.table.0.to_le_bytes());
+            out.push(u8::from(idx.unique));
+            out.extend_from_slice(&(idx.columns.len() as u32).to_le_bytes());
+            for &c in &idx.columns {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&TUNER_STATE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.materialized.len() as u32).to_le_bytes());
+        for idx in &self.materialized {
+            put_index(&mut out, idx);
+        }
+        out.extend_from_slice(&(self.candidates.len() as u32).to_le_bytes());
+        for c in &self.candidates {
+            put_index(&mut out, &c.index);
+            out.extend_from_slice(&c.ewma_benefit.to_bits().to_le_bytes());
+            out.extend_from_slice(&c.observations.to_le_bytes());
+            out.extend_from_slice(&c.last_seen_epoch.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`Self::encode`]. Rejects truncated
+    /// input, unknown versions, and non-finite EWMA values with a typed
+    /// error — never panics on hostile bytes.
+    pub fn decode(bytes: &[u8]) -> Result<TunerState, TunerStateError> {
+        struct Cur<'b> {
+            b: &'b [u8],
+            at: usize,
+        }
+        impl<'b> Cur<'b> {
+            fn take(&mut self, n: usize) -> Result<&'b [u8], TunerStateError> {
+                let end = self.at.checked_add(n).ok_or(TunerStateError::Truncated)?;
+                let s = self.b.get(self.at..end).ok_or(TunerStateError::Truncated)?;
+                self.at = end;
+                Ok(s)
+            }
+            fn u8(&mut self) -> Result<u8, TunerStateError> {
+                Ok(self.take(1)?[0])
+            }
+            fn u16(&mut self) -> Result<u16, TunerStateError> {
+                let s = self.take(2)?;
+                Ok(u16::from_le_bytes([s[0], s[1]]))
+            }
+            fn u32(&mut self) -> Result<u32, TunerStateError> {
+                let s = self.take(4)?;
+                Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+            }
+            fn u64(&mut self) -> Result<u64, TunerStateError> {
+                let s = self.take(8)?;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(s);
+                Ok(u64::from_le_bytes(a))
+            }
+            fn index(&mut self) -> Result<Index, TunerStateError> {
+                let table = pgdesign_catalog::schema::TableId(self.u32()?);
+                let unique = match self.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(TunerStateError::Invalid("unique flag out of range")),
+                };
+                let n = self.u32()? as usize;
+                // Cap before allocating: a hostile length here must not
+                // trigger a huge reservation.
+                if n > 1 << 16 {
+                    return Err(TunerStateError::Invalid("column count out of range"));
+                }
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    columns.push(self.u16()?);
+                }
+                let mut idx = Index::new(table, columns);
+                idx.unique = unique;
+                Ok(idx)
+            }
+        }
+        let mut cur = Cur { b: bytes, at: 0 };
+        let version = cur.u32()?;
+        if version != TUNER_STATE_VERSION {
+            return Err(TunerStateError::Version(version));
+        }
+        let epoch = cur.u64()?;
+        let n_mat = cur.u32()? as usize;
+        if n_mat > 1 << 20 {
+            return Err(TunerStateError::Invalid("materialized count out of range"));
+        }
+        let mut materialized = Vec::with_capacity(n_mat);
+        for _ in 0..n_mat {
+            materialized.push(cur.index()?);
+        }
+        let n_cand = cur.u32()? as usize;
+        if n_cand > 1 << 20 {
+            return Err(TunerStateError::Invalid("candidate count out of range"));
+        }
+        let mut candidates = Vec::with_capacity(n_cand);
+        for _ in 0..n_cand {
+            let index = cur.index()?;
+            let ewma_benefit = f64::from_bits(cur.u64()?);
+            if !ewma_benefit.is_finite() {
+                return Err(TunerStateError::Invalid("non-finite EWMA benefit"));
+            }
+            let observations = cur.u64()?;
+            let last_seen_epoch = cur.u64()?;
+            candidates.push(TunerCandidate {
+                index,
+                ewma_benefit,
+                observations,
+                last_seen_epoch,
+            });
+        }
+        if cur.at != bytes.len() {
+            return Err(TunerStateError::Invalid("trailing bytes"));
+        }
+        Ok(TunerState {
+            epoch,
+            materialized,
+            candidates,
+        })
+    }
 }
 
 /// The on-line tuner.
@@ -141,6 +363,20 @@ pub struct ColtTuner<'a> {
     epoch_queries: Vec<Query>,
     epoch_untuned: f64,
     epoch_tuned: f64,
+    /// Injectable time source for the epoch deadline (tests use
+    /// [`pgdesign_inum::ManualClock`] for deterministic expiry).
+    clock: Arc<dyn Clock>,
+    /// Query cell work a deadline cancelled: `(query, weight)` pairs
+    /// resumed by the next epoch's rotation. Bounded (oldest dropped) so
+    /// sustained pressure can't grow it without limit.
+    pending_queries: Vec<(Query, f64)>,
+    /// Candidate registrations a deadline cancelled, resumed next epoch.
+    pending_candidates: Vec<Index>,
+    /// Consecutive epochs that closed on the [`EpochMode::Stale`] rung —
+    /// i.e. how many generations behind the stream the published
+    /// snapshot currently is. Resets to zero on any publish.
+    stale_generations: u64,
+    last_mode: EpochMode,
 }
 
 impl<'a> ColtTuner<'a> {
@@ -156,6 +392,11 @@ impl<'a> ColtTuner<'a> {
             epoch_queries: Vec::new(),
             epoch_untuned: 0.0,
             epoch_tuned: 0.0,
+            clock: Arc::new(SystemClock::new()),
+            pending_queries: Vec::new(),
+            pending_candidates: Vec::new(),
+            stale_generations: 0,
+            last_mode: EpochMode::Full,
         }
     }
 
@@ -167,6 +408,84 @@ impl<'a> ColtTuner<'a> {
     /// Number of candidates being tracked.
     pub fn tracked_candidates(&self) -> usize {
         self.states.len()
+    }
+
+    /// Replace the deadline clock (tests inject a
+    /// [`pgdesign_inum::ManualClock`]; production keeps the default
+    /// monotonic [`SystemClock`]).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Change the epoch deadline at runtime (the daemon's operator
+    /// knob). Takes effect from the next epoch close.
+    pub fn set_epoch_deadline(&mut self, deadline: Option<Duration>) {
+        self.config.epoch_deadline = deadline;
+    }
+
+    /// How many generations behind the query stream the published
+    /// snapshot is: the number of consecutive epochs that closed on the
+    /// [`EpochMode::Stale`] rung. Zero whenever the latest epoch
+    /// published.
+    pub fn staleness_generations(&self) -> u64 {
+        self.stale_generations
+    }
+
+    /// Which ladder rung the most recent epoch closed on
+    /// ([`EpochMode::Full`] before any epoch has closed).
+    pub fn last_epoch_mode(&self) -> EpochMode {
+        self.last_mode
+    }
+
+    /// Deadline-cancelled work waiting to be resumed:
+    /// `(query entries, candidate registrations)`.
+    pub fn pending_work(&self) -> (usize, usize) {
+        (self.pending_queries.len(), self.pending_candidates.len())
+    }
+
+    /// Snapshot the tuner's adaptive state — EWMA benefit per candidate,
+    /// the materialized set, and the epoch counter — for durable
+    /// persistence. Restoring it with [`Self::restore_state`] gives a
+    /// restarted daemon design continuity instead of re-warming for an
+    /// epoch or two.
+    pub fn export_state(&self) -> TunerState {
+        TunerState {
+            epoch: self.epoch as u64,
+            materialized: self.current.indexes().to_vec(),
+            candidates: self
+                .states
+                .iter()
+                .map(|(idx, st)| TunerCandidate {
+                    index: idx.clone(),
+                    ewma_benefit: st.ewma_benefit,
+                    observations: st.observations,
+                    last_seen_epoch: st.last_seen_epoch as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Adopt a previously exported [`TunerState`] (the warm-restart
+    /// path). Non-finite EWMA values are dropped rather than adopted, so
+    /// a poisoned snapshot cannot re-infect the benefit estimates.
+    pub fn restore_state(&mut self, state: TunerState) {
+        self.epoch = state.epoch as usize;
+        self.current = PhysicalDesign::with_indexes(state.materialized);
+        self.states = state
+            .candidates
+            .into_iter()
+            .filter(|c| c.ewma_benefit.is_finite())
+            .map(|c| {
+                (
+                    c.index,
+                    CandidateState {
+                        ewma_benefit: c.ewma_benefit,
+                        observations: c.observations,
+                        last_seen_epoch: c.last_seen_epoch as usize,
+                    },
+                )
+            })
+            .collect();
     }
 
     /// Feed one query; returns an [`EpochReport`] when it closes an epoch.
@@ -215,9 +534,80 @@ impl<'a> ColtTuner<'a> {
             + params.sort_cost(stats.row_count as f64, key_width + 8.0)
     }
 
+    /// Cap the pending-work carryover so sustained deadline pressure
+    /// cannot grow it without bound: oldest entries are dropped first
+    /// (they are least likely to still matter to the drifted stream).
+    fn trim_pending(&mut self) {
+        let max_q = self.config.epoch_length.saturating_mul(4).max(16);
+        if self.pending_queries.len() > max_q {
+            let drop = self.pending_queries.len() - max_q;
+            self.pending_queries.drain(..drop);
+        }
+        const MAX_PENDING_CANDIDATES: usize = 256;
+        if self.pending_candidates.len() > MAX_PENDING_CANDIDATES {
+            let drop = self.pending_candidates.len() - MAX_PENDING_CANDIDATES;
+            self.pending_candidates.drain(..drop);
+        }
+    }
+
+    /// Close an epoch on the [`EpochMode::Stale`] rung: publish nothing
+    /// (readers keep the previous generation), queue the epoch's cell
+    /// work as pending, and decay the EWMAs so unprobed evidence ages.
+    fn close_stale_epoch(&mut self) -> EpochReport {
+        let alpha = self.config.ewma_alpha;
+        for st in self.states.values_mut() {
+            st.ewma_benefit *= 1.0 - alpha;
+        }
+        let queued: Vec<(Query, f64)> = self
+            .epoch_queries
+            .iter()
+            .map(|q| (q.clone(), 1.0))
+            .collect();
+        self.pending_queries.extend(queued);
+        self.trim_pending();
+        self.stale_generations += 1;
+        self.last_mode = EpochMode::Stale;
+        let report = EpochReport {
+            epoch: self.epoch,
+            untuned_cost: self.epoch_untuned,
+            tuned_cost: self.epoch_tuned,
+            build_cost: 0.0,
+            materialized: self.current.indexes().to_vec(),
+            events: Vec::new(),
+            whatif_calls: 0,
+            candidates_dropped: 0,
+            mode: EpochMode::Stale,
+            deferred_queries: self.pending_queries.len(),
+            deferred_candidates: self.pending_candidates.len(),
+        };
+        self.epoch += 1;
+        self.epoch_queries.clear();
+        self.epoch_untuned = 0.0;
+        self.epoch_tuned = 0.0;
+        report
+    }
+
     /// Close the current epoch: profile candidates, update EWMAs, re-pick
-    /// the materialized set, emit events.
+    /// the materialized set, emit events. Under an epoch deadline
+    /// ([`ColtConfig::epoch_deadline`]) the work degrades along a ladder
+    /// instead of overrunning — see [`EpochMode`].
     fn end_epoch(&mut self, matrix: &mut CostMatrix<'_>) -> EpochReport {
+        let deadline = self
+            .config
+            .epoch_deadline
+            .map(|d| Deadline::after(self.clock.clone(), d));
+        let budget = match &deadline {
+            Some(d) => WorkBudget::with_deadline(d.clone()),
+            None => WorkBudget::unlimited(),
+        };
+        let out_of_time = |d: &Option<Deadline>| d.as_ref().is_some_and(|d| d.expired());
+
+        // Bottom rung up front: the window is already gone before any
+        // maintenance ran (a straggler epoch ate it all).
+        if out_of_time(&deadline) {
+            return self.close_stale_epoch();
+        }
+
         let cfg = CandidateConfig::single_column();
         let catalog = self.catalog;
 
@@ -263,6 +653,13 @@ impl<'a> ColtTuner<'a> {
             .filter(|(_, probed, _)| !probed.is_empty())
             .map(|(c, _, _)| (*c).clone())
             .collect();
+        // Resume candidate registrations an earlier deadline cancelled,
+        // then the materialized set (always resident, so always free).
+        for idx in std::mem::take(&mut self.pending_candidates) {
+            if !desired.contains(&idx) {
+                desired.push(idx);
+            }
+        }
         for idx in self.current.indexes() {
             if !desired.contains(idx) {
                 desired.push(idx.clone());
@@ -289,12 +686,48 @@ impl<'a> ColtTuner<'a> {
             .collect();
         probed_queries.sort_unstable();
         probed_queries.dedup();
+        // This epoch's probed queries first (they feed the probe plan),
+        // then the pending remainder of earlier cancelled builds — the
+        // whole rotation runs under the epoch budget, committing what
+        // fits and handing the rest back as pending.
+        let carried: Vec<(Query, f64)> = std::mem::take(&mut self.pending_queries);
         let entries: Vec<(&Query, f64)> = probed_queries
             .iter()
             .map(|&qi| (&self.epoch_queries[qi], 1.0))
+            .chain(carried.iter().map(|(q, w)| (q, *w)))
             .collect();
-        let qids = matrix.add_queries(entries);
-        let keep: BTreeSet<usize> = qids.iter().copied().collect();
+        let qid_opts = matrix.add_queries_budgeted(entries, &budget);
+        let (probed_qids, carried_qids) = qid_opts.split_at(probed_queries.len());
+        let mut deferred_queries = 0usize;
+        let mut qid_of: BTreeMap<usize, usize> = BTreeMap::new();
+        for (&qi, id) in probed_queries.iter().zip(probed_qids) {
+            match id {
+                Some(id) => {
+                    qid_of.insert(qi, *id);
+                }
+                None => {
+                    self.pending_queries
+                        .push((self.epoch_queries[qi].clone(), 1.0));
+                    deferred_queries += 1;
+                }
+            }
+        }
+        for ((q, w), id) in carried.iter().zip(carried_qids) {
+            if id.is_none() {
+                self.pending_queries.push((q.clone(), *w));
+                deferred_queries += 1;
+            }
+        }
+        self.trim_pending();
+        let keep: BTreeSet<usize> = qid_opts.iter().filter_map(|id| *id).collect();
+
+        // If *none* of the rotation landed, retiring the resident slots
+        // would publish an empty matrix — strictly worse than a stale
+        // one. Close on the bottom rung instead: readers keep the
+        // previous generation, the work stays pending.
+        if keep.is_empty() {
+            return self.close_stale_epoch();
+        }
         let to_retire: Vec<usize> = matrix
             .active_query_ids()
             .filter(|id| !keep.contains(id))
@@ -306,30 +739,92 @@ impl<'a> ColtTuner<'a> {
         // to its occurrence count in *this* epoch so the matrix's workload
         // view stays an epoch snapshot, not a cumulative history.
         let mut occurrences: BTreeMap<usize, f64> = BTreeMap::new();
-        for &qid in &qids {
-            *occurrences.entry(qid).or_insert(0.0) += 1.0;
+        for qid in probed_qids.iter().flatten() {
+            *occurrences.entry(*qid).or_insert(0.0) += 1.0;
         }
         for (&qid, &w) in &occurrences {
             matrix.set_query_weight(qid, w);
         }
 
+        // Middle rung: out of time after the query rotation. Skip
+        // candidate registration and probing entirely, but publish the
+        // rotated state so readers follow the stream; unregistered new
+        // candidates go back on the pending list and the EWMAs decay.
+        if out_of_time(&deadline) {
+            let mut deferred_candidates = 0usize;
+            for idx in desired {
+                if matrix.candidate_id(&idx).is_none() && !self.pending_candidates.contains(&idx) {
+                    self.pending_candidates.push(idx);
+                    deferred_candidates += 1;
+                }
+            }
+            self.trim_pending();
+            matrix.publish();
+            self.stale_generations = 0;
+            let alpha = self.config.ewma_alpha;
+            for st in self.states.values_mut() {
+                st.ewma_benefit *= 1.0 - alpha;
+            }
+            self.last_mode = EpochMode::IncrementalOnly;
+            let report = EpochReport {
+                epoch: self.epoch,
+                untuned_cost: self.epoch_untuned,
+                tuned_cost: self.epoch_tuned,
+                build_cost: 0.0,
+                materialized: self.current.indexes().to_vec(),
+                events: Vec::new(),
+                whatif_calls: 0,
+                candidates_dropped: 0,
+                mode: EpochMode::IncrementalOnly,
+                deferred_queries,
+                deferred_candidates,
+            };
+            self.epoch += 1;
+            self.epoch_queries.clear();
+            self.epoch_untuned = 0.0;
+            self.epoch_tuned = 0.0;
+            return report;
+        }
+
         // Bulk registration: the epoch's new candidates are costed in one
-        // parallel fan-out (duplicates resolve to their resident ids).
-        let cids = matrix.add_candidates(&desired);
-        let cid_of: BTreeMap<Index, usize> = desired.iter().cloned().zip(cids).collect();
-        let qid_of = |qi: usize| qids[probed_queries.binary_search(&qi).expect("probed")];
+        // pass under the budget (duplicates resolve to their resident
+        // ids; deferred ones go back on the pending list).
+        let cid_opts = matrix.add_candidates_budgeted(&desired, &budget);
+        let mut deferred_candidates = 0usize;
+        let mut cid_of: BTreeMap<Index, usize> = BTreeMap::new();
+        for (idx, id) in desired.iter().zip(&cid_opts) {
+            match id {
+                Some(id) => {
+                    cid_of.insert(idx.clone(), *id);
+                }
+                None => {
+                    if !self.pending_candidates.contains(idx) {
+                        self.pending_candidates.push(idx.clone());
+                    }
+                    deferred_candidates += 1;
+                }
+            }
+        }
+        self.trim_pending();
 
         // Mutations for this epoch are done: publish the rotated state so
         // concurrent readers can follow the stream at epoch granularity.
         // Everything below is read-only probing against `matrix`.
         matrix.publish();
+        self.stale_generations = 0;
 
         let matrix: &CostMatrix<'_> = matrix;
-        let current_config = matrix.config_of(self.current.indexes().iter().map(|idx| {
-            *cid_of
-                .get(idx)
-                .expect("materialized indexes are kept in the matrix")
-        }));
+        // Materialized indexes are registered in every epoch's desired
+        // set, so they are normally always present; after a cold matrix
+        // restart paired with a warm tuner restore, one may be missing
+        // until its cells land — it then simply contributes nothing to
+        // the probe baseline this epoch instead of panicking.
+        let current_config = matrix.config_of(
+            self.current
+                .indexes()
+                .iter()
+                .filter_map(|idx| cid_of.get(idx).copied()),
+        );
 
         // The current configuration's per-query costs depend only on the
         // query, so they are computed once and shared by every candidate
@@ -351,11 +846,23 @@ impl<'a> ColtTuner<'a> {
                 epoch_benefit.insert(cand.clone(), 0.0);
                 continue;
             }
-            let cid = cid_of[cand];
+            // A candidate whose registration the deadline deferred has no
+            // cells yet — no evidence this epoch, same as a budget drop.
+            let Some(&cid) = cid_of.get(cand) else {
+                candidates_dropped += 1;
+                epoch_benefit.insert(cand.clone(), 0.0);
+                continue;
+            };
             let materialized = self.current.has_index(cand);
             let mut measured = 0.0;
+            let mut probed_done = 0usize;
             for &qi in probed {
-                let dq = qid_of(qi);
+                // Probes against queries whose rotation the deadline
+                // deferred are skipped; the extrapolation below scales by
+                // the probes that actually ran.
+                let Some(&dq) = qid_of.get(&qi) else {
+                    continue;
+                };
                 let (c_without, c_with) = if materialized {
                     (
                         matrix.cost_minus(dq, &current_config, cid),
@@ -368,16 +875,15 @@ impl<'a> ColtTuner<'a> {
                     )
                 };
                 whatif_calls += 2;
+                probed_done += 1;
                 measured += (c_without - c_with).max(0.0);
             }
-            // A zero (or rounded-to-zero) what-if budget admits zero
-            // probes; the empty-probe branch above catches that today, but
-            // the extrapolation must never be able to divide by zero if
-            // the plan's shape changes.
-            let scale = if probed.is_empty() {
+            // The extrapolation must never divide by zero: a candidate
+            // all of whose planned probes were deferred gets no evidence.
+            let scale = if probed_done == 0 {
                 0.0
             } else {
-                n_relevant as f64 / probed.len() as f64
+                n_relevant as f64 / probed_done as f64
             };
             epoch_benefit.insert(cand.clone(), measured * scale);
         }
@@ -466,6 +972,7 @@ impl<'a> ColtTuner<'a> {
             }
         }
 
+        self.last_mode = EpochMode::Full;
         let report = EpochReport {
             epoch: self.epoch,
             untuned_cost: self.epoch_untuned,
@@ -475,6 +982,9 @@ impl<'a> ColtTuner<'a> {
             events,
             whatif_calls,
             candidates_dropped,
+            mode: EpochMode::Full,
+            deferred_queries,
+            deferred_candidates,
         };
         self.epoch += 1;
         self.epoch_queries.clear();
@@ -764,6 +1274,201 @@ mod tests {
         for r in &reports {
             assert!(r.whatif_calls <= 2);
         }
+    }
+
+    /// A clock that jumps forward a fixed step on every read — the
+    /// deterministic stand-in for "work takes time", so a deadline can
+    /// expire *mid*-epoch without any real sleeping.
+    struct TickClock {
+        nanos: std::sync::atomic::AtomicU64,
+        step: u64,
+    }
+
+    impl TickClock {
+        fn stepping(step: std::time::Duration) -> Self {
+            TickClock {
+                nanos: std::sync::atomic::AtomicU64::new(0),
+                step: step.as_nanos() as u64,
+            }
+        }
+    }
+
+    impl pgdesign_inum::Clock for TickClock {
+        fn now_nanos(&self) -> u64 {
+            self.nanos
+                .fetch_add(self.step, std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    #[test]
+    fn zero_deadline_closes_every_epoch_stale_and_meters_staleness() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
+        let gen_before = matrix.published_generation();
+        let mut colt = ColtTuner::new(
+            &c,
+            &opt,
+            ColtConfig {
+                epoch_length: 5,
+                epoch_deadline: Some(Duration::ZERO),
+                ..Default::default()
+            },
+        );
+        let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 10);
+        let reports = colt.process_stream(stream, &mut matrix);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.mode, EpochMode::Stale);
+            assert_eq!(r.whatif_calls, 0);
+            assert!(r.events.is_empty());
+            assert!(r.deferred_queries > 0, "the epoch's work must be pending");
+        }
+        assert_eq!(colt.staleness_generations(), 2);
+        assert_eq!(colt.last_epoch_mode(), EpochMode::Stale);
+        assert_eq!(
+            matrix.published_generation(),
+            gen_before,
+            "a stale epoch publishes nothing"
+        );
+        // Lifting the deadline resumes the pending remainder and resets
+        // the staleness meter.
+        colt.set_epoch_deadline(None);
+        let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 5);
+        let reports = colt.process_stream(stream, &mut matrix);
+        assert_eq!(reports.last().unwrap().mode, EpochMode::Full);
+        assert_eq!(colt.staleness_generations(), 0);
+        assert_eq!(colt.pending_work(), (0, 0), "pending work was resumed");
+        assert!(matrix.published_generation() > gen_before);
+    }
+
+    #[test]
+    fn tight_deadline_degrades_without_panic_and_recovers() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
+        let mut colt = ColtTuner::new(
+            &c,
+            &opt,
+            ColtConfig {
+                epoch_length: 10,
+                // A couple of 2 ms ticks of budget per epoch close:
+                // enough to enter the rotation, not enough to finish
+                // everything.
+                epoch_deadline: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+        );
+        colt.set_clock(Arc::new(TickClock::stepping(Duration::from_millis(2))));
+        let mut stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 20);
+        stream.extend(repeat_query(
+            &c,
+            "SELECT objid FROM photoobj WHERE run = 2000 AND camcol = 3",
+            20,
+        ));
+        let reports = colt.process_stream(stream, &mut matrix);
+        assert_eq!(reports.len(), 4);
+        assert!(
+            reports.iter().any(|r| r.mode != EpochMode::Full),
+            "a 5-tick budget must trip the ladder at least once: {:?}",
+            reports.iter().map(|r| r.mode).collect::<Vec<_>>()
+        );
+        // Degraded epochs stay well-formed: finite costs, no events
+        // charging builds that never ran.
+        for r in &reports {
+            assert!(r.untuned_cost.is_finite() && r.tuned_cost.is_finite());
+            if r.mode != EpochMode::Full {
+                assert_eq!(r.build_cost, 0.0);
+            }
+        }
+        // With the pressure lifted, the tuner converges as usual.
+        colt.set_epoch_deadline(None);
+        let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 30);
+        colt.process_stream(stream, &mut matrix);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        assert!(
+            colt.current_design().has_index(&Index::new(photo, vec![0])),
+            "recovery must reach the same design a healthy run would"
+        );
+    }
+
+    #[test]
+    fn tuner_state_roundtrips_and_restores_design_continuity() {
+        let c = sdss_catalog(0.01);
+        let opt = Optimizer::new();
+        let inum = Inum::new(&c, &opt);
+        let mut matrix = CostMatrix::build(&inum, &Workload::new(), &[]);
+        let mut colt = ColtTuner::new(
+            &c,
+            &opt,
+            ColtConfig {
+                epoch_length: 10,
+                payback_horizon_epochs: 5.0,
+                ..Default::default()
+            },
+        );
+        let stream = repeat_query(&c, "SELECT ra FROM photoobj WHERE objid = 42", 30);
+        colt.process_stream(stream, &mut matrix);
+        assert!(!colt.current_design().indexes().is_empty());
+        let state = colt.export_state();
+        let bytes = state.encode();
+        let decoded = TunerState::decode(&bytes).unwrap();
+        assert_eq!(decoded, state);
+        // A fresh tuner restored from the snapshot resumes with the same
+        // design and evidence — no re-warming epoch.
+        let mut warm = ColtTuner::new(&c, &opt, ColtConfig::default());
+        warm.restore_state(decoded);
+        assert_eq!(
+            warm.current_design().indexes(),
+            colt.current_design().indexes()
+        );
+        assert_eq!(warm.tracked_candidates(), colt.tracked_candidates());
+        assert_eq!(warm.export_state(), state);
+    }
+
+    #[test]
+    fn hostile_tuner_state_bytes_are_rejected_not_panicked_on() {
+        // Truncation at every prefix length of a valid payload.
+        let c = sdss_catalog(0.01);
+        let photo = c.schema.table_by_name("photoobj").unwrap().id;
+        let state = TunerState {
+            epoch: 7,
+            materialized: vec![Index::new(photo, vec![0])],
+            candidates: vec![TunerCandidate {
+                index: Index::new(photo, vec![9]),
+                ewma_benefit: 12.5,
+                observations: 3,
+                last_seen_epoch: 6,
+            }],
+        };
+        let bytes = state.encode();
+        for n in 0..bytes.len() {
+            assert!(
+                TunerState::decode(&bytes[..n]).is_err(),
+                "prefix of {n} bytes must be rejected"
+            );
+        }
+        // Unknown version.
+        let mut skewed = bytes.clone();
+        skewed[0..4].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            TunerState::decode(&skewed),
+            Err(TunerStateError::Version(99))
+        );
+        // A NaN EWMA must not survive decoding.
+        let mut poisoned = state.clone();
+        poisoned.candidates[0].ewma_benefit = f64::NAN;
+        assert!(matches!(
+            TunerState::decode(&poisoned.encode()),
+            Err(TunerStateError::Invalid(_))
+        ));
+        // And restore_state filters non-finite entries defensively.
+        let opt = Optimizer::new();
+        let mut t = ColtTuner::new(&c, &opt, ColtConfig::default());
+        t.restore_state(poisoned);
+        assert_eq!(t.tracked_candidates(), 0);
     }
 
     #[test]

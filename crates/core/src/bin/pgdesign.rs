@@ -40,7 +40,7 @@ const USAGE: &str = "usage:
   pgdesign recommend --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--budget-frac F] [--joint] [--stats]
   pgdesign evaluate  --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index table:col1,col2]...
   pgdesign session   --catalog <sdss|tpch> [--scale S] --workload <FILE|builtin:N> [--index t:c1,c2]... [--vertical t:c1,c2|c3]... [--horizontal t:col:N]... [--state DIR] [--stats]
-  pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N] [--state DIR] [--kill-after N] [--expect-warm] [--stats]
+  pgdesign online    --catalog <sdss|tpch> [--scale S] [--queries N] [--epoch N] [--deadline-ms T] [--state DIR] [--kill-after N] [--expect-warm] [--stats]
   pgdesign explain   --catalog <sdss|tpch> [--scale S] --sql <QUERY>
   pgdesign --help";
 
@@ -84,6 +84,11 @@ Per-subcommand flags:
               --stats                Print INUM/cost-matrix counters (plus
                                      recovery counters when --state is set)
   online      --queries N --epoch N  Stream length and COLT epoch length
+              --deadline-ms T        Bound each epoch close to T ms of wall
+                                     clock: over-budget epochs degrade down
+                                     the ladder (incremental-only, then
+                                     publish-nothing) instead of stalling;
+                                     --stats reports health and staleness
               --state DIR            Durable state directory; a restarted
                                      stream resumes on the persisted matrix
               --kill-after N         Exit hard (code 137, no shutdown path)
@@ -439,6 +444,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 .get("kill-after")
                 .map(|s| s.parse().map_err(|_| format!("bad --kill-after {s:?}")))
                 .transpose()?;
+            let deadline_ms: Option<u64> = flags
+                .get("deadline-ms")
+                .map(|s| s.parse().map_err(|_| format!("bad --deadline-ms {s:?}")))
+                .transpose()?;
             if expect_warm && flags.get("state").is_none() {
                 return Err("--expect-warm requires --state".into());
             }
@@ -446,6 +455,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let config = ColtConfig {
                 epoch_length: epoch,
                 storage_budget_bytes: designer.catalog.data_bytes() / 4,
+                epoch_deadline: deadline_ms.map(std::time::Duration::from_millis),
                 ..Default::default()
             };
             let mut session = match flags.get("state") {

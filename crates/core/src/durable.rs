@@ -35,10 +35,11 @@
 //! cold-built) state becomes a fresh snapshot and the log is truncated,
 //! so recovery work is never paid twice.
 
+use crate::health::{io_retry_backoff, IO_RETRY_MAX};
 use crate::report::{ColdStart, RecoveryStats};
 use pgdesign_durability::{
-    log_append, log_open, log_reset, read_snapshot, write_snapshot, DurableStore, LogState,
-    SnapshotFileError,
+    log_append_retrying, log_open, log_reset, read_snapshot, write_snapshot, DurableStore,
+    LogState, SnapshotFileError,
 };
 use pgdesign_inum::{
     decode_edit, decode_snapshot, encode_edit, restore_matrix, CostMatrix, Inum, MatrixEdit,
@@ -64,11 +65,40 @@ pub(crate) struct DurableHandle {
     /// capture, so a checkpoint re-appends them to the fresh log.
     pending: Vec<MatrixEdit>,
     publishes_since_checkpoint: usize,
-    /// Set when a log append fails: further appends are suppressed (a log
-    /// with a hole would replay to a *wrong* matrix) until the next
-    /// checkpoint rewrites the whole state atomically.
+    /// Set when a log append fails beyond the retry budget: further
+    /// appends are suppressed (a log with a hole would replay to a
+    /// *wrong* matrix) until the next checkpoint rewrites the whole
+    /// state atomically.
     degraded: bool,
+    /// Transient-fsync retries that succeeded, session lifetime.
+    io_retries: u64,
+    /// Retries since the last checkpoint (drives the Degraded(IoRetries)
+    /// health signal; a checkpoint clears it along with `degraded`).
+    retries_since_checkpoint: u64,
+    /// Times the log suspended (retry budget exhausted or append error).
+    io_suspensions: u64,
     pub(crate) recovery: RecoveryStats,
+}
+
+/// `PGDESIGN_KILL_AT_CHECKPOINT=<n>` hard-kills the process (exit 137,
+/// no destructors) immediately before the `n`-th checkpoint of this
+/// process writes its snapshot — the recovery drill's "die mid-
+/// checkpoint" lever. Counted process-wide so multi-session drills
+/// still die exactly once.
+fn kill_at_checkpoint_hook() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
+    let Ok(val) = std::env::var("PGDESIGN_KILL_AT_CHECKPOINT") else {
+        return;
+    };
+    let Ok(ordinal) = val.parse::<u64>() else {
+        return;
+    };
+    let n = CHECKPOINTS.fetch_add(1, Ordering::SeqCst) + 1;
+    if n == ordinal {
+        eprintln!("pgdesign: PGDESIGN_KILL_AT_CHECKPOINT={ordinal}: exiting hard (137)");
+        std::process::exit(137);
+    }
 }
 
 impl DurableHandle {
@@ -82,23 +112,63 @@ impl DurableHandle {
             pending,
             publishes_since_checkpoint: 0,
             degraded: false,
+            io_retries: 0,
+            retries_since_checkpoint: 0,
+            io_suspensions: 0,
             recovery,
         }
     }
 
-    /// Append drained journal edits to the log (fsync per record). On an
-    /// append failure the handle turns degraded — nothing further is
-    /// appended, but `pending` keeps tracking post-publish edits so the
-    /// healing checkpoint stays exact. Returns whether a checkpoint is due.
+    /// Whether the edit log is currently suspended (healed by the next
+    /// checkpoint).
+    pub(crate) fn is_suspended(&self) -> bool {
+        self.degraded
+    }
+
+    /// `(lifetime retries, retries since last checkpoint, suspensions)`.
+    pub(crate) fn io_counters(&self) -> (u64, u64, u64) {
+        (
+            self.io_retries,
+            self.retries_since_checkpoint,
+            self.io_suspensions,
+        )
+    }
+
+    /// One retried append with the shared policy: up to [`IO_RETRY_MAX`]
+    /// retries of a failed fsync, deterministic backoff between attempts.
+    fn append_one(&mut self, edit: &MatrixEdit) -> io::Result<u32> {
+        log_append_retrying(
+            &mut *self.store,
+            LOG_NAME,
+            &encode_edit(edit),
+            IO_RETRY_MAX,
+            |attempt| std::thread::sleep(io_retry_backoff(attempt)),
+        )
+    }
+
+    /// Append drained journal edits to the log (fsync per record).
+    /// Transient failures are retried with deterministic backoff; only
+    /// when the retry budget is exhausted (or the append itself fails —
+    /// not retryable, a partial frame may be on disk) does the handle
+    /// suspend the log. Nothing further is appended while suspended, but
+    /// `pending` keeps tracking post-publish edits so the healing
+    /// checkpoint stays exact. Returns whether a checkpoint is due.
     pub(crate) fn append_edits(&mut self, edits: &[MatrixEdit]) -> bool {
         for edit in edits {
             if !self.degraded {
-                if let Err(e) = log_append(&mut *self.store, LOG_NAME, &encode_edit(edit)) {
-                    eprintln!(
-                        "pgdesign: durable log append failed ({e}); \
-                         suspending the log until the next checkpoint"
-                    );
-                    self.degraded = true;
+                match self.append_one(edit) {
+                    Ok(retries) => {
+                        self.io_retries += retries as u64;
+                        self.retries_since_checkpoint += retries as u64;
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "pgdesign: durable log append failed after retries ({e}); \
+                             suspending the log until the next checkpoint"
+                        );
+                        self.degraded = true;
+                        self.io_suspensions += 1;
+                    }
                 }
             }
             if matches!(edit, MatrixEdit::Publish) {
@@ -116,17 +186,39 @@ impl DurableHandle {
     /// edits. Atomic at every step: a crash mid-checkpoint leaves either
     /// the old state or the new one, both self-consistent.
     pub(crate) fn checkpoint(&mut self, records: &[Vec<u8>]) -> io::Result<()> {
+        kill_at_checkpoint_hook();
         let crc = write_snapshot(&mut *self.store, SNAPSHOT_NAME, records)?;
         log_reset(&mut *self.store, LOG_NAME, crc)?;
         self.degraded = false;
-        for edit in &self.pending {
-            if let Err(e) = log_append(&mut *self.store, LOG_NAME, &encode_edit(edit)) {
+        self.retries_since_checkpoint = 0;
+        let pending = std::mem::take(&mut self.pending);
+        for edit in &pending {
+            if let Err(e) = self.append_one(edit) {
                 self.degraded = true;
+                self.io_suspensions += 1;
+                self.pending = pending;
                 return Err(e);
             }
         }
+        self.pending = pending;
         self.publishes_since_checkpoint = 0;
         Ok(())
+    }
+
+    /// Read a named auxiliary snapshot ("sidecar") from the same store —
+    /// a single-record checksummed file beside the matrix state. `None`
+    /// for anything unusable (missing, corrupt, version-skewed): sidecars
+    /// are best-effort warm-start accelerators, never load-bearing.
+    pub(crate) fn read_sidecar(&mut self, name: &str) -> Option<Vec<u8>> {
+        match read_snapshot(&mut *self.store, name) {
+            Ok(file) => file.records.into_iter().next(),
+            Err(_) => None,
+        }
+    }
+
+    /// Write a named auxiliary snapshot (atomic replace, CRC-framed).
+    pub(crate) fn write_sidecar(&mut self, name: &str, payload: &[u8]) -> io::Result<()> {
+        write_snapshot(&mut *self.store, name, &[payload.to_vec()]).map(|_| ())
     }
 }
 

@@ -1,0 +1,130 @@
+//! Runtime health of a tuning daemon: the [`ServiceHealth`] state the
+//! `--stats` surface reports, and the shared retry/backoff policy for
+//! transient durable-store I/O.
+//!
+//! The robustness contract has three tiers. A **healthy** daemon runs
+//! full epochs and journals every edit. Under pressure it **degrades**
+//! along a ladder that trades work for latency but never correctness:
+//! an epoch that blows its deadline skips candidate enumeration
+//! (incremental-only), and one with no time at all publishes nothing and
+//! keeps serving the previous generation — readers always hold a
+//! complete, self-consistent snapshot whose costs replay exactly.
+//! Transient I/O errors are retried with deterministic backoff; only
+//! after [`IO_RETRY_MAX`] consecutive failures does the edit log
+//! **suspend** until the next checkpoint rewrites durable state
+//! atomically (a log with a hole would replay to a *wrong* matrix, so
+//! suspension is the correct refusal, not a bug).
+//!
+//! Time is read through the injectable [`Clock`] re-exported here, so
+//! every deadline path is deterministic under test ([`ManualClock`]) and
+//! monotonic in production ([`SystemClock`]).
+
+pub use pgdesign_colt::EpochMode;
+pub use pgdesign_inum::{Clock, Deadline, ManualClock, SystemClock, WorkBudget};
+use std::fmt;
+use std::time::Duration;
+
+/// Why the daemon is running below full service. Fieldless so
+/// [`ServiceHealth`] stays `Copy` inside [`crate::TuningStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The last epoch tripped its deadline and ran incremental-only
+    /// (no candidate enumeration; deferred work resumes next epoch).
+    DeadlinePressure,
+    /// One or more epochs published nothing; readers are serving a
+    /// previous generation (see `TuningStats::stale_generations`).
+    StaleGenerations,
+    /// Durable appends needed retries recently (they succeeded — the
+    /// log is intact — but the store is struggling).
+    IoRetries,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradeReason::DeadlinePressure => "deadline pressure (incremental-only epoch)",
+            DegradeReason::StaleGenerations => "serving a stale generation",
+            DegradeReason::IoRetries => "durable store needed I/O retries",
+        })
+    }
+}
+
+/// The daemon's service state, worst-first: `Suspended` (edit log down
+/// until checkpoint) > `Degraded` > `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceHealth {
+    /// Full epochs, journaled edits, fresh generations.
+    #[default]
+    Healthy,
+    /// Serving correct answers at reduced freshness or with I/O strain.
+    Degraded(DegradeReason),
+    /// Durable logging is suspended until the next checkpoint; tuning
+    /// continues in memory and recovery falls back to the last
+    /// checkpointed state.
+    Suspended,
+}
+
+impl ServiceHealth {
+    /// The worse of two states (order: Suspended > Degraded > Healthy;
+    /// between two `Degraded`s the left one wins).
+    pub fn worst(self, other: ServiceHealth) -> ServiceHealth {
+        match (self, other) {
+            (ServiceHealth::Suspended, _) | (_, ServiceHealth::Suspended) => {
+                ServiceHealth::Suspended
+            }
+            (ServiceHealth::Degraded(r), _) => ServiceHealth::Degraded(r),
+            (_, ServiceHealth::Degraded(r)) => ServiceHealth::Degraded(r),
+            _ => ServiceHealth::Healthy,
+        }
+    }
+}
+
+impl fmt::Display for ServiceHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceHealth::Healthy => f.write_str("healthy"),
+            ServiceHealth::Degraded(r) => write!(f, "degraded: {r}"),
+            ServiceHealth::Suspended => {
+                f.write_str("suspended (durable log down until checkpoint)")
+            }
+        }
+    }
+}
+
+/// How many times a failed durable fsync is retried before the log
+/// suspends until the next checkpoint.
+pub const IO_RETRY_MAX: u32 = 3;
+
+/// Deterministic backoff before retry `attempt` (0-based): 1 ms, 2 ms,
+/// 4 ms, … capped at 16 ms. No jitter — chaos schedules must replay
+/// bit-identically.
+pub fn io_retry_backoff(attempt: u32) -> Duration {
+    Duration::from_millis(1u64 << attempt.min(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_orders_suspended_over_degraded_over_healthy() {
+        let d = ServiceHealth::Degraded(DegradeReason::DeadlinePressure);
+        assert_eq!(ServiceHealth::Healthy.worst(d), d);
+        assert_eq!(d.worst(ServiceHealth::Suspended), ServiceHealth::Suspended);
+        assert_eq!(
+            ServiceHealth::Healthy.worst(ServiceHealth::Healthy),
+            ServiceHealth::Healthy
+        );
+        // Between two degradations the left (primary) reason survives.
+        let io = ServiceHealth::Degraded(DegradeReason::IoRetries);
+        assert_eq!(d.worst(io), d);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let seq: Vec<u64> = (0..6)
+            .map(|a| io_retry_backoff(a).as_millis() as u64)
+            .collect();
+        assert_eq!(seq, vec![1, 2, 4, 8, 16, 16]);
+    }
+}

@@ -79,12 +79,14 @@
 
 pub mod designer;
 mod durable;
+pub mod health;
 pub mod interactive;
 pub mod online;
 pub mod report;
 pub mod session;
 
 pub use designer::{Designer, JointReport, OfflineReport};
+pub use health::{DegradeReason, ServiceHealth};
 pub use interactive::{BenefitReport, InteractiveSession};
 pub use online::OnlineSession;
 pub use report::{ColdStart, RecoveryStats, TuningStats};

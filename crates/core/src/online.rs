@@ -14,11 +14,18 @@
 //! suggested indexes").
 
 use crate::designer::Designer;
+use crate::health::{DegradeReason, ServiceHealth};
 use crate::session::{Advisor, TuningSession};
-use pgdesign_colt::{ColtConfig, ColtTuner, EpochReport};
+use pgdesign_colt::{ColtConfig, ColtTuner, EpochMode, EpochReport, TunerState};
 use pgdesign_query::ast::Query;
 use pgdesign_query::Workload;
 use std::fmt::Write as _;
+
+/// Sidecar file (beside `matrix.pgds`) holding the COLT tuner's EWMA
+/// profiling state and current design. Optional and version-gated: a
+/// missing, corrupt, or version-skewed sidecar restores a cold tuner
+/// (EWMAs re-warm within an epoch or two) — never an error.
+const TUNER_SIDECAR: &str = "tuner.pgds";
 
 /// A continuous-tuning session over a shared [`TuningSession`] matrix.
 pub struct OnlineSession<'a> {
@@ -46,23 +53,21 @@ impl<'a> OnlineSession<'a> {
     /// a restarted stream resumes on the previous run's resident matrix —
     /// no matrix build, recurring queries reuse their cells from the first
     /// epoch on (`tuning_stats().matrix` shows `builds == 0` and
-    /// `cells_reused > 0`). The COLT tuner's own profiling state (benefit
-    /// EWMA, current design) is deliberately *not* persisted: it re-warms
-    /// within an epoch or two, while the expensive state — the cells — is
-    /// what the snapshot carries. See [`TuningSession::open_or_create_on`]
-    /// for the recovery contract.
+    /// `cells_reused > 0`). The COLT tuner's profiling state (benefit
+    /// EWMA, current design) rides along as an optional, version-gated
+    /// sidecar snapshot: a restart restores design continuity when the
+    /// sidecar is present and decodes, and falls back to a cold tuner
+    /// (EWMAs re-warm within an epoch or two) when it is missing, corrupt,
+    /// or written by an older version. See
+    /// [`TuningSession::open_or_create_on`] for the matrix recovery
+    /// contract.
     pub fn open_or_create(
         designer: &'a Designer,
         config: ColtConfig,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<Self> {
         let session = TuningSession::open_or_create(designer, Workload::new(), dir)?;
-        let tuner = ColtTuner::new(&designer.catalog, &designer.optimizer, config);
-        Ok(OnlineSession {
-            tuner,
-            reports: Vec::new(),
-            session,
-        })
+        Ok(Self::assemble(designer, config, session))
     }
 
     /// [`Self::open_or_create`] over any
@@ -74,12 +79,28 @@ impl<'a> OnlineSession<'a> {
         store: Box<dyn pgdesign_durability::DurableStore>,
     ) -> std::io::Result<Self> {
         let session = TuningSession::open_or_create_on(designer, Workload::new(), store)?;
-        let tuner = ColtTuner::new(&designer.catalog, &designer.optimizer, config);
-        Ok(OnlineSession {
+        Ok(Self::assemble(designer, config, session))
+    }
+
+    /// Shared durable-open tail: build the tuner, then try the sidecar
+    /// warm start. Decode failures of any kind mean a cold tuner.
+    fn assemble(
+        designer: &'a Designer,
+        config: ColtConfig,
+        mut session: TuningSession<'a>,
+    ) -> Self {
+        let mut tuner = ColtTuner::new(&designer.catalog, &designer.optimizer, config);
+        if let Some(bytes) = session.read_sidecar(TUNER_SIDECAR) {
+            match TunerState::decode(&bytes) {
+                Ok(state) => tuner.restore_state(state),
+                Err(e) => eprintln!("pgdesign: tuner sidecar unusable ({e}); starting cold"),
+            }
+        }
+        OnlineSession {
             tuner,
             reports: Vec::new(),
             session,
-        })
+        }
     }
 
     /// Feed one query; epoch reports accumulate internally. On a durable
@@ -92,6 +113,13 @@ impl<'a> OnlineSession<'a> {
             if self.session.is_durable() {
                 if let Err(e) = self.session.sync_durable() {
                     eprintln!("pgdesign: durable sync failed ({e}); continuing in memory");
+                }
+                // Persist the tuner's profiling state beside the matrix.
+                // Best-effort: a failed sidecar write only costs the next
+                // restart a cold EWMA, never correctness.
+                let state = self.tuner.export_state().encode();
+                if let Err(e) = self.session.write_sidecar(TUNER_SIDECAR, &state) {
+                    eprintln!("pgdesign: tuner sidecar write failed ({e}); continuing");
                 }
             }
             self.reports.push(r);
@@ -179,7 +207,48 @@ impl<'a> OnlineSession<'a> {
     /// `recommend --stats`). Shows the persistent-matrix economics: one
     /// build, per-epoch cells computed vs reused, and total build time.
     pub fn tuning_stats(&self) -> crate::report::TuningStats {
-        self.session.stats()
+        let mut stats = self.session.stats();
+        stats.stale_generations = self.tuner.staleness_generations();
+        stats.health = self.health();
+        stats
+    }
+
+    /// The daemon's service health: the worst of the tuner's epoch ladder
+    /// (stale generations, deadline-pressured epochs) and the session's
+    /// durable-log condition.
+    pub fn health(&self) -> ServiceHealth {
+        let ladder = if self.tuner.staleness_generations() > 0 {
+            ServiceHealth::Degraded(DegradeReason::StaleGenerations)
+        } else if self.tuner.last_epoch_mode() == EpochMode::IncrementalOnly {
+            ServiceHealth::Degraded(DegradeReason::DeadlinePressure)
+        } else {
+            ServiceHealth::Healthy
+        };
+        ladder.worst(self.session.health())
+    }
+
+    /// Bound (or unbound, with `None`) the wall-clock time any one epoch
+    /// close may take; see `ColtConfig::epoch_deadline` and the
+    /// degradation ladder on `ColtTuner::end_epoch`.
+    pub fn set_epoch_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.tuner.set_epoch_deadline(deadline);
+    }
+
+    /// Inject the clock epoch deadlines are measured on (tests pass a
+    /// manual or ticking clock for deterministic expiry).
+    pub fn set_clock(&mut self, clock: std::sync::Arc<dyn crate::health::Clock>) {
+        self.tuner.set_clock(clock);
+    }
+
+    /// How many consecutive epochs published nothing (readers are this
+    /// many generations behind; zero when fresh).
+    pub fn staleness_generations(&self) -> u64 {
+        self.tuner.staleness_generations()
+    }
+
+    /// Deferred work carried to the next epoch: `(queries, candidates)`.
+    pub fn pending_work(&self) -> (usize, usize) {
+        self.tuner.pending_work()
     }
 }
 
@@ -316,6 +385,126 @@ mod tests {
         assert!(
             stats.matrix.cells_reused > 0,
             "the recurring query's cells come from the snapshot"
+        );
+    }
+
+    #[test]
+    fn transient_fsync_failures_are_retried_not_suspended() {
+        use pgdesign_durability::{Failpoint, SharedMemStore};
+
+        let d = Designer::new(sdss_catalog(0.01));
+        let q = parse_query(
+            &d.catalog.schema,
+            "SELECT ra FROM photoobj WHERE objid = 42",
+        )
+        .unwrap();
+        let disk = SharedMemStore::new();
+        let mut s = OnlineSession::open_or_create_on(
+            &d,
+            ColtConfig {
+                epoch_length: 5,
+                ..Default::default()
+            },
+            Box::new(disk.clone()),
+        )
+        .expect("open");
+        // Two consecutive fsync failures on the next epoch-boundary sync:
+        // within the retry budget, so the log must ride it out.
+        disk.lock().arm(Failpoint::TransientFsync { times: 2 });
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(5));
+        let stats = s.tuning_stats();
+        assert_eq!(
+            stats.io_suspensions, 0,
+            "transient failure must not suspend"
+        );
+        assert!(
+            stats.io_retries >= 2,
+            "the two injected failures must show as retries, got {}",
+            stats.io_retries
+        );
+        // A later epoch syncs cleanly; by then a checkpoint has cleared the
+        // recent-retries signal or the health shows the strain — either
+        // way the daemon keeps publishing.
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(5));
+        assert_eq!(s.reports().len(), 2);
+        assert_ne!(s.health(), ServiceHealth::Suspended);
+    }
+
+    #[test]
+    fn unretryable_append_error_suspends_until_checkpoint() {
+        use pgdesign_durability::{Failpoint, SharedMemStore};
+
+        let d = Designer::new(sdss_catalog(0.01));
+        let q = parse_query(
+            &d.catalog.schema,
+            "SELECT ra FROM photoobj WHERE objid = 42",
+        )
+        .unwrap();
+        let disk = SharedMemStore::new();
+        let mut s = OnlineSession::open_or_create_on(
+            &d,
+            ColtConfig {
+                epoch_length: 5,
+                ..Default::default()
+            },
+            Box::new(disk.clone()),
+        )
+        .expect("open");
+        // A short write downs the store entirely: the append is not
+        // retryable (a partial frame may be on disk) and the healing
+        // checkpoint cannot complete either — the log stays suspended.
+        disk.lock().arm(Failpoint::ShortWrite { keep: 0 });
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(5));
+        let stats = s.tuning_stats();
+        assert_eq!(stats.health, ServiceHealth::Suspended);
+        assert!(stats.io_suspensions >= 1);
+        // Tuning itself continues in memory — no panic, reports flow.
+        s.observe_all(std::iter::repeat_with(|| q.clone()).take(5));
+        assert_eq!(s.reports().len(), 2);
+    }
+
+    #[test]
+    fn tuner_sidecar_restores_design_continuity_across_restart() {
+        use pgdesign_durability::SharedMemStore;
+
+        let d = Designer::new(sdss_catalog(0.01));
+        let q = parse_query(&d.catalog.schema, "SELECT ra FROM photoobj WHERE objid = 7").unwrap();
+        let config = || ColtConfig {
+            epoch_length: 5,
+            payback_horizon_epochs: 10.0,
+            ..Default::default()
+        };
+
+        let disk = SharedMemStore::new();
+        {
+            let mut s = OnlineSession::open_or_create_on(&d, config(), Box::new(disk.clone()))
+                .expect("first open");
+            s.observe_all(std::iter::repeat_with(|| q.clone()).take(40));
+            assert!(
+                !s.current_design().indexes().is_empty(),
+                "steady state materializes the objid index"
+            );
+        } // hard kill
+
+        let s =
+            OnlineSession::open_or_create_on(&d, config(), Box::new(disk.clone())).expect("reopen");
+        assert!(
+            !s.current_design().indexes().is_empty(),
+            "the sidecar must restore the materialized design before any epoch runs"
+        );
+
+        // A corrupt sidecar degrades to a cold tuner, never an error.
+        {
+            use pgdesign_durability::DurableStore as _;
+            let mut store = disk.lock();
+            let len = store.read("tuner.pgds").unwrap().unwrap().len();
+            store.corrupt("tuner.pgds", len / 2);
+        }
+        let cold = OnlineSession::open_or_create_on(&d, config(), Box::new(disk))
+            .expect("open over corrupt sidecar");
+        assert!(
+            cold.current_design().indexes().is_empty(),
+            "corrupt sidecar restores a cold tuner"
         );
     }
 

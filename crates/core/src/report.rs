@@ -3,6 +3,7 @@
 //! benefit and the average workload benefit").
 
 use crate::designer::{JointReport, OfflineReport};
+use crate::health::ServiceHealth;
 use pgdesign_inum::{InumStats, MatrixStats};
 use std::fmt;
 
@@ -24,6 +25,18 @@ pub struct TuningStats {
     /// through a durable entry point (`TuningSession::open_or_create` and
     /// friends).
     pub recovery: Option<RecoveryStats>,
+    /// The daemon's current service state (worst of the tuner's epoch
+    /// ladder and the durable log's condition).
+    pub health: ServiceHealth,
+    /// Consecutive epochs that published nothing: how many generations
+    /// behind the stream concurrent readers currently are. Reset to zero
+    /// by any publish.
+    pub stale_generations: u64,
+    /// Transient durable-I/O retries that succeeded (session lifetime).
+    pub io_retries: u64,
+    /// Times the edit log suspended until a checkpoint (retry budget
+    /// exhausted or an unretryable append error).
+    pub io_suspensions: u64,
 }
 
 /// Why a durable session open fell back to a cold matrix build instead of
@@ -128,6 +141,11 @@ impl fmt::Display for TuningStats {
             f,
             "   estimated what-if optimizer calls avoided: {}",
             self.matrix.whatif_calls_avoided()
+        )?;
+        writeln!(
+            f,
+            "   health: {} ({} stale generations, {} io retries, {} log suspensions)",
+            self.health, self.stale_generations, self.io_retries, self.io_suspensions
         )?;
         if let Some(recovery) = &self.recovery {
             write!(f, "{recovery}")?;

@@ -251,12 +251,46 @@ impl<'a> TuningSession<'a> {
     /// `cells_reused` line here measures cross-consumer sharing, e.g. an
     /// offline recommendation reusing the cells an online run kept warm.
     pub fn stats(&self) -> TuningStats {
+        let (io_retries, recent_retries, io_suspensions) =
+            self.durable.as_ref().map_or((0, 0, 0), |d| d.io_counters());
+        let health = match self.durable.as_ref() {
+            Some(d) if d.is_suspended() => crate::health::ServiceHealth::Suspended,
+            _ if recent_retries > 0 => {
+                crate::health::ServiceHealth::Degraded(crate::health::DegradeReason::IoRetries)
+            }
+            _ => crate::health::ServiceHealth::Healthy,
+        };
         TuningStats {
             inum: self._inum.stats(),
             matrix: self._inum.matrix_stats(),
             published_generation: self.matrix.published_generation(),
             reader_lookups: self.matrix.reader_lookups(),
             recovery: self.durable.as_ref().map(|d| d.recovery),
+            health,
+            stale_generations: 0,
+            io_retries,
+            io_suspensions,
+        }
+    }
+
+    /// The session-level service health (durable-log condition only; an
+    /// [`crate::OnlineSession`] additionally folds in the tuner's epoch
+    /// ladder — see [`crate::OnlineSession::health`]).
+    pub fn health(&self) -> crate::health::ServiceHealth {
+        self.stats().health
+    }
+
+    /// Read an auxiliary ("sidecar") snapshot beside the matrix state —
+    /// `None` on in-memory sessions and for missing/corrupt/skewed files.
+    pub(crate) fn read_sidecar(&mut self, name: &str) -> Option<Vec<u8>> {
+        self.durable.as_mut()?.read_sidecar(name)
+    }
+
+    /// Write an auxiliary sidecar snapshot (no-op on in-memory sessions).
+    pub(crate) fn write_sidecar(&mut self, name: &str, payload: &[u8]) -> io::Result<()> {
+        match self.durable.as_mut() {
+            Some(d) => d.write_sidecar(name, payload),
+            None => Ok(()),
         }
     }
 

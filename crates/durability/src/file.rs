@@ -230,6 +230,40 @@ pub fn log_append(store: &mut dyn DurableStore, name: &str, payload: &[u8]) -> i
     store.sync(name)
 }
 
+/// [`log_append`] with bounded retry of *sync* failures: the record's
+/// bytes are appended once, then the fsync is attempted up to
+/// `1 + max_retries` times, calling `backoff(attempt)` before each retry
+/// (the caller supplies the delay policy — typically a deterministic
+/// sleep). Returns the number of retries that were needed.
+///
+/// Only the sync is retried. A failed *append* may leave a partial frame
+/// on disk; appending the record again would land it after the torn
+/// frame, where replay's truncate-at-first-bad-frame discipline drops
+/// it — so an append error returns immediately and the caller must treat
+/// the log as suspect.
+pub fn log_append_retrying(
+    store: &mut dyn DurableStore,
+    name: &str,
+    payload: &[u8],
+    max_retries: u32,
+    mut backoff: impl FnMut(u32),
+) -> io::Result<u32> {
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    frame_record(&mut framed, payload);
+    store.append(name, &framed)?;
+    let mut attempt = 0u32;
+    loop {
+        match store.sync(name) {
+            Ok(()) => return Ok(attempt),
+            Err(e) if attempt >= max_retries => return Err(e),
+            Err(_) => {
+                backoff(attempt);
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Outcome of opening the edit log against an already-verified snapshot.
 #[derive(Debug)]
 pub enum LogState {
@@ -372,6 +406,36 @@ mod tests {
                 LogState::Mismatch(_)
             ));
         }
+    }
+
+    #[test]
+    fn retried_append_survives_transient_fsync_failures() {
+        let mut s = MemStore::new();
+        log_reset(&mut s, "m.pgdl", 0xABCD).unwrap();
+        s.arm(Failpoint::TransientFsync { times: 2 });
+        let mut backoffs = Vec::new();
+        let retries =
+            log_append_retrying(&mut s, "m.pgdl", b"edit-1", 3, |a| backoffs.push(a)).unwrap();
+        assert_eq!(retries, 2);
+        assert_eq!(backoffs, vec![0, 1]);
+        // The record is durable: a power cut does not lose it.
+        s.power_cut(0);
+        match log_open(&mut s, "m.pgdl", 0xABCD).unwrap() {
+            LogState::Replay(scan) => assert_eq!(scan.records, vec![b"edit-1".to_vec()]),
+            other => panic!("expected replay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retried_append_gives_up_after_the_budget() {
+        let mut s = MemStore::new();
+        log_reset(&mut s, "m.pgdl", 0xABCD).unwrap();
+        s.arm(Failpoint::FsyncError); // permanent, not transient
+        let mut attempts = 0;
+        let err = log_append_retrying(&mut s, "m.pgdl", b"edit-1", 3, |_| attempts += 1)
+            .expect_err("permanent fsync failure must surface");
+        assert_eq!(attempts, 3, "exactly the retry budget is spent");
+        assert!(err.to_string().contains("fsync"));
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub mod store;
 pub use codec::{ByteReader, ByteWriter, CodecError};
 pub use crc::crc32;
 pub use file::{
-    frame_record, log_append, log_open, log_reset, read_snapshot, scan_records, write_snapshot,
-    LogState, RecordScan, SnapshotFile, SnapshotFileError, FORMAT_VERSION,
+    frame_record, log_append, log_append_retrying, log_open, log_reset, read_snapshot,
+    scan_records, write_snapshot, LogState, RecordScan, SnapshotFile, SnapshotFileError,
+    FORMAT_VERSION,
 };
 pub use store::{DurableStore, Failpoint, FsStore, MemStore, SharedMemStore};

@@ -128,6 +128,13 @@ pub enum Failpoint {
     /// Every subsequent `sync` fails; appended bytes stay in the volatile
     /// tail and are lost at the next power cut.
     FsyncError,
+    /// The next `times` syncs fail, then the store recovers on its own —
+    /// the transient-I/O shape (EINTR, a momentarily full device) that
+    /// bounded retry is supposed to ride out.
+    TransientFsync {
+        /// How many more syncs fail before the store heals.
+        times: usize,
+    },
     /// The next `append` writes only the first `keep` bytes of its
     /// payload, then the store behaves as crashed (all later ops error).
     ShortWrite { keep: usize },
@@ -286,6 +293,17 @@ impl DurableStore for MemStore {
         if let Some(Failpoint::FsyncError) = self.failpoint {
             return Err(io::Error::other("injected fsync failure"));
         }
+        if let Some(Failpoint::TransientFsync { times }) = self.failpoint {
+            self.failpoint = if times > 1 {
+                Some(Failpoint::TransientFsync { times: times - 1 })
+            } else {
+                None
+            };
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected transient fsync failure",
+            ));
+        }
         if let Some(file) = self.files.get_mut(name) {
             let tail = std::mem::take(&mut file.tail);
             file.synced.extend_from_slice(&tail);
@@ -378,6 +396,18 @@ mod tests {
         assert!(s.read("f").is_err(), "store must be down after crash");
         s.power_cut(usize::MAX);
         assert_eq!(s.read("f").unwrap().unwrap(), b"0123");
+    }
+
+    #[test]
+    fn transient_fsync_heals_after_n_failures() {
+        let mut s = MemStore::new();
+        s.append("f", b"abc").unwrap();
+        s.arm(Failpoint::TransientFsync { times: 2 });
+        assert!(s.sync("f").is_err());
+        assert!(s.sync("f").is_err());
+        s.sync("f").unwrap();
+        s.power_cut(0);
+        assert_eq!(s.read("f").unwrap().unwrap(), b"abc");
     }
 
     #[test]

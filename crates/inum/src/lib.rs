@@ -99,11 +99,13 @@
 
 #![forbid(unsafe_code)]
 
+mod budget;
 mod inum;
 mod key;
 mod matrix;
 mod snapshot;
 
+pub use budget::{Clock, Deadline, ManualClock, SystemClock, WorkBudget};
 pub use inum::{interesting_orders_per_slot, order_combinations, Inum, InumStats};
 pub use key::query_cell_key;
 pub use matrix::persist::{

@@ -37,6 +37,7 @@
 //! snapshots (copy-on-write at the mutation sites), so a publish pays for
 //! the epoch's drift, not for the matrix size.
 
+use crate::budget::WorkBudget;
 use crate::inum::Inum;
 use crate::key::query_key;
 use crate::snapshot::{MatrixReader, PublishSlot};
@@ -606,6 +607,10 @@ fn compute_query_matrix(
         })
         .collect();
     let internal: Vec<f64> = skeletons.iter().map(|sk| sk.internal_cost).collect();
+    debug_assert!(
+        internal.iter().all(|c| c.is_finite()),
+        "skeleton internal costs must be finite"
+    );
 
     let mut slots = Vec::with_capacity(n_slots);
     for slot in 0..q.slot_count() {
@@ -769,6 +774,46 @@ fn compute_query_matrices(
     })
 }
 
+/// [`compute_query_matrices`] under a [`WorkBudget`]: each worker pays
+/// for a query *before* computing it and stops claiming units once the
+/// budget is exhausted — completed entries come back `Some`, skipped
+/// ones `None`, aligned with the input. Completed cells are never
+/// discarded (the budget is checked **between** per-query cell units,
+/// never inside one), which is what lets a deadline-cancelled build
+/// commit its finished work and resume the remainder later.
+fn compute_query_matrices_budgeted(
+    inum: &Inum<'_>,
+    entries: &[(&Query, f64)],
+    indexes: &[Option<Index>],
+    threads: usize,
+    budget: &WorkBudget,
+) -> Vec<Option<(QueryMatrix, u64)>> {
+    let one = |&(q, w): &(&Query, f64)| -> Option<(QueryMatrix, u64)> {
+        if !budget.try_consume() {
+            return None;
+        }
+        Some(compute_query_matrix(inum, q, w, indexes))
+    };
+    let nt = threads.clamp(1, entries.len().max(1));
+    if nt <= 1 {
+        return entries.iter().map(one).collect();
+    }
+    let chunk = entries.len().div_ceil(nt);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .map(|ch| {
+                let one = &one;
+                scope.spawn(move || ch.iter().map(one).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("matrix build worker panicked"))
+            .collect()
+    })
+}
+
 /// Compute the new cells a candidate batch adds to each active query:
 /// per query, the `(slot index, CandCosts)` pairs to append (in batch
 /// order, so per-slot candidate order matches one-at-a-time registration)
@@ -906,6 +951,35 @@ impl<'a> CostMatrix<'a> {
             slot,
             journal: None,
         }
+    }
+
+    /// [`Self::build`] under a [`WorkBudget`] — the cooperatively
+    /// cancellable cold build. Workers check the budget between
+    /// per-query cell units; queries whose cells completed before
+    /// exhaustion are committed into the returned matrix, and the
+    /// remainder comes back as `(query, weight)` pairs the caller
+    /// records as pending and resumes later (e.g. next epoch, through
+    /// [`Self::add_queries_budgeted`]). With an
+    /// [`WorkBudget::unlimited`] budget the deferred list is empty and
+    /// the committed matrix costs identically to [`Self::build`].
+    pub fn build_budgeted(
+        inum: &'a Inum<'a>,
+        workload: &Workload,
+        indexes: &[Index],
+        threads: usize,
+        budget: &WorkBudget,
+    ) -> (Self, Vec<(Query, f64)>) {
+        let mut matrix = Self::build_with_threads(inum, &Workload::new(), indexes, threads);
+        let entries: Vec<(&Query, f64)> = workload.iter().collect();
+        let ids =
+            matrix.add_queries_budgeted_with_threads(entries.iter().copied(), budget, threads);
+        let deferred = ids
+            .iter()
+            .zip(&entries)
+            .filter(|(id, _)| id.is_none())
+            .map(|(_, &(q, w))| (q.clone(), w))
+            .collect();
+        (matrix, deferred)
     }
 
     /// Adopt an already-materialized core — the durable-restore entry.
@@ -1198,6 +1272,94 @@ impl<'a> CostMatrix<'a> {
         ids
     }
 
+    /// [`Self::add_candidates`] under a [`WorkBudget`]: one budget unit
+    /// per *new* candidate (residents and within-batch duplicates dedupe
+    /// for free, as always). A candidate is committed whole — all of its
+    /// cells across every active query — or not at all, so a bitset can
+    /// never select a partially-celled candidate and cost it wrongly.
+    /// Returns the id per input, `None` for deferred entries; the
+    /// journal records exactly the committed subset, so replaying the
+    /// edit log reproduces the budgeted state bit-for-bit.
+    pub fn add_candidates_budgeted(
+        &mut self,
+        indexes: &[Index],
+        budget: &WorkBudget,
+    ) -> Vec<Option<usize>> {
+        self.add_candidates_budgeted_with_threads(indexes, budget, build_threads())
+    }
+
+    /// [`Self::add_candidates_budgeted`] with an explicit worker count.
+    pub fn add_candidates_budgeted_with_threads(
+        &mut self,
+        indexes: &[Index],
+        budget: &WorkBudget,
+        threads: usize,
+    ) -> Vec<Option<usize>> {
+        if indexes.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let active: Vec<usize> = self.core.active_query_ids().collect();
+        let mut ids: Vec<Option<usize>> = vec![None; indexes.len()];
+        let mut committed: Vec<usize> = Vec::new();
+        // Deferred uniques, so a later duplicate of a deferred candidate
+        // defers too instead of re-attempting (and possibly committing a
+        // different subset than the journal records).
+        let mut deferred: HashMap<&Index, ()> = HashMap::new();
+        let mut reused = 0u64;
+        let mut cells = 0u64;
+        for (i, index) in indexes.iter().enumerate() {
+            if let Some(id) = self.core.candidate_id(index) {
+                // Resident — or a duplicate of an earlier committed batch
+                // entry, which by now is resident as well.
+                reused += self.core.active_slots_on(index.table);
+                ids[i] = Some(id);
+                committed.push(i);
+                continue;
+            }
+            if deferred.contains_key(index) {
+                continue;
+            }
+            if !budget.try_consume() {
+                deferred.insert(index, ());
+                continue;
+            }
+            let id = match self.core.free_candidates.pop() {
+                Some(id) => id,
+                None => {
+                    self.core.indexes.push(None);
+                    self.core.indexes.len() - 1
+                }
+            };
+            self.core.indexes[id] = Some(index.clone());
+            self.core.id_by_index.insert(index.clone(), id);
+            let new = [(id, index.clone())];
+            let computed = compute_candidate_cells(self.inum, &self.core, &active, &new, threads);
+            for (&qi, (additions, c)) in active.iter().zip(computed) {
+                cells += c;
+                if additions.is_empty() {
+                    continue;
+                }
+                let qm = Arc::make_mut(&mut self.core.queries[qi]);
+                for (s, cc) in additions {
+                    qm.slots[s].cands.push(cc);
+                }
+            }
+            ids[i] = Some(id);
+            committed.push(i);
+        }
+        // Journal exactly what was installed: a replay must reproduce the
+        // budgeted state, not the state the full batch would have built.
+        if !committed.is_empty() {
+            self.record(|| {
+                MatrixEdit::AddCandidates(committed.iter().map(|&i| indexes[i].clone()).collect())
+            });
+        }
+        self.inum
+            .note_matrix_incremental(cells, reused, t0.elapsed().as_nanos() as u64);
+        ids
+    }
+
     /// Remove a candidate: its cells are dropped from every query slot and
     /// its id is recycled for later [`Self::add_candidate`] calls. All
     /// other ids are untouched, so existing bitsets stay valid (a bitset
@@ -1349,6 +1511,147 @@ impl<'a> CostMatrix<'a> {
                     // separately; sharing the slot avoids that work.
                     reused += cell_work(&self.core.queries, id);
                     ids[i] = id;
+                }
+                Resolved::Pending => {}
+            }
+        }
+        self.inum
+            .note_matrix_incremental(computed_cells, reused, t0.elapsed().as_nanos() as u64);
+        ids
+    }
+
+    /// [`Self::add_queries`] under a [`WorkBudget`]: one budget unit per
+    /// query that actually needs its cells computed (reuse of an active
+    /// slot and within-batch duplicates stay free). Entries whose cells
+    /// completed before exhaustion commit exactly as the unbudgeted path
+    /// would; the rest return `None` and are the caller's pending
+    /// remainder. A duplicate of a deferred entry defers with it. The
+    /// journal records only the committed subset, so edit-log replay
+    /// reproduces the budgeted state bit-for-bit.
+    pub fn add_queries_budgeted<'q, I: IntoIterator<Item = (&'q Query, f64)>>(
+        &mut self,
+        entries: I,
+        budget: &WorkBudget,
+    ) -> Vec<Option<usize>> {
+        self.add_queries_budgeted_with_threads(entries, budget, build_threads())
+    }
+
+    /// [`Self::add_queries_budgeted`] with an explicit worker count.
+    pub fn add_queries_budgeted_with_threads<'q, I: IntoIterator<Item = (&'q Query, f64)>>(
+        &mut self,
+        entries: I,
+        budget: &WorkBudget,
+        threads: usize,
+    ) -> Vec<Option<usize>> {
+        let entries: Vec<(&Query, f64)> = entries.into_iter().collect();
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let mut reused = 0u64;
+        let mut computed_cells = 0u64;
+
+        // Resolution mirrors `add_queries` exactly; only the Pending
+        // entries cost budget units.
+        enum Resolved {
+            Existing(usize),
+            SameAs(usize),
+            Pending,
+        }
+        let keys: Vec<u64> = entries.iter().map(|(q, _)| query_key(q)).collect();
+        let resident: HashMap<u64, usize> = self
+            .core
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, qm)| qm.active)
+            .map(|(id, qm)| (qm.key, id))
+            .collect();
+        let mut first_of: HashMap<u64, usize> = HashMap::new();
+        let mut resolved: Vec<Resolved> = Vec::with_capacity(entries.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(&id) = resident.get(key) {
+                resolved.push(Resolved::Existing(id));
+            } else if let Some(&j) = first_of.get(key) {
+                resolved.push(Resolved::SameAs(j));
+            } else {
+                first_of.insert(*key, i);
+                pending.push(i);
+                resolved.push(Resolved::Pending);
+            }
+        }
+
+        // Compute the misses under the budget; `None` means deferred.
+        let refs: Vec<(&Query, f64)> = pending.iter().map(|&i| entries[i]).collect();
+        let computed =
+            compute_query_matrices_budgeted(self.inum, &refs, &self.core.indexes, threads, budget);
+
+        // Journal exactly the committed subset in input order — an entry
+        // commits when it resolved to a resident slot, its own cells
+        // completed, or it duplicates a committed entry.
+        let mut commits: Vec<bool> = vec![false; entries.len()];
+        for (slot, &i) in pending.iter().enumerate() {
+            commits[i] = computed[slot].is_some();
+        }
+        for (i, r) in resolved.iter().enumerate() {
+            match *r {
+                Resolved::Existing(_) => commits[i] = true,
+                Resolved::SameAs(j) => commits[i] = commits[j],
+                Resolved::Pending => {}
+            }
+        }
+        if commits.iter().any(|&c| c) {
+            self.record(|| {
+                MatrixEdit::AddQueries(
+                    entries
+                        .iter()
+                        .zip(&commits)
+                        .filter(|(_, &c)| c)
+                        .map(|(&(q, w), _)| (q.clone(), w))
+                        .collect(),
+                )
+            });
+        }
+
+        // Install completed matrices (retired slots first, in input
+        // order), then wire up weights and ids — same flow as the
+        // unbudgeted path restricted to the committed subset.
+        let mut ids: Vec<Option<usize>> = vec![None; entries.len()];
+        for (&i, done) in pending.iter().zip(computed) {
+            if let Some((qm, cells)) = done {
+                computed_cells += cells;
+                ids[i] = Some(self.install_query(entries[i].0.clone(), qm));
+            }
+        }
+        let mut cands_on: HashMap<TableId, u64> = HashMap::new();
+        for (_, idx) in self.candidates() {
+            *cands_on.entry(idx.table).or_insert(0) += 1;
+        }
+        let cell_work = |queries: &[Arc<QueryMatrix>], id: usize| -> u64 {
+            queries[id]
+                .slots
+                .iter()
+                .map(|s| 1 + cands_on.get(&s.table).copied().unwrap_or(0))
+                .sum()
+        };
+        for (i, r) in resolved.iter().enumerate() {
+            match *r {
+                Resolved::Existing(id) => {
+                    let w = self.core.queries[id].weight + entries[i].1;
+                    Arc::make_mut(&mut self.core.queries[id]).weight = w;
+                    self.core.workload.entries[id].weight = w;
+                    reused += cell_work(&self.core.queries, id);
+                    ids[i] = Some(id);
+                }
+                Resolved::SameAs(j) => {
+                    if let Some(id) = ids[j] {
+                        let w = self.core.queries[id].weight + entries[i].1;
+                        Arc::make_mut(&mut self.core.queries[id]).weight = w;
+                        self.core.workload.entries[id].weight = w;
+                        reused += cell_work(&self.core.queries, id);
+                        ids[i] = Some(id);
+                    }
                 }
                 Resolved::Pending => {}
             }
@@ -1883,6 +2186,7 @@ impl MatrixCore {
                 best = total;
             }
         }
+        debug_assert!(!best.is_nan(), "joint cost accumulation produced NaN");
         best
     }
 
@@ -2098,6 +2402,11 @@ impl MatrixCore {
                 best = total;
             }
         }
+        // `INFINITY` is a legitimate "no feasible plan under this
+        // skeleton" sentinel, but NaN means a poisoned float reached the
+        // accumulation — the catalog edge is supposed to make that
+        // impossible.
+        debug_assert!(!best.is_nan(), "cost accumulation produced NaN");
         best
     }
 }
@@ -2633,5 +2942,126 @@ mod tests {
         }
         let s = inum.matrix_stats();
         assert_eq!(s.lookups, after_build.lookups + w.len() as u64);
+    }
+
+    #[test]
+    fn budgeted_add_queries_commits_a_prefix_and_resumes_exactly() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 6, 201);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        // Start from an empty workload and feed it in under a 3-unit
+        // budget, serially so the committed prefix is deterministic.
+        let mut m = CostMatrix::build_with_threads(
+            &inum,
+            &pgdesign_query::Workload::new(),
+            &cands.indexes,
+            1,
+        );
+        let entries: Vec<(&Query, f64)> = w.iter().collect();
+        let budget = WorkBudget::with_units(3);
+        let ids = m.add_queries_budgeted_with_threads(entries.iter().copied(), &budget, 1);
+        assert_eq!(ids.len(), 6);
+        let committed: Vec<usize> = ids.iter().filter_map(|id| *id).collect();
+        assert_eq!(committed.len(), 3, "exactly the budgeted prefix commits");
+        assert!(ids[3..].iter().all(|id| id.is_none()));
+        // Resume the remainder with an unlimited budget: every deferred
+        // entry lands, and the final matrix costs like a fresh build.
+        let rest: Vec<(&Query, f64)> = entries[3..].to_vec();
+        let more =
+            m.add_queries_budgeted_with_threads(rest.iter().copied(), &WorkBudget::unlimited(), 1);
+        assert!(more.iter().all(|id| id.is_some()));
+        let fresh = CostMatrix::build_with_threads(&inum, &w, &cands.indexes, 1);
+        let cfg = m.config_of([0, 1]);
+        let cfg_f = fresh.config_of([0, 1]);
+        for qi in 0..3 {
+            assert_eq!(m.cost(qi, &cfg), fresh.cost(qi, &cfg_f), "Q{qi}");
+        }
+    }
+
+    #[test]
+    fn budgeted_add_candidates_commits_whole_candidates_only() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 5, 202);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        assert!(cands.indexes.len() >= 4);
+        let mut m = CostMatrix::build_with_threads(&inum, &w, &[], 1);
+        let budget = WorkBudget::with_units(2);
+        let ids = m.add_candidates_budgeted_with_threads(&cands.indexes, &budget, 1);
+        let committed: Vec<usize> = ids.iter().filter_map(|id| *id).collect();
+        assert_eq!(committed.len(), 2, "one unit per new candidate");
+        // Committed candidates cost exactly as in a matrix that only ever
+        // saw them — whole-candidate commit, no partial cells.
+        let subset: Vec<Index> = committed
+            .iter()
+            .map(|&id| m.candidate(id).unwrap().clone())
+            .collect();
+        let fresh = CostMatrix::build_with_threads(&inum, &w, &subset, 1);
+        for qi in 0..m.n_queries() {
+            let cfg = m.config_of(committed.iter().copied());
+            let cfg_f = fresh.config_of(0..subset.len());
+            assert_eq!(m.cost(qi, &cfg), fresh.cost(qi, &cfg_f), "Q{qi}");
+        }
+        // Deferred candidates resume for free-list ids on the next call.
+        let again =
+            m.add_candidates_budgeted_with_threads(&cands.indexes, &WorkBudget::unlimited(), 1);
+        assert!(again.iter().all(|id| id.is_some()));
+    }
+
+    #[test]
+    fn budgeted_journal_records_only_installed_work() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 6, 203);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let mut live =
+            CostMatrix::build_with_threads(&inum, &pgdesign_query::Workload::new(), &[], 1);
+        live.enable_journal();
+        let entries: Vec<(&Query, f64)> = w.iter().collect();
+        let _ = live.add_queries_budgeted_with_threads(
+            entries.iter().copied(),
+            &WorkBudget::with_units(4),
+            1,
+        );
+        let _ = live.add_candidates_budgeted_with_threads(
+            &cands.indexes,
+            &WorkBudget::with_units(3),
+            1,
+        );
+        live.publish();
+        let edits = live.take_journal();
+        // Replay against the same empty base reproduces the budgeted
+        // state exactly — the journal described installed work only.
+        let mut replayed =
+            CostMatrix::build_with_threads(&inum, &pgdesign_query::Workload::new(), &[], 1);
+        for e in &edits {
+            replayed.apply_edit(e);
+        }
+        assert_eq!(replayed.n_queries(), live.n_queries());
+        let live_cands: Vec<(usize, &Index)> = live.candidates().collect();
+        let replay_cands: Vec<(usize, &Index)> = replayed.candidates().collect();
+        assert_eq!(live_cands, replay_cands);
+        let all: Vec<usize> = live_cands.iter().map(|(id, _)| *id).collect();
+        for qi in 0..live.n_queries() {
+            let a = live.cost(qi, &live.config_of(all.iter().copied()));
+            let b = replayed.cost(qi, &replayed.config_of(all.iter().copied()));
+            assert_eq!(a, b, "replayed cost must be bit-identical (Q{qi})");
+        }
+    }
+
+    #[test]
+    fn budgeted_cold_build_returns_the_remainder() {
+        let (c, opt) = setup();
+        let inum = Inum::new(&c, &opt);
+        let w = sdss_workload(&c, 6, 204);
+        let cands = workload_candidates(&c, &w, &CandidateConfig::default());
+        let (m, deferred) =
+            CostMatrix::build_budgeted(&inum, &w, &cands.indexes, 1, &WorkBudget::with_units(4));
+        assert_eq!(m.n_queries(), 4);
+        assert_eq!(deferred.len(), 2);
+        // The deferred pairs are exactly the workload tail.
+        let tail: Vec<(Query, f64)> = w.iter().skip(4).map(|(q, w)| (q.clone(), w)).collect();
+        assert_eq!(deferred, tail);
     }
 }

@@ -358,7 +358,14 @@ impl IndexPathProfile {
                 * p.seq_page_cost;
             self.corr2 * min_io.min(max_io) + (1.0 - self.corr2) * max_io
         };
-        self.pre + heap_io + self.post
+        let cost = self.pre + heap_io + self.post;
+        debug_assert!(
+            cost.is_finite(),
+            "access-path cost accumulation went non-finite (pre={}, heap_io={heap_io}, post={})",
+            self.pre,
+            self.post
+        );
+        cost
     }
 
     /// The five private cost terms, exposed for the durable-snapshot

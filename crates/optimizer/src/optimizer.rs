@@ -93,7 +93,12 @@ impl Optimizer {
 
     /// Estimated cost of `query` under `design`.
     pub fn cost(&self, catalog: &Catalog, design: &PhysicalDesign, query: &Query) -> f64 {
-        self.optimize(catalog, design, query).cost
+        let cost = self.optimize(catalog, design, query).cost;
+        debug_assert!(
+            cost.is_finite(),
+            "optimizer produced a non-finite plan cost"
+        );
+        cost
     }
 
     /// Total weighted workload cost under a design.

@@ -69,11 +69,11 @@ impl<'a> Lexer<'a> {
             self.skip_ws();
             let start = self.pos;
             let bytes = self.src.as_bytes();
-            if self.pos >= bytes.len() {
+            let Some(&byte) = bytes.get(self.pos) else {
                 out.push((Tok::Eof, start));
                 return Ok(out);
-            }
-            let c = bytes[self.pos] as char;
+            };
+            let c = byte as char;
             let tok = if c.is_ascii_alphabetic() || c == '_' {
                 let s = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
                 Tok::Ident(s)
@@ -144,23 +144,32 @@ impl<'a> Lexer<'a> {
     }
 
     fn peek_next(&self) -> Option<char> {
-        self.src[self.pos..].chars().nth(1)
+        self.src
+            .get(self.pos..)
+            .and_then(|rest| rest.chars().nth(1))
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len()
-            && (self.src.as_bytes()[self.pos] as char).is_ascii_whitespace()
-        {
+        while let Some(&b) = self.src.as_bytes().get(self.pos) {
+            if !(b as char).is_ascii_whitespace() {
+                break;
+            }
             self.pos += 1;
         }
     }
 
     fn take_while(&mut self, f: impl Fn(char) -> bool) -> String {
         let start = self.pos;
-        while self.pos < self.src.len() && f(self.src.as_bytes()[self.pos] as char) {
+        while let Some(&b) = self.src.as_bytes().get(self.pos) {
+            if !f(b as char) {
+                break;
+            }
             self.pos += 1;
         }
-        self.src[start..self.pos].to_string()
+        self.src
+            .get(start..self.pos)
+            .unwrap_or_default()
+            .to_string()
     }
 }
 
@@ -196,15 +205,19 @@ pub fn parse_query(schema: &Schema, sql: &str) -> Result<Query, ParseError> {
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> &Tok {
-        &self.toks[self.i].0
+        // The token stream always ends with `Tok::Eof` and `bump` never
+        // advances past it, but hold this to checked access anyway: a
+        // hostile query must never be able to panic the daemon.
+        static EOF: Tok = Tok::Eof;
+        self.toks.get(self.i).map_or(&EOF, |t| &t.0)
     }
 
     fn offset(&self) -> usize {
-        self.toks[self.i].1
+        self.toks.get(self.i).map_or(0, |t| t.1)
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.i].0.clone();
+        let t = self.peek().clone();
         if self.i + 1 < self.toks.len() {
             self.i += 1;
         }
@@ -586,9 +599,9 @@ impl<'a> Parser<'a> {
                 matches.push(QueryColumn::new(slot as u16, c));
             }
         }
-        match matches.len() {
-            1 => Ok(matches[0]),
-            0 => Err(ParseError {
+        match matches.as_slice() {
+            [only] => Ok(*only),
+            [] => Err(ParseError {
                 message: match qualifier {
                     Some(q) => format!("unknown column {q}.{name}"),
                     None => format!("unknown column {name}"),

@@ -28,6 +28,7 @@ fn main() {
         whatif_budget_per_epoch: 120,
         ewma_alpha: 0.6,
         payback_horizon_epochs: 6.0,
+        epoch_deadline: None,
     });
 
     for round in 0..12 {
