@@ -1,0 +1,628 @@
+//! Per-file fact modules and their on-disk cache.
+//!
+//! A [`FileSummary`] is the analyzer's EDB for one source file: every
+//! base relation the interprocedural rules need (fns, calls, direct
+//! cost/panic sites, lock acquisitions, dropped results, allows, and the
+//! purely-local diagnostics), distilled from the token-level [`crate::facts`]
+//! extraction. It is deliberately *position-free* — only lines and
+//! fn-indices survive — so it can be serialised to
+//! `target/analyzer-facts/` keyed by an FNV-64 content hash and reloaded
+//! on the next run without re-lexing, in the spirit of modular Datalog
+//! materialisation: extraction is paid per *changed* file, the (cheap,
+//! deterministic) global inference is re-derived every run.
+
+use crate::facts::{extract, CallShape};
+use crate::rules;
+use std::fs;
+use std::path::Path;
+
+/// Bump when `FileSummary` or any extraction heuristic changes shape —
+/// stale cache entries from older analyzer builds must miss, not decode.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Sentinel for "no enclosing fn" in `fn_idx` fields.
+pub const NO_FN: u32 = u32::MAX;
+
+/// One fn item, as the graph layer sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSum {
+    pub name: String,
+    /// Receiver type of the enclosing `impl`, empty for free fns.
+    pub receiver: String,
+    pub line: u32,
+    pub end_line: u32,
+    pub is_test: bool,
+    pub returns_result: bool,
+}
+
+/// One call site, attributed to its enclosing fn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSum {
+    pub fn_idx: u32,
+    pub line: u32,
+    pub name: String,
+    /// 0 = free, 1 = method, 2 = qualified.
+    pub shape: u8,
+    /// The receiver/qualifier token text (may be empty).
+    pub arg: String,
+    /// Receiver *type*, when bindings or the enclosing impl resolve it.
+    pub recv_ty: String,
+    /// Ranked-lock identities held (live guards) at this call.
+    pub held: Vec<String>,
+    /// The call is a value-discarding expression statement (`f();`).
+    pub stmt_dropped: bool,
+}
+
+/// A direct rule site (cost-purity or panic-freedom pattern match),
+/// carrying the exact human message the per-file linter would print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSum {
+    pub fn_idx: u32,
+    pub line: u32,
+    pub msg: String,
+}
+
+/// A `.write()`/`.read()`/`.lock()` acquisition site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcquireSum {
+    pub fn_idx: u32,
+    pub line: u32,
+    pub lock: String,
+    pub held: Vec<String>,
+}
+
+/// A `let _ = …;` discarding at least one call result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropSum {
+    pub fn_idx: u32,
+    pub line: u32,
+    pub callees: Vec<String>,
+}
+
+/// An `analyzer:allow` directive with its resolved target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSum {
+    pub rule: String,
+    pub line: u32,
+    pub has_reason: bool,
+    /// First significant source line at or below the comment (0 = none).
+    pub target_line: u32,
+    /// Innermost fn whose line span contains the target ([`NO_FN`] = none).
+    pub fn_idx: u32,
+}
+
+/// A purely file-local diagnostic (fp-determinism, unsafe-audit,
+/// lock-discipline) computed at extraction time so warm runs never re-lex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalDiag {
+    pub line: u32,
+    pub rule: String,
+    pub msg: String,
+}
+
+/// The complete per-file fact module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileSummary {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// FNV-64 of the source bytes this summary was extracted from.
+    pub hash: u64,
+    /// Repo-root `examples/`/`tests/` harness file: panic-freedom is
+    /// relaxed wholesale (test-adjacent code), other rules still apply.
+    pub harness: bool,
+    pub fns: Vec<FnSum>,
+    pub calls: Vec<CallSum>,
+    pub cost_sites: Vec<SiteSum>,
+    pub panic_sites: Vec<SiteSum>,
+    pub acquires: Vec<AcquireSum>,
+    pub drops: Vec<DropSum>,
+    pub allows: Vec<AllowSum>,
+    pub local_diags: Vec<LocalDiag>,
+}
+
+/// FNV-1a, 64-bit — stable, dependency-free content hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn is_harness_path(path: &str) -> bool {
+    path.starts_with("examples/") || path.starts_with("tests/")
+}
+
+/// Extract the full fact module for one file.
+pub fn summarize(path: &str, src: &str) -> FileSummary {
+    let facts = extract(src);
+    let hash = fnv64(src.as_bytes());
+
+    let fns: Vec<FnSum> = facts
+        .fns
+        .iter()
+        .map(|f| FnSum {
+            name: f.name.clone(),
+            receiver: f.receiver.clone().unwrap_or_default(),
+            line: f.line,
+            end_line: f.end_line,
+            is_test: facts.in_test(f.line),
+            returns_result: f.returns_result,
+        })
+        .collect();
+
+    let fn_idx_of = |at: usize| {
+        facts
+            .enclosing_fn_idx(at)
+            .map(|i| i as u32)
+            .unwrap_or(NO_FN)
+    };
+    // Canonicalise `<self>` lock identities to the enclosing impl type.
+    let canon_lock = |lock: &str, at: usize| -> String {
+        if lock == "<self>" {
+            facts
+                .enclosing_impl(at)
+                .map(|s| s.type_name.clone())
+                .unwrap_or_else(|| "<self>".to_string())
+        } else {
+            lock.to_string()
+        }
+    };
+    let held_at = |at: usize| -> Vec<String> {
+        let mut held: Vec<String> = facts
+            .lock_guards
+            .iter()
+            .filter(|g| g.start <= at && at < g.end)
+            .map(|g| canon_lock(&g.lock, g.start))
+            .collect();
+        held.sort();
+        held.dedup();
+        held
+    };
+    // Last binding for a name wins (token order approximates scope).
+    let bind_ty = |name: &str| -> String {
+        facts
+            .bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_default()
+    };
+    let impl_ty_at = |at: usize| -> String {
+        facts
+            .enclosing_impl(at)
+            .map(|s| s.type_name.clone())
+            .unwrap_or_default()
+    };
+
+    let calls: Vec<CallSum> = facts
+        .calls
+        .iter()
+        .map(|c| {
+            let (shape, arg, recv_ty) = match &c.shape {
+                CallShape::Free => (0u8, String::new(), String::new()),
+                CallShape::Method { recv } => {
+                    let arg = recv.clone().unwrap_or_default();
+                    let ty = match arg.as_str() {
+                        "self" | "<self>" => impl_ty_at(c.at),
+                        "" => String::new(),
+                        other => bind_ty(other),
+                    };
+                    (1u8, arg, ty)
+                }
+                CallShape::Qualified { qual } => {
+                    let ty = if qual == "Self" {
+                        impl_ty_at(c.at)
+                    } else {
+                        qual.clone()
+                    };
+                    (2u8, qual.clone(), ty)
+                }
+            };
+            CallSum {
+                fn_idx: fn_idx_of(c.at),
+                line: c.line,
+                name: c.name.clone(),
+                shape,
+                arg,
+                recv_ty,
+                held: held_at(c.at),
+                stmt_dropped: c.stmt_dropped,
+            }
+        })
+        .collect();
+
+    let site = |(at, line, msg): (usize, u32, String)| SiteSum {
+        fn_idx: fn_idx_of(at),
+        line,
+        msg,
+    };
+    let cost_sites = rules::cost_sites(&facts).into_iter().map(site).collect();
+    let panic_sites = rules::panic_sites(&facts).into_iter().map(site).collect();
+
+    let acquires: Vec<AcquireSum> = facts
+        .acquires
+        .iter()
+        .map(|a| AcquireSum {
+            fn_idx: fn_idx_of(a.at),
+            line: a.line,
+            lock: canon_lock(&a.lock, a.at),
+            held: held_at(a.at.saturating_sub(1)),
+        })
+        .collect();
+
+    let drops: Vec<DropSum> = facts
+        .drop_lets
+        .iter()
+        .map(|d| {
+            // Attribute by line: the innermost fn whose span contains it.
+            let fn_idx = fns
+                .iter()
+                .rposition(|f| f.line <= d.line && d.line <= f.end_line)
+                .map(|i| i as u32)
+                .unwrap_or(NO_FN);
+            DropSum {
+                fn_idx,
+                line: d.line,
+                callees: d.callees.clone(),
+            }
+        })
+        .collect();
+
+    let sig_lines: Vec<u32> = facts.sig.iter().map(|&j| facts.tokens[j].line).collect();
+    let allows: Vec<AllowSum> = facts
+        .allows
+        .iter()
+        .map(|a| {
+            let target_line = sig_lines
+                .iter()
+                .copied()
+                .find(|&l| l >= a.line)
+                .unwrap_or(0);
+            let fn_idx = if target_line == 0 {
+                NO_FN
+            } else {
+                fns.iter()
+                    .rposition(|f| f.line <= target_line && target_line <= f.end_line)
+                    .map(|i| i as u32)
+                    .unwrap_or(NO_FN)
+            };
+            AllowSum {
+                rule: a.rule.clone(),
+                line: a.line,
+                has_reason: a.has_reason,
+                target_line,
+                fn_idx,
+            }
+        })
+        .collect();
+
+    let local_diags = rules::local_diags(&facts)
+        .into_iter()
+        .map(|(line, rule, msg)| LocalDiag {
+            line,
+            rule: rule.to_string(),
+            msg,
+        })
+        .collect();
+
+    FileSummary {
+        path: path.to_string(),
+        hash,
+        harness: is_harness_path(path),
+        fns,
+        calls,
+        cost_sites,
+        panic_sites,
+        acquires,
+        drops,
+        allows,
+        local_diags,
+    }
+}
+
+/// Cache hit/miss accounting for the summary line.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheStats {
+    pub files: usize,
+    pub hits: usize,
+    pub extracted: usize,
+}
+
+/// Load the summary for `path` from the cache if the content hash
+/// matches, else extract and (best-effort) persist it.
+pub fn load_or_summarize(
+    cache_dir: Option<&Path>,
+    path: &str,
+    src: &str,
+    stats: &mut CacheStats,
+) -> FileSummary {
+    stats.files += 1;
+    let hash = fnv64(src.as_bytes());
+    let entry = cache_dir.map(|d| d.join(format!("{}.facts", path.replace('/', "__"))));
+    if let Some(entry) = &entry {
+        if let Ok(text) = fs::read_to_string(entry) {
+            if let Some(sum) = decode(&text) {
+                if sum.hash == hash && sum.path == path {
+                    stats.hits += 1;
+                    return sum;
+                }
+            }
+        }
+    }
+    stats.extracted += 1;
+    let sum = summarize(path, src);
+    if let Some(entry) = &entry {
+        if let Some(dir) = entry.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let _ = fs::write(entry, encode(&sum));
+    }
+    sum
+}
+
+// ---- codec ---------------------------------------------------------------
+//
+// Line-oriented, tab-separated records with `\`-escaping; first line is a
+// version + hash header. Hand-rolled because the workspace is offline and
+// the analyzer must stay dependency-free.
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn join(list: &[String]) -> String {
+    list.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+}
+
+fn split_list(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').map(unesc).collect()
+    }
+}
+
+/// Serialise a summary to the cache text format.
+pub fn encode(s: &FileSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "v{CACHE_VERSION}\t{:016x}\t{}\t{}\n",
+        s.hash,
+        esc(&s.path),
+        s.harness as u8
+    ));
+    for f in &s.fns {
+        out.push_str(&format!(
+            "fn\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            esc(&f.name),
+            esc(&f.receiver),
+            f.line,
+            f.end_line,
+            f.is_test as u8,
+            f.returns_result as u8
+        ));
+    }
+    for c in &s.calls {
+        out.push_str(&format!(
+            "call\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            c.fn_idx,
+            c.line,
+            esc(&c.name),
+            c.shape,
+            esc(&c.arg),
+            esc(&c.recv_ty),
+            join(&c.held),
+            c.stmt_dropped as u8
+        ));
+    }
+    for (tag, sites) in [("cost", &s.cost_sites), ("panic", &s.panic_sites)] {
+        for x in sites.iter() {
+            out.push_str(&format!(
+                "{tag}\t{}\t{}\t{}\n",
+                x.fn_idx,
+                x.line,
+                esc(&x.msg)
+            ));
+        }
+    }
+    for a in &s.acquires {
+        out.push_str(&format!(
+            "acq\t{}\t{}\t{}\t{}\n",
+            a.fn_idx,
+            a.line,
+            esc(&a.lock),
+            join(&a.held)
+        ));
+    }
+    for d in &s.drops {
+        out.push_str(&format!(
+            "drop\t{}\t{}\t{}\n",
+            d.fn_idx,
+            d.line,
+            join(&d.callees)
+        ));
+    }
+    for a in &s.allows {
+        out.push_str(&format!(
+            "allow\t{}\t{}\t{}\t{}\t{}\n",
+            esc(&a.rule),
+            a.line,
+            a.has_reason as u8,
+            a.target_line,
+            a.fn_idx
+        ));
+    }
+    for d in &s.local_diags {
+        out.push_str(&format!(
+            "diag\t{}\t{}\t{}\n",
+            d.line,
+            esc(&d.rule),
+            esc(&d.msg)
+        ));
+    }
+    out
+}
+
+/// Parse the cache text format; `None` on any malformed input (the
+/// caller falls back to re-extraction — a cache can never panic a run).
+pub fn decode(text: &str) -> Option<FileSummary> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let mut h = header.split('\t');
+    let ver = h.next()?;
+    if ver != format!("v{CACHE_VERSION}") {
+        return None;
+    }
+    let hash = u64::from_str_radix(h.next()?, 16).ok()?;
+    let path = unesc(h.next()?);
+    let harness = h.next()? == "1";
+    let mut s = FileSummary {
+        path,
+        hash,
+        harness,
+        fns: Vec::new(),
+        calls: Vec::new(),
+        cost_sites: Vec::new(),
+        panic_sites: Vec::new(),
+        acquires: Vec::new(),
+        drops: Vec::new(),
+        allows: Vec::new(),
+        local_diags: Vec::new(),
+    };
+    for line in lines {
+        let mut f = line.split('\t');
+        match f.next()? {
+            "fn" => s.fns.push(FnSum {
+                name: unesc(f.next()?),
+                receiver: unesc(f.next()?),
+                line: f.next()?.parse().ok()?,
+                end_line: f.next()?.parse().ok()?,
+                is_test: f.next()? == "1",
+                returns_result: f.next()? == "1",
+            }),
+            "call" => s.calls.push(CallSum {
+                fn_idx: f.next()?.parse().ok()?,
+                line: f.next()?.parse().ok()?,
+                name: unesc(f.next()?),
+                shape: f.next()?.parse().ok()?,
+                arg: unesc(f.next()?),
+                recv_ty: unesc(f.next()?),
+                held: split_list(f.next()?),
+                stmt_dropped: f.next()? == "1",
+            }),
+            tag @ ("cost" | "panic") => {
+                let x = SiteSum {
+                    fn_idx: f.next()?.parse().ok()?,
+                    line: f.next()?.parse().ok()?,
+                    msg: unesc(f.next()?),
+                };
+                if tag == "cost" {
+                    s.cost_sites.push(x);
+                } else {
+                    s.panic_sites.push(x);
+                }
+            }
+            "acq" => s.acquires.push(AcquireSum {
+                fn_idx: f.next()?.parse().ok()?,
+                line: f.next()?.parse().ok()?,
+                lock: unesc(f.next()?),
+                held: split_list(f.next()?),
+            }),
+            "drop" => s.drops.push(DropSum {
+                fn_idx: f.next()?.parse().ok()?,
+                line: f.next()?.parse().ok()?,
+                callees: split_list(f.next()?),
+            }),
+            "allow" => s.allows.push(AllowSum {
+                rule: unesc(f.next()?),
+                line: f.next()?.parse().ok()?,
+                has_reason: f.next()? == "1",
+                target_line: f.next()?.parse().ok()?,
+                fn_idx: f.next()?.parse().ok()?,
+            }),
+            "diag" => s.local_diags.push(LocalDiag {
+                line: f.next()?.parse().ok()?,
+                rule: unesc(f.next()?),
+                msg: unesc(f.next()?),
+            }),
+            _ => return None,
+        }
+    }
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let src = "impl Advisor {\n    fn step(&self, s: &TuningSession) -> Result<(), E> {\n        let _ = s.sync_all();\n        helper(1);\n        Ok(())\n    }\n}\n";
+        let sum = summarize("crates/core/src/x.rs", src);
+        let back = decode(&encode(&sum)).expect("decode");
+        assert_eq!(sum, back);
+    }
+
+    #[test]
+    fn hash_keyed_cache_hits_and_misses() {
+        let dir = std::env::temp_dir().join(format!("analyzer-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut stats = CacheStats::default();
+        let a = load_or_summarize(Some(&dir), "crates/x/src/a.rs", "fn a() {}\n", &mut stats);
+        assert_eq!((stats.hits, stats.extracted), (0, 1));
+        let b = load_or_summarize(Some(&dir), "crates/x/src/a.rs", "fn a() {}\n", &mut stats);
+        assert_eq!((stats.hits, stats.extracted), (1, 1));
+        assert_eq!(a, b);
+        // Changed content: the hash misses and the entry is rewritten.
+        let c = load_or_summarize(Some(&dir), "crates/x/src/a.rs", "fn b() {}\n", &mut stats);
+        assert_eq!((stats.hits, stats.extracted), (1, 2));
+        assert_eq!(c.fns[0].name, "b");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_attributes_calls_and_locks() {
+        let src = "impl Slot {\n    fn publish(&self) {\n        let mut g = self.current.write();\n        self.swap(g);\n    }\n}\n";
+        let sum = summarize("crates/inum/src/x.rs", src);
+        assert_eq!(sum.fns.len(), 1);
+        let call = sum
+            .calls
+            .iter()
+            .find(|c| c.name == "swap")
+            .expect("swap call");
+        assert_eq!(call.recv_ty, "Slot");
+        assert_eq!(call.held, vec!["current".to_string()]);
+        let acq = sum.acquires.first().expect("acquire");
+        assert_eq!(acq.lock, "current");
+    }
+}

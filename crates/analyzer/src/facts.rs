@@ -48,6 +48,85 @@ pub struct FnFact {
     /// Whether any token between `fn` and the body's closing brace is the
     /// identifier `f64` — the gate for the fp-determinism rule.
     pub mentions_f64: bool,
+    /// Significant index of the `fn` keyword.
+    pub at: usize,
+    /// Last source line of the body (the decl line for bodyless fns).
+    pub end_line: u32,
+    /// The innermost enclosing `impl` block's receiver type, when the fn
+    /// is a method — the `T` of `impl T` / `impl Trait for T`.
+    pub receiver: Option<String>,
+    /// Whether the signature's return type mentions `Result`.
+    pub returns_result: bool,
+}
+
+/// An `impl` block: receiver type name and significant-token span of its
+/// braces (inclusive of both braces).
+#[derive(Debug)]
+pub struct ImplSpan {
+    pub type_name: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// The shape of a call site, as far as tokens can tell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallShape {
+    /// `name(...)` — a free fn (or tuple-struct constructor).
+    Free,
+    /// `recv.name(...)` — `recv` is the receiver token's text when it is
+    /// a plain identifier (`self`, a local, or the last field of a
+    /// `self.field` chain); `None` for computed receivers.
+    Method { recv: Option<String> },
+    /// `Qual::name(...)` — `qual` is the path segment before the `::`.
+    Qualified { qual: String },
+}
+
+/// One call site `name(` (macros `name!(` are excluded by tokenization).
+#[derive(Debug)]
+pub struct CallFact {
+    /// Significant index of the callee name token.
+    pub at: usize,
+    pub line: u32,
+    pub name: String,
+    pub shape: CallShape,
+    /// The call is a whole expression statement (`foo();` /
+    /// `a.b().foo();`) whose value — possibly a `Result` — is dropped.
+    pub stmt_dropped: bool,
+}
+
+/// A zero-argument `.write()` / `.read()` / `.lock()` acquisition site.
+#[derive(Debug)]
+pub struct AcquireFact {
+    pub at: usize,
+    pub line: u32,
+    /// Lock identity: the receiver identifier (`current`, `cache`, a
+    /// local), or `"<self>"` when the receiver is `self`/a tuple field —
+    /// canonicalised to the enclosing impl type by the summariser.
+    pub lock: String,
+    /// `write` | `read` | `lock`.
+    pub kind: String,
+}
+
+/// A `let`-bound lock guard of any kind and its live range — like
+/// [`GuardFact`] but carrying the lock identity and acquire kind, for the
+/// lock-ordering rule.
+#[derive(Debug)]
+pub struct LockGuard {
+    pub name: String,
+    pub line: u32,
+    pub lock: String,
+    pub kind: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A `let _ = <expr>;` statement whose initialiser contains at least one
+/// call — the error-discipline rule's raw material.
+#[derive(Debug)]
+pub struct DropLet {
+    pub line: u32,
+    /// Call names appearing in the initialiser, in token order.
+    pub callees: Vec<String>,
 }
 
 /// One `// analyzer:allow(<rule>): <reason>` directive.
@@ -120,6 +199,14 @@ pub struct Facts {
     pub guards: Vec<GuardFact>,
     pub for_loops: Vec<ForLoop>,
     pub iter_calls: Vec<IterCall>,
+    pub impls: Vec<ImplSpan>,
+    pub calls: Vec<CallFact>,
+    pub acquires: Vec<AcquireFact>,
+    pub lock_guards: Vec<LockGuard>,
+    pub drop_lets: Vec<DropLet>,
+    /// `name: Type` ascriptions and `let name = Type::...` initialisers,
+    /// in token order (later bindings shadow earlier ones).
+    pub bindings: Vec<(String, String)>,
 }
 
 impl Facts {
@@ -138,6 +225,18 @@ impl Facts {
         self.fns
             .iter()
             .rfind(|f| f.body.is_some_and(|(a, b)| a <= i && i < b))
+    }
+
+    /// Index into `fns` of the innermost fn whose body contains `i`.
+    pub fn enclosing_fn_idx(&self, i: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .rposition(|f| f.body.is_some_and(|(a, b)| a <= i && i < b))
+    }
+
+    /// The innermost `impl` block containing significant index `i`.
+    pub fn enclosing_impl(&self, i: usize) -> Option<&ImplSpan> {
+        self.impls.iter().rfind(|s| s.start <= i && i <= s.end)
     }
 }
 
@@ -160,17 +259,29 @@ pub fn extract(src: &str) -> Facts {
         guards: Vec::new(),
         for_loops: Vec::new(),
         iter_calls: Vec::new(),
+        impls: Vec::new(),
+        calls: Vec::new(),
+        acquires: Vec::new(),
+        lock_guards: Vec::new(),
+        drop_lets: Vec::new(),
+        bindings: Vec::new(),
         tokens,
         sig,
         depth,
     };
     extract_allows(&mut facts);
     extract_test_spans(&mut facts);
+    extract_impls(&mut facts);
     extract_fns(&mut facts);
     extract_hashy_names(&mut facts);
     extract_unsafe(&mut facts);
     extract_guards(&mut facts);
     extract_loops_and_iter_calls(&mut facts);
+    extract_calls(&mut facts);
+    extract_acquires(&mut facts);
+    extract_lock_guards(&mut facts);
+    extract_drop_lets(&mut facts);
+    extract_bindings(&mut facts);
     facts
 }
 
@@ -386,12 +497,406 @@ fn extract_fns(facts: &mut Facts) {
         }
         let scan_end = body.map(|(_, e)| e).unwrap_or(j);
         let mentions_f64 = (i..scan_end).any(|k| facts.tok(k).is_some_and(|t| t.is_ident("f64")));
+        // Return type: anything mentioning `Result` between a `->` and the
+        // body/`;` counts (covers `io::Result<T>` and aliases named so).
+        let mut returns_result = false;
+        let mut saw_arrow = false;
+        for k in i + 2..scan_end.min(body.map(|(b, _)| b).unwrap_or(scan_end)) {
+            let Some(t) = facts.tok(k) else { break };
+            if t.is_punct("->") {
+                saw_arrow = true;
+            } else if saw_arrow && t.is_ident("Result") {
+                returns_result = true;
+                break;
+            }
+        }
+        let end_line = body
+            .and_then(|(_, e)| facts.tok(e.saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(line);
+        let receiver = facts.enclosing_impl(i).map(|s| s.type_name.clone());
         facts.fns.push(FnFact {
             name,
             line,
             body,
             mentions_f64,
+            at: i,
+            end_line,
+            receiver,
+            returns_result,
         });
+    }
+}
+
+/// `impl [<..>] [Trait for] Type [<..>] { ... }` — record the receiver
+/// type (the last path segment before the body, after any `for`) and the
+/// brace span. Generic params are skipped by angle counting.
+fn extract_impls(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        if !facts.tok(i).is_some_and(|t| t.is_ident("impl")) {
+            continue;
+        }
+        // `impl` in `impl Trait` return/arg position has no body `{` at
+        // angle depth 0 before a terminator; the scan below just won't
+        // find one worth recording.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut last_ident: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        let mut open = None;
+        while j < n {
+            let t = facts.tok(j).expect("in range");
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "->" => {}
+                "for" if angle <= 0 && t.kind == Kind::Ident => saw_for = true,
+                "{" if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" | "}" if angle <= 0 => break,
+                _ => {
+                    if t.kind == Kind::Ident && angle <= 0 {
+                        if saw_for {
+                            after_for = Some(t.text.clone());
+                        } else {
+                            last_ident = Some(t.text.clone());
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        let (Some(open), Some(type_name)) = (open, after_for.or(last_ident)) else {
+            continue;
+        };
+        let close = matching_brace(facts, open);
+        facts.impls.push(ImplSpan {
+            type_name,
+            start: open,
+            end: close,
+        });
+    }
+}
+
+/// Keywords that can directly precede a `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "in", "as", "move", "ref", "mut", "box", "unsafe",
+    "async", "await", "let", "else", "fn", "impl", "pub", "use", "mod", "struct", "enum", "trait",
+    "type", "where", "dyn", "const", "static", "crate", "super", "self", "Self", "loop", "break",
+    "continue", "yield",
+];
+
+/// Every `name(` call site, classified by shape. `name!(` macro calls
+/// never match because the `!` sits between the name and the paren.
+fn extract_calls(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        let Some(t) = facts.tok(i) else { break };
+        if t.kind != Kind::Ident
+            || NON_CALL_KEYWORDS.contains(&t.text.as_str())
+            || !facts.tok(i + 1).is_some_and(|u| u.is_punct("("))
+        {
+            continue;
+        }
+        if facts
+            .tok(i.wrapping_sub(1))
+            .is_some_and(|u| u.is_ident("fn"))
+        {
+            continue;
+        }
+        let (name, line) = (t.text.clone(), t.line);
+        let prev = facts.tok(i.wrapping_sub(1));
+        let shape = if prev.is_some_and(|u| u.is_punct(".")) {
+            let recv = match facts.tok(i.wrapping_sub(2)) {
+                Some(r) if r.kind == Kind::Ident => Some(r.text.clone()),
+                Some(r) if r.kind == Kind::Number => Some("<self>".to_string()),
+                _ => None,
+            };
+            CallShape::Method { recv }
+        } else if prev.is_some_and(|u| u.is_punct("::")) {
+            match facts.tok(i.wrapping_sub(2)) {
+                Some(q) if q.kind == Kind::Ident => CallShape::Qualified {
+                    qual: q.text.clone(),
+                },
+                _ => CallShape::Free,
+            }
+        } else {
+            CallShape::Free
+        };
+        let stmt_dropped = is_dropped_stmt(facts, i);
+        facts.calls.push(CallFact {
+            at: i,
+            line,
+            name,
+            shape,
+            stmt_dropped,
+        });
+    }
+}
+
+/// Is the call at significant index `i` (callee name token) the last call
+/// of a whole expression statement whose value is discarded — i.e. the
+/// matching `)` is immediately followed by `;`, and walking the receiver
+/// chain backwards lands on a statement boundary?
+fn is_dropped_stmt(facts: &Facts, i: usize) -> bool {
+    // Forward: the call's closing paren must be directly followed by `;`.
+    let mut j = i + 1;
+    let mut parens = 0i32;
+    let n = facts.sig.len();
+    while j < n {
+        let t = facts.tok(j).expect("in range");
+        if t.is_punct("(") {
+            parens += 1;
+        } else if t.is_punct(")") {
+            parens -= 1;
+            if parens == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    if !facts.tok(j + 1).is_some_and(|t| t.is_punct(";")) {
+        return false;
+    }
+    // Backward: hop over a `recv.`/`Qual::`/`a.b().` chain to the
+    // statement start. Anything else (`=`, `return`, an operator…) means
+    // the value is consumed.
+    let mut k = i;
+    loop {
+        let Some(p) = facts.tok(k.wrapping_sub(1)) else {
+            return true; // start of file
+        };
+        if p.is_punct(".") || p.is_punct("::") {
+            // Skip the segment before the separator; a `)` closes a
+            // chained call whose arguments we hop over wholesale.
+            let Some(q) = facts.tok(k.wrapping_sub(2)) else {
+                return false;
+            };
+            if q.kind == Kind::Ident || q.kind == Kind::Number {
+                k -= 2;
+            } else if q.is_punct(")") {
+                let mut d = 0i32;
+                let mut m = k - 2;
+                loop {
+                    let t = facts.tok(m).expect("in range");
+                    if t.is_punct(")") {
+                        d += 1;
+                    } else if t.is_punct("(") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    if m == 0 {
+                        return false;
+                    }
+                    m -= 1;
+                }
+                // Token before the `(` should be the chained call's name.
+                if m == 0 || !facts.tok(m - 1).is_some_and(|t| t.kind == Kind::Ident) {
+                    return false;
+                }
+                k = m - 1;
+            } else {
+                return false;
+            }
+        } else {
+            return p.is_punct(";") || p.is_punct("{") || p.is_punct("}");
+        }
+    }
+}
+
+/// Zero-argument `.write()` / `.read()` / `.lock()` sites with a lock
+/// identity taken from the receiver token.
+fn extract_acquires(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        let Some(t) = facts.tok(i) else { break };
+        if !t.is_punct(".") {
+            continue;
+        }
+        let Some(m) = facts.tok(i + 1) else { continue };
+        if !(m.is_ident("write") || m.is_ident("read") || m.is_ident("lock"))
+            || !facts.tok(i + 2).is_some_and(|u| u.is_punct("("))
+            || !facts.tok(i + 3).is_some_and(|u| u.is_punct(")"))
+        {
+            continue;
+        }
+        let lock = match facts.tok(i.wrapping_sub(1)) {
+            Some(r) if r.kind == Kind::Ident && r.text != "self" => r.text.clone(),
+            Some(r) if r.kind == Kind::Number || r.is_ident("self") => "<self>".to_string(),
+            _ => continue, // computed receiver: no stable identity
+        };
+        facts.acquires.push(AcquireFact {
+            at: i + 1,
+            line: m.line,
+            lock,
+            kind: m.text.clone(),
+        });
+    }
+}
+
+/// `let [mut] g = <init ending in .write()/.read()/.lock()>;` — like
+/// [`extract_guards`] but for every acquire kind, carrying the lock
+/// identity of the *last* acquire in the initialiser.
+fn extract_lock_guards(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        if !facts.tok(i).is_some_and(|t| t.is_ident("let")) {
+            continue;
+        }
+        let mut j = i + 1;
+        if facts.tok(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = facts.tok(j) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        if !facts.tok(j + 1).is_some_and(|t| t.is_punct("=")) {
+            continue;
+        }
+        let mut k = j + 2;
+        let mut hit: Option<(String, String)> = None;
+        while k < n {
+            let t = facts.tok(k).expect("in range");
+            if t.is_punct(";") {
+                break;
+            }
+            if t.is_punct(".")
+                && facts.tok(k + 2).is_some_and(|u| u.is_punct("("))
+                && facts.tok(k + 3).is_some_and(|u| u.is_punct(")"))
+            {
+                if let Some(m) = facts.tok(k + 1) {
+                    if m.is_ident("write") || m.is_ident("read") || m.is_ident("lock") {
+                        let lock = match facts.tok(k.wrapping_sub(1)) {
+                            Some(r) if r.kind == Kind::Ident && r.text != "self" => r.text.clone(),
+                            _ => "<self>".to_string(),
+                        };
+                        hit = Some((lock, m.text.clone()));
+                    }
+                }
+            }
+            k += 1;
+        }
+        let Some((lock, kind)) = hit else { continue };
+        let stmt_end = k;
+        let let_depth = facts.depth[i];
+        let mut end = n;
+        let mut m = stmt_end + 1;
+        while m < n {
+            let t = facts.tok(m).expect("in range");
+            if t.is_punct("}") && facts.depth[m] < let_depth {
+                end = m;
+                break;
+            }
+            if t.is_ident("drop")
+                && facts.tok(m + 1).is_some_and(|u| u.is_punct("("))
+                && facts.tok(m + 2).is_some_and(|u| u.is_ident(&name))
+            {
+                end = m;
+                break;
+            }
+            m += 1;
+        }
+        facts.lock_guards.push(LockGuard {
+            name,
+            line,
+            lock,
+            kind,
+            start: stmt_end + 1,
+            end,
+        });
+    }
+}
+
+/// `let _ = <init>;` statements whose initialiser contains a call.
+fn extract_drop_lets(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        if !(facts.tok(i).is_some_and(|t| t.is_ident("let"))
+            && facts.tok(i + 1).is_some_and(|t| t.is_ident("_"))
+            && facts.tok(i + 2).is_some_and(|t| t.is_punct("=")))
+        {
+            continue;
+        }
+        let line = facts.tok(i).map(|t| t.line).unwrap_or(1);
+        let mut callees = Vec::new();
+        let mut j = i + 3;
+        while j < n {
+            let t = facts.tok(j).expect("in range");
+            if t.is_punct(";") {
+                break;
+            }
+            if t.kind == Kind::Ident
+                && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                && facts.tok(j + 1).is_some_and(|u| u.is_punct("("))
+            {
+                callees.push(t.text.clone());
+            }
+            j += 1;
+        }
+        if !callees.is_empty() {
+            facts.drop_lets.push(DropLet { line, callees });
+        }
+    }
+}
+
+/// Name→type bindings: `name: [& mut]* Type` ascriptions (first
+/// uppercase-initial type ident wins) and `let name = Type::…`
+/// initialisers.
+fn extract_bindings(facts: &mut Facts) {
+    let n = facts.sig.len();
+    for i in 0..n {
+        let Some(t) = facts.tok(i) else { break };
+        if t.kind != Kind::Ident || NON_INDEX_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let name = t.text.clone();
+        if facts.tok(i + 1).is_some_and(|p| p.is_punct(":"))
+            && !facts.tok(i + 2).is_some_and(|p| p.is_punct(":"))
+        {
+            let mut j = i + 2;
+            while j < n && j < i + 6 {
+                let u = facts.tok(j).expect("in range");
+                if u.is_punct("&") || u.is_ident("mut") || u.kind == Kind::Lifetime {
+                    j += 1;
+                    continue;
+                }
+                if u.kind == Kind::Ident && u.text.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    facts.bindings.push((name.clone(), u.text.clone()));
+                }
+                break;
+            }
+        }
+        let is_let = facts
+            .tok(i.wrapping_sub(1))
+            .is_some_and(|p| p.is_ident("let"))
+            || (facts
+                .tok(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_ident("mut"))
+                && facts
+                    .tok(i.wrapping_sub(2))
+                    .is_some_and(|p| p.is_ident("let")));
+        if is_let
+            && facts.tok(i + 1).is_some_and(|p| p.is_punct("="))
+            && facts.tok(i + 3).is_some_and(|p| p.is_punct("::"))
+        {
+            if let Some(ty) = facts.tok(i + 2) {
+                if ty.kind == Kind::Ident && ty.text.starts_with(|c: char| c.is_ascii_uppercase()) {
+                    facts.bindings.push((name, ty.text.clone()));
+                }
+            }
+        }
     }
 }
 

@@ -1,36 +1,89 @@
-//! `pgdesign-analyzer` — an architectural lint pass over the workspace's
-//! own sources.
+//! `pgdesign-analyzer` — an interprocedural architectural lint pass over
+//! the workspace's own sources.
 //!
 //! The repo's load-bearing invariants (advisors cost via matrix lookups
 //! only; recovery never panics on corrupt bytes; f64 summation order is
 //! deterministic; every `unsafe` block argues its safety; no costing
-//! under a publish write guard) were previously enforced only by dynamic
-//! tests, which see the paths a test happens to execute. This crate
-//! makes them *structural*: a hand-rolled Rust lexer (same idiom as the
+//! under a publish write guard; locks acquired in one global order; no
+//! dropped `Result`s on durability paths) were previously enforced only
+//! per file, which sees the sites a file happens to contain. This crate
+//! makes them *transitive*: a hand-rolled Rust lexer (same idiom as the
 //! SQL lexer in `pgdesign-query`, no external parser) tokenizes every
-//! `crates/*/src/**.rs` file into a fact base ([`facts`]), and each rule
-//! ([`rules`]) is a query over those facts — Datalog-style lint-as-query,
-//! evaluated per file.
+//! source file into a fact base ([`facts`]), each file is condensed into
+//! a cacheable fact module ([`cache`]), a workspace call graph is
+//! resolved over those modules ([`graph`]), and Datalog-style derived
+//! relations ([`infer`]) — `reaches_cost`, `may_panic`,
+//! `holds_lock_then_acquires`, `drops_result` — are computed to fixpoint
+//! by semi-naive iteration. Diagnostics for the transitive rules print
+//! the full call chain.
 //!
-//! Run it with `cargo run -p pgdesign-analyzer` (or `make lint-arch`);
-//! it exits non-zero if any diagnostic survives the
-//! `// analyzer:allow(<rule>): <reason>` escape hatch.
+//! ## Rule scoping
+//!
+//! | rule             | applies to                                   | relaxed in                       |
+//! |------------------|----------------------------------------------|----------------------------------|
+//! | cost-purity      | everything                                   | matrix build, colt probe, durable restore (the sanctioned boundary) |
+//! | panic-freedom    | decode/replay surface (`crates/durability`, `inum/persist.rs`, `query/parser.rs`) | `#[cfg(test)]`/`#[test]` spans, `examples/`, `tests/` harnesses |
+//! | fp-determinism   | everything                                   | test spans                       |
+//! | unsafe-audit     | everything                                   | —                                |
+//! | lock-discipline  | everything                                   | —                                |
+//! | lock-order       | everything                                   | test spans                       |
+//! | error-discipline | durability/health paths                      | test spans                       |
+//!
+//! The walk covers `crates/*/src/**.rs` plus the repo-root `src/`,
+//! `examples/`, and `tests/` trees; harness files (root `examples/` and
+//! `tests/`) get panic-freedom's test-aware relaxation because they *are*
+//! drivers, not recovery code.
+//!
+//! Run it with `make lint-arch`; it exits non-zero if any error-severity
+//! diagnostic survives the `// analyzer:allow(<rule>): <reason>` escape
+//! hatch. Per-file fact modules are cached under `target/analyzer-facts/`
+//! keyed by content hash, so a warm run re-extracts only changed files
+//! (the global inference always reruns — it is cross-file by nature).
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod facts;
+pub mod graph;
+pub mod infer;
 pub mod lexer;
 pub mod rules;
 
-pub use rules::{analyze_source, Config, Diagnostic, RULE_NAMES};
+pub use rules::{analyze_source, ChainLink, Config, Diagnostic, InferStats, Severity, RULE_NAMES};
 
+use cache::{CacheStats, FileSummary};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-/// Analyze every `crates/*/src/**.rs` file under `root` (the workspace
-/// checkout) and return all diagnostics, sorted by path then line.
-pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic>> {
+/// Timing and cache accounting for one workspace run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunStats {
+    /// Files walked (and summarized).
+    pub files: usize,
+    /// Fact modules served from the content-hash cache.
+    pub cache_hits: usize,
+    /// Fact modules (re-)extracted this run.
+    pub extracted: usize,
+    /// Total semi-naive rounds across derived relations.
+    pub rounds: u32,
+    /// Call-graph size.
+    pub fns: usize,
+    pub edges: usize,
+    /// Wall-clock: extraction (incl. cache I/O) and inference.
+    pub extract_ms: u128,
+    pub infer_ms: u128,
+}
+
+/// Diagnostics plus run accounting.
+pub struct RunReport {
+    pub diags: Vec<Diagnostic>,
+    pub stats: RunStats,
+}
+
+/// Every `.rs` file the analyzer covers, workspace-relative, sorted.
+fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
@@ -45,9 +98,29 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic
             collect_rs(&src, &mut files)?;
         }
     }
+    // Repo-root trees: the binary crate's own src plus the integration
+    // harnesses (panic-freedom treats the latter as test code).
+    for top in ["src", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
     files.sort();
+    Ok(files)
+}
 
-    let mut out = Vec::new();
+/// Analyze the workspace at `root` with per-file fact caching under
+/// `cache_dir` (no caching when `None`).
+pub fn analyze_workspace_cached(
+    root: &Path,
+    cfg: &Config,
+    cache_dir: Option<&Path>,
+) -> io::Result<RunReport> {
+    let files = workspace_files(root)?;
+    let mut cstats = CacheStats::default();
+    let mut summaries: Vec<FileSummary> = Vec::with_capacity(files.len());
+    let t0 = Instant::now();
     for file in &files {
         let text = fs::read_to_string(file)?;
         let rel = file
@@ -57,25 +130,43 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        out.extend(analyze_source(&rel, &text, cfg));
+        summaries.push(cache::load_or_summarize(
+            cache_dir,
+            &rel,
+            &text,
+            &mut cstats,
+        ));
     }
-    out.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
-    Ok(out)
+    summaries.sort_by(|a, b| a.path.cmp(&b.path));
+    let extract_ms = t0.elapsed().as_millis();
+
+    let t1 = Instant::now();
+    let (diags, istats) = rules::analyze_summaries(&summaries, cfg);
+    let infer_ms = t1.elapsed().as_millis();
+
+    Ok(RunReport {
+        diags,
+        stats: RunStats {
+            files: files.len(),
+            cache_hits: cstats.hits,
+            extracted: cstats.extracted,
+            rounds: istats.rounds,
+            fns: istats.fns,
+            edges: istats.edges,
+            extract_ms,
+            infer_ms,
+        },
+    })
 }
 
-/// How many `.rs` files `analyze_workspace` would visit — for the
-/// summary line.
+/// Analyze the workspace without a fact cache; diagnostics only.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic>> {
+    Ok(analyze_workspace_cached(root, cfg, None)?.diags)
+}
+
+/// How many `.rs` files the walk visits — for the summary line.
 pub fn workspace_file_count(root: &Path) -> io::Result<usize> {
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    for entry in fs::read_dir(&crates_dir)? {
-        let dir = entry?.path();
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
-        }
-    }
-    Ok(files.len())
+    Ok(workspace_files(root)?.len())
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

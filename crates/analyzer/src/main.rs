@@ -1,43 +1,170 @@
-//! CLI entry point: `pgdesign-analyzer [workspace-root]`.
+//! CLI entry point:
+//! `pgdesign-analyzer [workspace-root] [--format human|json] [--no-cache] [--cache-dir DIR]`.
 //!
-//! Analyzes every `crates/*/src/**.rs` file and prints one
-//! `path:line: rule: message` diagnostic per violation. Exits 0 on a
-//! clean workspace, 1 on any violation (including an `analyzer:allow`
-//! without a written reason), 2 on I/O failure.
+//! Analyzes every covered `.rs` file (see the crate rustdoc for the
+//! walk and scoping table) and prints one `path:line: rule: message`
+//! diagnostic per violation; interprocedural findings include the full
+//! call chain. `--format json` emits a machine-readable array of
+//! `{rule, path, line, severity, chain, msg}` for CI diffing. Exits 0
+//! when no error-severity diagnostic remains (warnings such as
+//! `dead-allow` print but do not gate), 1 on any error, 2 on I/O or
+//! usage failure.
 
 #![forbid(unsafe_code)]
 
-use pgdesign_analyzer::{analyze_workspace, workspace_file_count, Config, RULE_NAMES};
+use pgdesign_analyzer::{analyze_workspace_cached, Config, Diagnostic, Severity, RULE_NAMES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+struct Args {
+    root: PathBuf,
+    json: bool,
+    cache_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut no_cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                other => return Err(format!("--format wants human|json, got {other:?}")),
+            },
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                let d = it.next().ok_or("--cache-dir wants a path")?;
+                cache_dir = Some(PathBuf::from(d));
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown flag {a}")),
+            _ => root = PathBuf::from(a),
+        }
+    }
+    let cache_dir = if no_cache {
+        None
+    } else {
+        Some(cache_dir.unwrap_or_else(|| root.join("target/analyzer-facts")))
+    };
+    Ok(Args {
+        root,
+        json,
+        cache_dir,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn emit_json(diags: &[Diagnostic]) {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"severity\": \"{}\", \"chain\": [",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            sev
+        ));
+        for (j, l) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"fn\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+                json_escape(&l.func),
+                json_escape(&l.path),
+                l.line
+            ));
+        }
+        out.push_str(&format!("], \"msg\": \"{}\"}}", json_escape(&d.msg)));
+    }
+    out.push_str("\n]");
+    println!("{out}");
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pgdesign-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let cfg = Config::workspace();
-    let diags = match analyze_workspace(&root, &cfg) {
-        Ok(d) => d,
+    let report = match analyze_workspace_cached(&args.root, &cfg, args.cache_dir.as_deref()) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!(
                 "pgdesign-analyzer: cannot read workspace at {}: {e}",
-                root.display()
+                args.root.display()
             );
             return ExitCode::from(2);
         }
     };
-    if diags.is_empty() {
-        let files = workspace_file_count(&root).unwrap_or(0);
-        println!(
-            "pgdesign-analyzer: workspace clean ({files} files, {} rules)",
-            RULE_NAMES.len()
-        );
-        return ExitCode::SUCCESS;
+    let errors = report
+        .diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.diags.len() - errors;
+
+    if args.json {
+        emit_json(&report.diags);
+        return if errors == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
-    for d in &diags {
-        println!("{d}");
+
+    for d in &report.diags {
+        match d.severity {
+            Severity::Error => println!("{d}"),
+            Severity::Warning => println!("warning: {d}"),
+        }
     }
-    eprintln!("pgdesign-analyzer: {} violation(s)", diags.len());
-    ExitCode::FAILURE
+    let s = report.stats;
+    eprintln!(
+        "pgdesign-analyzer: {} files in {} ms (cache: {} hit / {} extracted), \
+         graph {} fns / {} edges, {} fixpoint rounds in {} ms",
+        s.files, s.extract_ms, s.cache_hits, s.extracted, s.fns, s.edges, s.rounds, s.infer_ms
+    );
+    if errors == 0 {
+        if warnings > 0 {
+            eprintln!("pgdesign-analyzer: clean with {warnings} warning(s)");
+        } else {
+            eprintln!(
+                "pgdesign-analyzer: workspace clean ({} files, {} rules)",
+                s.files,
+                RULE_NAMES.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pgdesign-analyzer: {errors} violation(s)");
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,11 @@
+//! Seeded fixture: a read-path advisor that reaches `Inum::cost` only
+//! through an intermediate helper — both `pick` and `refine` must be
+//! flagged transitively, with the full call chain down to the site.
+
+pub fn pick(h: &Probe) -> f64 {
+    refine(h)
+}
+
+fn refine(h: &Probe) -> f64 {
+    h.raw_cost()
+}

@@ -1,0 +1,10 @@
+//! Seeded fixture: the helper with the direct costing site, in a module
+//! *outside* the sanctioned cost boundary.
+
+pub struct Probe;
+
+impl Probe {
+    pub fn raw_cost(&self) -> f64 {
+        self.inum().cost(&q)
+    }
+}

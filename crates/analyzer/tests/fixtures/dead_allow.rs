@@ -1,0 +1,8 @@
+//! Seeded fixture: a reasoned, well-formed allow that no longer
+//! suppresses anything — reported as a warning so the escape-hatch
+//! inventory cannot rot.
+
+// analyzer:allow(cost-purity): this fn used to cost via the optimizer
+fn tidy() -> f64 {
+    0.0
+}

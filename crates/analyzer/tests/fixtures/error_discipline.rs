@@ -1,0 +1,10 @@
+//! Seeded fixture: `Result`s silently discarded on the durability path —
+//! a `let _ =` drop and a bare expression-statement drop.
+
+fn sync_dir(d: &Dir) {
+    let _ = d.sync_all();
+}
+
+fn checkpoint_all(s: &Store) {
+    s.checkpoint();
+}

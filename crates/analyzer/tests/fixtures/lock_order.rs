@@ -1,0 +1,21 @@
+//! Seeded fixture: out-of-order lock acquisition — the snapshot slot's
+//! RwLock (`current`, innermost) is held while the probe cache lock
+//! (`cache`, outer) is taken, both directly and through a helper call.
+
+pub struct Slot;
+
+impl Slot {
+    fn bad(&self) {
+        let g = self.current.write();
+        self.cache.write().clear();
+    }
+
+    fn indirect(&self) {
+        let g = self.current.write();
+        self.touch_cache();
+    }
+
+    fn touch_cache(&self) {
+        self.cache.write().clear();
+    }
+}

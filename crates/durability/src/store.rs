@@ -66,6 +66,9 @@ impl FsStore {
     /// Best-effort fsync of the directory itself so renames are durable.
     fn sync_dir(&self) {
         if let Ok(d) = fs::File::open(&self.dir) {
+            // analyzer:allow(error-discipline): directory fsync is advisory
+            // hardening on top of the file's own sync; a failure here does
+            // not hole the log — replay re-verifies every record checksum.
             let _ = d.sync_all();
         }
     }

@@ -1007,6 +1007,12 @@ pub fn restore_matrix<'a>(
                 continue;
             }
             let tdef = catalog.schema.table(table);
+            if frag.columns.iter().any(|&c| c >= tdef.width()) {
+                return Err(invalid("fragment column ordinal out of catalog range"));
+            }
+            // analyzer:allow(panic-freedom): frag.columns validated against
+            // tdef.width() on the line above; byte_width_of cannot index
+            // out of range here.
             let pages = sizing::heap_pages(
                 catalog.row_count(table),
                 tdef.byte_width_of(&frag.columns) + 8,

@@ -115,6 +115,8 @@ fn assert_matrix_matches_inum(catalog: &Catalog, workload: &Workload, subset_see
         let design = PhysicalDesign::with_indexes(ids.iter().map(|&i| cands.indexes[i].clone()));
         for (qi, (q, _)) in workload.iter().enumerate() {
             let fast = matrix.cost(qi, &config);
+            // analyzer:allow(cost-purity): parity oracle — this harness
+            // exists to compare matrix lookups against the optimizer.
             let oracle = inum.cost(&design, q);
             assert!(
                 (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
@@ -245,6 +247,8 @@ fn assert_joint_matrix_matches_inum(catalog: &Catalog, workload: &Workload, seed
         let design = matrix.joint_design_of(&cfg);
         for (qi, (q, _)) in workload.iter().enumerate() {
             let fast = matrix.joint_cost(qi, &cfg);
+            // analyzer:allow(cost-purity): parity oracle — this harness
+            // exists to compare matrix lookups against the optimizer.
             let oracle = inum.cost(&design, q);
             assert!(
                 (fast - oracle).abs() <= 1e-6 * oracle.abs().max(1.0),
@@ -836,7 +840,8 @@ fn assert_concurrent_readers_match_serial(
     // Verify every observed generation against a fresh serial build of
     // its recorded state (ids translated through position maps, as in
     // the incremental-vs-fresh invariant).
-    let mut by_gen: HashMap<u64, Vec<&Observation>> = HashMap::new();
+    let mut by_gen: std::collections::BTreeMap<u64, Vec<&Observation>> =
+        std::collections::BTreeMap::new();
     for o in &observations {
         by_gen.entry(o.0).or_default().push(o);
     }
